@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every experiment both benchmarks its core operation (pytest-benchmark)
+and regenerates the paper artefact as text, written under
+``benchmarks/out/`` and echoed to stdout so ``pytest benchmarks/ -s``
+shows the reproduced tables/figures inline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Persist and print one experiment's regenerated artefact."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{'=' * 70}\n{experiment}\n{'=' * 70}\n{text}\n")
+
+
+def format_table(headers, rows) -> str:
+    """Plain-text table with aligned columns."""
+    widths = [len(str(header)) for header in headers]
+    text_rows = []
+    for row in rows:
+        text_row = [f"{value:,.2f}" if isinstance(value, float)
+                    else str(value) for value in row]
+        text_rows.append(text_row)
+        for index, value in enumerate(text_row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(str(header).ljust(width)
+                  for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for text_row in text_rows:
+        lines.append("  ".join(value.rjust(width)
+                               for value, width in zip(text_row, widths)))
+    return "\n".join(lines)

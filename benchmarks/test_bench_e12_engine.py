@@ -1,0 +1,103 @@
+"""E12 — engine design-choice ablations (substrate validation).
+
+The embedded engine is the substrate every ODBIS service stands on;
+this experiment validates its two main physical design choices:
+
+* hash join vs nested-loop join for star-schema equality joins,
+* statement-cache on repeated parameterized statements.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import Database
+
+from _util import emit, format_table
+
+
+def build(fact_rows):
+    database = Database()
+    database.execute(
+        "CREATE TABLE dim (k INTEGER PRIMARY KEY, label TEXT)")
+    database.executemany(
+        "INSERT INTO dim VALUES (?, ?)",
+        [(key, f"l{key % 10}") for key in range(1, 201)])
+    database.execute("CREATE TABLE fact (k INTEGER, amount REAL)")
+    database.executemany(
+        "INSERT INTO fact VALUES (?, ?)",
+        [(index % 200 + 1, float(index % 50))
+         for index in range(fact_rows)])
+    return database
+
+
+def best(fn, repeats=3):
+    timings = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - started)
+    return min(timings) * 1000.0
+
+
+def test_bench_e12_hash_join(benchmark):
+    database = build(4_000)
+
+    def hash_join():
+        return database.query(
+            "SELECT d.label, SUM(f.amount) AS total FROM fact f "
+            "JOIN dim d ON f.k = d.k GROUP BY d.label")
+
+    rows = benchmark(hash_join)
+    assert len(rows) == 10
+
+    # Ablation: the same logical join as nested loop (CROSS + WHERE
+    # does not match the executor's equi-join fast path).
+    table = []
+    for fact_rows in (500, 2_000, 8_000):
+        database = build(fact_rows)
+        hash_ms = best(lambda: database.query(
+            "SELECT d.label, SUM(f.amount) AS total FROM fact f "
+            "JOIN dim d ON f.k = d.k GROUP BY d.label"))
+        nested_ms = best(lambda: database.query(
+            "SELECT d.label, SUM(f.amount) AS total "
+            "FROM fact f CROSS JOIN dim d WHERE f.k = d.k "
+            "GROUP BY d.label"), repeats=1)
+        table.append((fact_rows, hash_ms, nested_ms,
+                      nested_ms / hash_ms))
+    emit("E12_join_ablation", format_table(
+        ("fact rows", "hash join ms", "nested loop ms", "speed-up"),
+        table))
+
+    # The hash join must win decisively at every size.  (Relative
+    # speed-up between sizes is noisy on a shared machine, so only
+    # the constant-factor claim is asserted.)
+    speedups = [entry[3] for entry in table]
+    assert all(speedup > 5 for speedup in speedups)
+
+
+def test_e12_join_strategies_agree():
+    database = build(1_000)
+    hash_rows = database.query(
+        "SELECT d.label, SUM(f.amount) AS total FROM fact f "
+        "JOIN dim d ON f.k = d.k GROUP BY d.label ORDER BY d.label")
+    nested_rows = database.query(
+        "SELECT d.label, SUM(f.amount) AS total "
+        "FROM fact f CROSS JOIN dim d WHERE f.k = d.k "
+        "GROUP BY d.label ORDER BY d.label")
+    assert hash_rows == nested_rows
+
+
+def test_e12_statement_cache():
+    """Repeated parameterized statements skip re-parsing."""
+    database = build(100)
+    sql = "SELECT amount FROM fact WHERE k = ?"
+    database.query(sql, (1,))
+    cached_before = len(database._statement_cache)
+    for key in range(50):
+        database.query(sql, (key % 10 + 1,))
+    assert len(database._statement_cache) == cached_before
+    emit("E12_statement_cache", format_table(
+        ("metric", "value"),
+        [("distinct SQL texts parsed", float(cached_before)),
+         ("executions served from cache", 50.0)]))

@@ -1,0 +1,97 @@
+"""E7 — multi-tenancy economies of scale (paper §2 claim).
+
+"One database is used to store all customers' data, so this makes the
+overall system scalable at a far lower cost."  We provision fleets of
+N tenants under both isolation modes and compare the resource
+footprint (distinct operational databases, table count) and the
+provisioning cost; the shared-schema mode should scale its footprint
+sub-linearly while the isolated mode is strictly linear.
+"""
+
+import time
+
+import pytest
+
+from repro import OdbisPlatform, TenancyMode
+
+from _util import emit, format_table
+
+FLEET_SIZES = (1, 4, 16, 48)
+
+
+def provision_fleet(mode, count):
+    platform = OdbisPlatform(mode=mode)
+    started = time.perf_counter()
+    for index in range(count):
+        platform.provisioning.provision(
+            f"t{index:03d}", f"Tenant {index}")
+    elapsed = time.perf_counter() - started
+    # Total catalog footprint: the platform database plus every
+    # distinct operational database (same object counted once).
+    databases = {id(platform.tenants.platform_db):
+                 platform.tenants.platform_db}
+    for tenant in platform.tenants.tenant_ids():
+        operational = platform.tenants.context(tenant).operational_db
+        databases[id(operational)] = operational
+    total_tables = sum(len(db.table_names())
+                       for db in databases.values())
+    return platform, elapsed, total_tables
+
+
+def test_bench_e7_shared_vs_isolated(benchmark):
+    # Benchmark: provisioning one tenant into an existing shared fleet.
+    platform = OdbisPlatform(mode=TenancyMode.SHARED)
+    for index in range(8):
+        platform.provisioning.provision(f"seed{index}", "Seed")
+    counter = {"n": 0}
+
+    def provision_one():
+        counter["n"] += 1
+        platform.provisioning.provision(
+            f"extra{counter['n']}", "Extra")
+
+    benchmark.pedantic(provision_one, rounds=20, iterations=1)
+
+    # The scaling table.
+    rows = []
+    for count in FLEET_SIZES:
+        shared, shared_time, shared_tables = provision_fleet(
+            TenancyMode.SHARED, count)
+        isolated, isolated_time, isolated_tables = provision_fleet(
+            TenancyMode.ISOLATED, count)
+        rows.append((
+            count,
+            shared.tenants.database_count(),
+            isolated.tenants.database_count(),
+            shared_tables,
+            isolated_tables,
+            shared_time * 1000.0,
+            isolated_time * 1000.0,
+        ))
+    emit("E7_multitenancy", format_table(
+        ("tenants", "shared dbs", "isolated dbs",
+         "shared tables", "isolated tables",
+         "shared ms", "isolated ms"), rows))
+
+    # Shape assertions: shared stays at 1 database; isolated is linear.
+    for count, shared_dbs, isolated_dbs, shared_tables, \
+            isolated_tables, _s, _i in rows:
+        assert shared_dbs == 1
+        assert isolated_dbs == count
+        if count > 1:
+            # Operational tables: shared-schema amortizes the catalog;
+            # isolated duplicates it per tenant.
+            assert shared_tables < isolated_tables
+
+
+def test_e7_shared_schema_keeps_tenants_logically_separate():
+    """The multi-tenant wall: shared physical store, private data."""
+    platform = OdbisPlatform(mode=TenancyMode.SHARED)
+    platform.provisioning.provision("a", "A")
+    platform.provisioning.provision("b", "B")
+    platform.metadata.create_dataset(
+        "a", "private", "warehouse", "SELECT 1 AS one")
+    names_a = [d["name"] for d in platform.metadata.datasets("a")]
+    names_b = [d["name"] for d in platform.metadata.datasets("b")]
+    assert "private" in names_a
+    assert "private" not in names_b

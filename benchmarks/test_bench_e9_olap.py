@@ -1,0 +1,132 @@
+"""E9 — analysis-service performance over the shared stack.
+
+OLAP query latency vs fact-table size and grouping dimensionality,
+plus the aggregate-cache ablation the DESIGN.md calls out: repeated
+dashboard queries should be dominated by cache hits.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import Database
+from repro.olap import CubeSchema, OlapEngine
+from repro.workloads import RetailWorkload
+
+from _util import emit, format_table
+
+FACT_SIZES = (1_000, 4_000, 16_000)
+
+
+def build_engine(fact_rows, use_cache=True):
+    database = Database()
+    workload = RetailWorkload(seed=11)
+    workload.build(database, fact_rows=fact_rows)
+    schema = CubeSchema.from_definition(workload.cube_definition())
+    return OlapEngine(database, schema, use_cache=use_cache)
+
+
+def timed(fn, repeats=3):
+    best = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best * 1000.0
+
+
+def test_bench_e9_olap_query(benchmark):
+    engine = build_engine(4_000, use_cache=False)
+
+    def one_query():
+        return engine.query(
+            ["revenue"], [("Time", "year"), ("Store", "region")])
+
+    cells = benchmark(one_query)
+    assert len(cells.rows) > 0
+
+    # Latency vs fact size and number of grouping axes.
+    rows = []
+    for fact_rows in FACT_SIZES:
+        engine = build_engine(fact_rows, use_cache=False)
+        latency_0d = timed(lambda: engine.query(["revenue"]))
+        latency_1d = timed(lambda: engine.query(
+            ["revenue"], [("Store", "region")]))
+        latency_2d = timed(lambda: engine.query(
+            ["revenue"], [("Time", "year"), ("Store", "region")]))
+        latency_3d = timed(lambda: engine.query(
+            ["revenue"], [("Time", "month"), ("Store", "city"),
+                          ("Product", "category")]))
+        rows.append((fact_rows, latency_0d, latency_1d,
+                     latency_2d, latency_3d))
+    emit("E9_olap_latency", format_table(
+        ("fact rows", "0 axes ms", "1 axis ms",
+         "2 axes ms", "3 axes ms"), rows))
+
+    # Shape: latency grows with fact size (comparing the same query).
+    assert rows[-1][2] > rows[0][2]
+
+
+def test_e9_aggregate_cache_ablation():
+    """Cache on vs off for a dashboard-style repeated query mix."""
+    queries = [
+        (["revenue"], [("Store", "region")], ()),
+        (["revenue", "quantity"], [("Time", "year")], ()),
+        (["quantity"], [("Product", "category")], ()),
+    ]
+
+    def run_dashboard(engine, refreshes):
+        for _ in range(refreshes):
+            for measures, axes, slicers in queries:
+                engine.query(measures, list(axes), list(slicers))
+
+    cached = build_engine(8_000, use_cache=True)
+    uncached = build_engine(8_000, use_cache=False)
+    cached_ms = timed(lambda: run_dashboard(cached, 10), repeats=1)
+    uncached_ms = timed(lambda: run_dashboard(uncached, 10), repeats=1)
+
+    emit("E9_cache_ablation", format_table(
+        ("configuration", "30 dashboard queries ms", "cache hits"),
+        [("aggregate cache ON", cached_ms,
+          cached.statistics["cache_hits"]),
+         ("aggregate cache OFF", uncached_ms,
+          uncached.statistics["cache_hits"])]))
+
+    assert cached.statistics["cache_hits"] == 27  # 3 cold, 27 hot
+    assert uncached.statistics["cache_hits"] == 0
+    assert cached_ms < uncached_ms
+
+
+def test_e9_results_identical_with_and_without_cache():
+    cached = build_engine(2_000, use_cache=True)
+    uncached = build_engine(2_000, use_cache=False)
+    for _ in range(2):
+        a = cached.query(["revenue"], [("Store", "region")])
+        b = uncached.query(["revenue"], [("Store", "region")])
+        assert a.rows == b.rows
+
+
+def test_e9_index_ablation_point_lookups():
+    """Index on vs off for selective point lookups on the fact table
+    (drill-through queries), the second ablation DESIGN.md calls out."""
+    database = Database()
+    workload = RetailWorkload(seed=11)
+    workload.build(database, fact_rows=16_000)
+
+    def drill_through():
+        for key in range(1, 101):
+            database.query(
+                "SELECT revenue FROM fact_sales WHERE time_key = ?",
+                (key,))
+
+    no_index_ms = timed(drill_through, repeats=2)
+    database.execute(
+        "CREATE INDEX fact_time ON fact_sales (time_key)")
+    with_index_ms = timed(drill_through, repeats=2)
+
+    emit("E9_index_ablation", format_table(
+        ("configuration", "100 drill-through lookups ms"),
+        [("no index (full scans)", no_index_ms),
+         ("hash index on time_key", with_index_ms)]))
+    assert with_index_ms < no_index_ms / 2

@@ -1,0 +1,74 @@
+"""E2 / Fig. 2 — the MDDWS environment's three layers.
+
+Regenerates the figure: one design request flows through the
+*methodology* layer (2TUP project management), the *design* layer
+(the MDA model chain) and the *deployment* layer (DDL executed on the
+shared technical resources).  The bench measures a full design run.
+"""
+
+import pytest
+
+from repro import OdbisPlatform
+from repro.mda import (
+    BusinessRequirement,
+    CimModel,
+    DimensionSpec,
+    MeasureSpec,
+)
+
+from _util import emit, format_table
+
+
+def retail_cim():
+    return CimModel("retail", [
+        BusinessRequirement(
+            subject="Sales",
+            measures=[MeasureSpec("revenue"), MeasureSpec("quantity")],
+            dimensions=[
+                DimensionSpec("Time", ["year", "quarter", "month"],
+                              is_time=True),
+                DimensionSpec("Product", ["category", "sku"]),
+                DimensionSpec("Store", ["region", "city"]),
+            ]),
+    ])
+
+
+def fresh_tenant(tag):
+    platform = OdbisPlatform()
+    platform.provisioning.provision(tag, tag.title())
+    platform.mddws.create_project(tag, f"{tag}-dw")
+    return platform
+
+
+def test_bench_fig2_mddws_design_run(benchmark):
+    counter = {"n": 0}
+
+    def design_once():
+        counter["n"] += 1
+        platform = fresh_tenant(f"t{counter['n']}")
+        return platform, platform.mddws.design_warehouse(
+            f"t{counter['n']}", retail_cim())
+
+    platform, summary = benchmark(design_once)
+
+    # Regenerate the three-layer view of Fig. 2.
+    iteration = platform.mddws.project(
+        f"t{counter['n']}").process.iterations[0]
+    methodology = (f"2TUP iteration #{iteration.number}: "
+                   f"{len(iteration.completed)}/11 disciplines")
+    design = (f"PIM: {len(summary['pim'].cubes())} cube(s), "
+              f"{len(summary['pim'].dimensions())} dimension(s); "
+              f"PSM: {len(summary['psm'].tables())} table(s); "
+              f"traces: {len(summary['psm_traces'])}")
+    deployment = (f"deployed tables: "
+                  f"{', '.join(summary['deployed']['tables'])}; "
+                  f"cubes: {', '.join(summary['deployed']['cubes'])}")
+    emit("E2_fig2_mddws_layers", format_table(
+        ("MDDWS layer", "observed behaviour"),
+        [("methodology", methodology),
+         ("design", design),
+         ("deployment", deployment)]))
+
+    assert iteration.is_complete
+    assert len(summary["psm"].tables()) == 4
+    assert summary["deployed"]["cubes"] == ["Sales"]

@@ -1,0 +1,93 @@
+"""E3 / Fig. 3 — layer construction using MDA + 2TUP.
+
+Regenerates the figure's discipline-by-iteration matrix: each DW layer
+is developed by iterations whose disciplines wrap the MDA activities
+(BCIM → PIM → PSM → code generation → completion).  The bench measures
+the MDA transformation chain itself (CIM→PIM→PSM→code).
+"""
+
+import pytest
+
+from repro.mda import (
+    BusinessRequirement,
+    CimModel,
+    DimensionSpec,
+    MeasureSpec,
+    TwoTrackProcess,
+    cim_to_pim,
+    generate_code,
+    pim_to_psm,
+)
+from repro.mda.process import DISCIPLINES
+
+from _util import emit, format_table
+
+
+def cim_for(subject):
+    return CimModel(subject, [
+        BusinessRequirement(
+            subject=subject,
+            measures=[MeasureSpec("amount")],
+            dimensions=[
+                DimensionSpec("Time", ["year", "month"], is_time=True),
+                DimensionSpec("Entity", ["group", "unit"]),
+            ]),
+    ])
+
+
+def run_iteration(process, layer, component):
+    iteration = process.start_iteration(layer, component)
+    cim = cim_for(f"{layer}-{component}")
+    iteration.complete("preliminary-study")
+    iteration.complete("business-requirements", cim)
+    iteration.complete("analysis", cim)
+    iteration.complete("technical-requirements", cim.technical)
+    iteration.complete("generic-design")
+    pim, _ = cim_to_pim(cim)
+    iteration.complete("preliminary-design", pim)
+    psm, _ = pim_to_psm(pim, cim.technical)
+    iteration.complete("detailed-design", psm)
+    artifacts = generate_code(psm, pim)
+    iteration.complete("coding", artifacts)
+    iteration.complete("code-completion",
+                       artifacts.completion_points)
+    iteration.complete("tests")
+    iteration.complete("deployment")
+    return iteration
+
+
+def test_bench_fig3_mda_chain(benchmark):
+    cim = cim_for("Sales")
+
+    def mda_chain():
+        pim, _ = cim_to_pim(cim)
+        psm, _ = pim_to_psm(pim, cim.technical)
+        return generate_code(psm, pim)
+
+    artifacts = benchmark(mda_chain)
+    assert artifacts.artifact_count > 0
+
+    # Regenerate the Fig. 3 matrix: disciplines x iterations per layer.
+    process = TwoTrackProcess("retail-dw",
+                              ["staging", "warehouse", "datamart"])
+    run_iteration(process, "staging", "main")
+    run_iteration(process, "warehouse", "sales")
+    run_iteration(process, "warehouse", "inventory")
+    run_iteration(process, "datamart", "finance")
+
+    headers = ["discipline (branch)"] + [
+        f"it{entry['iteration']}:{entry['layer'][:5]}"
+        for entry in process.discipline_matrix()
+    ]
+    rows = []
+    for discipline in DISCIPLINES:
+        label = f"{discipline.name} ({discipline.branch[:4]})"
+        marks = []
+        for entry in process.discipline_matrix():
+            marks.append("x" if entry["disciplines"][discipline.name]
+                         else ".")
+        rows.append(tuple([label] + marks))
+    emit("E3_fig3_mda_2tup", format_table(headers, rows))
+
+    assert process.is_complete
+    assert len(process.iterations_for("warehouse")) == 2

@@ -1,0 +1,103 @@
+"""E5 / Fig. 5 — the ODBIS technical architecture stack.
+
+Regenerates the figure: every element of the stack (web container,
+presentation, Spring-style wiring, Drools-style rules, JMI/CWM domain
+model, JPA-style persistence, PostgreSQL-style database) is exercised
+from one scenario, and the artefact records what each element did.
+The bench measures the rules-engine decision step — the stack element
+unique to this figure.
+"""
+
+import pytest
+
+from repro.cwm import RelationalBuilder, cwm_metamodel
+from repro.engine import Database
+from repro.mof import ModelExtent, write_xmi
+from repro.orm import Entity, FieldSpec, Session, create_schema, entity
+from repro.rules import Fact, RuleEngine, parse_rules
+from repro.web import JsonResponse, WebApplication
+
+from _util import emit, format_table
+
+
+@entity(table="subscriptions", fields=[
+    FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+    FieldSpec("tenant", "TEXT", nullable=False),
+    FieldSpec("plan", "TEXT", nullable=False),
+])
+class Subscription(Entity):
+    pass
+
+
+RULES = '''
+rule "upgrade-heavy-tenant" salience 10
+when
+    usage: Usage(amount > 10000 and usage.flagged != True)
+then
+    modify(usage, flagged=True)
+    insert(PlanChange(tenant=usage.tenant, to_plan="enterprise"))
+end
+'''
+
+
+def test_bench_fig5_stack_elements(benchmark):
+    # Drools-substitute: benchmark the decision step.
+    rules = parse_rules(RULES)
+
+    def decide():
+        engine = RuleEngine(rules)
+        engine.memory.insert(Fact("Usage", tenant="acme",
+                                  amount=50_000))
+        engine.run()
+        return engine.memory.by_type("PlanChange")
+
+    changes = benchmark(decide)
+    assert changes[0]["to_plan"] == "enterprise"
+
+    # Exercise every stack element once, recording what it did.
+    observations = []
+
+    # PostgreSQL substitute: the embedded engine.
+    database = Database("stack")
+    create_schema(database, [Subscription])
+    observations.append(
+        ("PostgreSQL (repro.engine)",
+         f"database 'stack' with tables {database.table_names()}"))
+
+    # JPA/Hibernate substitute: the ORM session.
+    with Session(database) as session:
+        session.add(Subscription(tenant="acme", plan="team"))
+    count = database.query_value("SELECT COUNT(*) FROM subscriptions")
+    observations.append(
+        ("JPA+Hibernate (repro.orm)",
+         f"unit-of-work flushed {count} entity row(s)"))
+
+    # JMI/MDR + CWM substitute: the reflective domain model.
+    extent = ModelExtent(cwm_metamodel(), "stack-extent")
+    relational = RelationalBuilder(extent)
+    schema = relational.schema("dw")
+    table = relational.table(schema, "fact_usage")
+    relational.column(table, "amount", "REAL")
+    xmi = write_xmi(extent)
+    observations.append(
+        ("JMI/MDR + CWM (repro.mof/cwm)",
+         f"{len(extent)} model elements, XMI doc of {len(xmi)} chars"))
+
+    # Drools substitute: result of the benchmark body above.
+    observations.append(
+        ("Drools (repro.rules)",
+         f"rule fired, plan change -> {changes[0]['to_plan']}"))
+
+    # JSF + Tomcat substitute: the web layer.
+    app = WebApplication("stack")
+    app.get("/plans/{tenant}", lambda r: JsonResponse(
+        {"tenant": r.path_params["tenant"], "plan": "enterprise"}))
+    response = app.request("GET", "/plans/acme")
+    observations.append(
+        ("JSF+Tomcat (repro.web)",
+         f"GET /plans/acme -> {response.status} {response.json()}"))
+
+    emit("E5_fig5_tech_stack", format_table(
+        ("stack element (paper Fig. 5)", "observed behaviour"),
+        observations))
+    assert len(observations) == 5

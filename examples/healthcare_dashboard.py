@@ -1,0 +1,89 @@
+"""The paper's Fig. 6: a healthcare dashboard via ad-hoc reporting.
+
+Builds the hospital-admissions warehouse, defines data sets through
+the meta-data service, assembles the dashboard with the ad-hoc
+reporting module, and renders it for the terminal and as HTML.
+
+Run with::
+
+    python examples/healthcare_dashboard.py [output.html]
+"""
+
+import sys
+
+from repro import OdbisPlatform
+from repro.core import Channel
+from repro.reporting import Dashboard
+from repro.workloads import HealthcareWorkload
+
+
+def main() -> None:
+    platform = OdbisPlatform()
+    context = platform.provisioning.provision(
+        "st-vincent", "St. Vincent Hospital", plan="team")
+
+    # Load a year of synthetic admissions into the tenant warehouse.
+    workload = HealthcareWorkload(seed=7)
+    count = workload.load(context.warehouse_db, count=2500)
+    print(f"loaded {count} admissions")
+
+    # Meta-data service: the data sets behind each dashboard widget.
+    platform.metadata.create_dataset(
+        "st-vincent", "by-department", "warehouse",
+        "SELECT department, COUNT(*) AS admissions, "
+        "SUM(cost) AS total_cost, AVG(length_of_stay) AS avg_stay "
+        "FROM admissions GROUP BY department ORDER BY department")
+    platform.metadata.create_dataset(
+        "st-vincent", "by-severity", "warehouse",
+        "SELECT severity, COUNT(*) AS admissions FROM admissions "
+        "GROUP BY severity")
+    platform.metadata.create_dataset(
+        "st-vincent", "costly-departments", "warehouse",
+        "SELECT department, region, SUM(cost) AS cost "
+        "FROM admissions GROUP BY department, region")
+
+    # Ad-hoc reporting: charts + data table, laid out in rows.
+    by_department = platform.reporting.adhoc_builder(
+        "st-vincent", "by-department")
+    by_severity = platform.reporting.adhoc_builder(
+        "st-vincent", "by-severity")
+    detail = platform.reporting.adhoc_builder(
+        "st-vincent", "costly-departments")
+
+    dashboard = Dashboard(
+        "healthcare-overview",
+        "Admissions, costs and stays across departments")
+    dashboard.add_row(
+        by_department.bar_chart("admissions-by-department",
+                                "department", "admissions"),
+        by_severity.pie_chart("admissions-by-severity",
+                              "severity", "admissions"),
+    )
+    dashboard.add_row(
+        by_department.line_chart("avg-stay-by-department",
+                                 "department", "avg_stay"),
+        detail.data_table("top-cost-centres",
+                          ["department", "region", "cost"],
+                          sort_by="cost", descending=True, limit=8),
+    )
+    platform.reporting.save_dashboard("st-vincent", dashboard)
+
+    # Deliver to the terminal (mobile channel) and print in full.
+    print()
+    print(platform.delivery.deliver_dashboard(dashboard,
+                                              Channel.MOBILE))
+    print()
+    from repro.reporting import render_dashboard_text
+    print(render_dashboard_text(dashboard))
+
+    # And to a browser (web channel) when an output path is given.
+    if len(sys.argv) > 1:
+        html = platform.delivery.deliver_dashboard(dashboard,
+                                                   Channel.WEB)
+        with open(sys.argv[1], "w") as handle:
+            handle.write(html)
+        print(f"\nwrote {sys.argv[1]}")
+
+
+if __name__ == "__main__":
+    main()

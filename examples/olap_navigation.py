@@ -1,0 +1,72 @@
+"""Cube visualization and navigation (paper §3.1, analysis service).
+
+Walks an analyst session: start fully rolled up, drill down into time
+and geography, slice to one region, pivot the two visible axes into a
+crosstab, and finally drill through one suspicious cell to its raw
+fact rows.
+
+Run with::
+
+    python examples/olap_navigation.py
+"""
+
+from repro import OdbisPlatform
+from repro.reporting import pivot_cellset
+from repro.reporting.render import render_table_text
+from repro.workloads import RetailWorkload
+
+
+def show(title, cells):
+    print(f"\n--- {title} ---")
+    for row in cells.rows[:8]:
+        print("  ", row)
+    if len(cells.rows) > 8:
+        print(f"   ... {len(cells.rows) - 8} more rows")
+
+
+def main() -> None:
+    platform = OdbisPlatform()
+    context = platform.provisioning.provision("acme", "Acme",
+                                              plan="team")
+    workload = RetailWorkload(seed=11)
+    workload.build(context.warehouse_db, fact_rows=3000)
+    platform.analysis.define_cube("acme", workload.cube_definition())
+
+    navigator = platform.analysis.navigator(
+        "acme", "RetailSales", measures=["revenue"])
+
+    show("fully rolled up (grand total)", navigator.current_view())
+
+    navigator.drill_down("Time")
+    show("drill-down: revenue by year", navigator.current_view())
+
+    navigator.drill_down("Store")
+    show("drill-down: year x region", navigator.current_view())
+
+    navigator.slice("Product", "category", "Electronics")
+    show("slice: electronics only", navigator.current_view())
+
+    # Pivot the current two-axis view into a crosstab.
+    cells = navigator.current_view()
+    print("\n--- pivot (crosstab) ---")
+    print(render_table_text(pivot_cellset(cells, "revenue")))
+
+    # Drill through the biggest cell to its underlying fact rows.
+    engine = platform.analysis.engine("acme", "RetailSales")
+    biggest = max(cells.rows, key=lambda row: row["revenue"] or 0)
+    coordinates = [("Time", "year", biggest["Time.year"]),
+                   ("Store", "region", biggest["Store.region"]),
+                   ("Product", "category", "Electronics")]
+    facts = engine.drill_through(coordinates, limit=5)
+    print(f"\n--- drill-through {biggest['Time.year']}/"
+          f"{biggest['Store.region']} (first 5 fact rows) ---")
+    for fact in facts:
+        print("  ", fact)
+
+    print("\nnavigation breadcrumbs:")
+    for crumb in navigator.breadcrumbs:
+        print(f"  - {crumb}")
+
+
+if __name__ == "__main__":
+    main()

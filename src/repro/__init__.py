@@ -1,0 +1,29 @@
+"""repro — a reproduction of ODBIS (EDBT 2010).
+
+ODBIS is an open-source platform for On-Demand Business Intelligence
+Services: a multi-tenant SaaS BI platform with model-driven data
+warehouse design.  This library rebuilds the whole system in pure
+Python — every substrate included (SQL engine, ORM, MOF/CWM
+metamodeling, MDA/2TUP engineering, ETL, OLAP, reporting, rules, BPM,
+security, ESB, web).
+
+Quickstart::
+
+    from repro import OdbisPlatform
+
+    platform = OdbisPlatform()
+    platform.provisioning.provision("acme", "Acme Corp", plan="team")
+
+See ``examples/quickstart.py`` for the full tour, and DESIGN.md for
+the system inventory.
+"""
+
+from repro.core import OdbisPlatform
+from repro.core.tenancy import TenancyMode
+from repro.engine import Database
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["Database", "OdbisPlatform", "ReproError", "TenancyMode",
+           "__version__"]

@@ -1,0 +1,26 @@
+"""Business process management (BPM).
+
+"The Business Process Management defines the process logic while the
+Business Rules Management implements the decision logic" (paper §3.3).
+Process definitions are graphs of service tasks, rule tasks (which run
+a :mod:`repro.rules` engine over process variables) and exclusive
+gateways; the engine executes instances and records their history.
+"""
+
+from repro.bpm.process import (
+    ExclusiveGateway,
+    ProcessDefinition,
+    ProcessEngine,
+    ProcessInstance,
+    RuleTask,
+    ServiceTask,
+)
+
+__all__ = [
+    "ExclusiveGateway",
+    "ProcessDefinition",
+    "ProcessEngine",
+    "ProcessInstance",
+    "RuleTask",
+    "ServiceTask",
+]

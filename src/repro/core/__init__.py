@@ -1,0 +1,50 @@
+"""The ODBIS platform: on-demand business intelligence services.
+
+This package is the paper's primary contribution — the five-layer SaaS
+architecture of Fig. 1:
+
+1. **technical resources** — per-tenant databases, the ESB, BI engines
+   (:class:`~repro.core.platform.TechnicalResourcesLayer`),
+2. **DW design and management** — the MDDWS environment
+   (:mod:`repro.core.mddws`),
+3. **administration and configuration** —
+   :mod:`repro.core.admin_service` and :mod:`repro.core.subscription`,
+4. **core business intelligence services** — MDS, IS, AS, RS and IDS
+   (one module each),
+5. **end-user access tools** — the web application wired by
+   :class:`~repro.core.platform.OdbisPlatform`.
+
+Multi-tenancy (:mod:`repro.core.tenancy`) and provisioning
+(:mod:`repro.core.provisioning`) cut across all five layers.
+"""
+
+from repro.core.admin_service import AdminService
+from repro.core.analysis_service import AnalysisService
+from repro.core.delivery_service import Channel, InformationDeliveryService
+from repro.core.integration_service import IntegrationService
+from repro.core.mddws import MddwsService
+from repro.core.metadata_service import MetadataService
+from repro.core.platform import OdbisPlatform, TechnicalResourcesLayer
+from repro.core.provisioning import ProvisioningService
+from repro.core.reporting_service import ReportingService
+from repro.core.subscription import BillingService, Plan
+from repro.core.tenancy import TenancyMode, TenantContext, TenantManager
+
+__all__ = [
+    "AdminService",
+    "AnalysisService",
+    "BillingService",
+    "Channel",
+    "InformationDeliveryService",
+    "IntegrationService",
+    "MddwsService",
+    "MetadataService",
+    "OdbisPlatform",
+    "Plan",
+    "ProvisioningService",
+    "ReportingService",
+    "TechnicalResourcesLayer",
+    "TenancyMode",
+    "TenantContext",
+    "TenantManager",
+]

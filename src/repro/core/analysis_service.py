@@ -1,0 +1,116 @@
+"""AS — the analysis service.
+
+"The analysis service allows definition of analysis data models (OLAP
+data cube), data cube visualization and navigation" (paper §3.1).
+Cubes are defined per tenant over the tenant's warehouse star schema;
+queries run through the OLAP engine (with its aggregate cache) or
+through MDX-lite, and navigation state is served per user session.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.resources import TechnicalResourcesLayer
+from repro.core.subscription import BillingService
+from repro.core.tenancy import TenantManager
+from repro.errors import ServiceError
+from repro.olap import (
+    CellSet,
+    CubeNavigator,
+    CubeSchema,
+    OlapEngine,
+    parse_mdx,
+)
+
+
+class AnalysisService:
+    """Per-tenant cube registry and query execution."""
+
+    def __init__(self, tenants: TenantManager,
+                 resources: TechnicalResourcesLayer,
+                 billing: Optional[BillingService] = None,
+                 use_cache: bool = True,
+                 config_provider=None):
+        self.tenants = tenants
+        self.resources = resources
+        self.billing = billing
+        self.use_cache = use_cache
+        # Per-tenant overrides from the administration layer
+        # ("customize services configuration", paper §3.1).
+        self.config_provider = config_provider
+        self._engines: Dict[Tuple[str, str], OlapEngine] = {}
+
+    def _tenant_config(self, tenant_id: str) -> Dict[str, Any]:
+        if self.config_provider is None:
+            return {}
+        return self.config_provider(tenant_id) or {}
+
+    # -- cube management ---------------------------------------------------------------
+
+    def define_cube(self, tenant_id: str,
+                    definition: Dict[str, Any],
+                    database: str = "warehouse") -> CubeSchema:
+        """Register a cube from a definition dict (e.g. MDA codegen)."""
+        self.tenants.require_active(tenant_id)
+        schema = CubeSchema.from_definition(definition) \
+            if isinstance(definition, dict) else definition
+        key = (tenant_id, schema.name)
+        if key in self._engines:
+            raise ServiceError(
+                f"tenant {tenant_id!r} already has cube "
+                f"{schema.name!r}")
+        target = self.resources.database(tenant_id, database)
+        config = self._tenant_config(tenant_id)
+        use_cache = bool(config.get("use_cache", self.use_cache))
+        self._engines[key] = OlapEngine(
+            target, schema, use_cache=use_cache)
+        self.resources.publish_event(
+            tenant_id, "cube-defined", schema.name)
+        return schema
+
+    def cubes(self, tenant_id: str) -> List[str]:
+        return sorted(name for (tenant, name) in self._engines
+                      if tenant == tenant_id)
+
+    def engine(self, tenant_id: str, cube: str) -> OlapEngine:
+        engine = self._engines.get((tenant_id, cube))
+        if engine is None:
+            raise ServiceError(
+                f"tenant {tenant_id!r} has no cube {cube!r}")
+        return engine
+
+    def invalidate_cube(self, tenant_id: str, cube: str) -> None:
+        """Drop cached aggregates (call after warehouse loads)."""
+        self.engine(tenant_id, cube).invalidate_cache()
+
+    # -- querying ---------------------------------------------------------------------
+
+    def query(self, tenant_id: str, cube: str,
+              measures: List[str],
+              axes: List[Tuple[str, str]] = (),
+              slicers: List[Tuple[str, str, Any]] = ()) -> CellSet:
+        engine = self.engine(tenant_id, cube)
+        result = engine.query(measures, axes, slicers)
+        if self.billing is not None:
+            self.billing.meter(tenant_id, "query", 1)
+        return result
+
+    def execute_mdx(self, tenant_id: str, statement: str) -> CellSet:
+        """Parse and run an MDX-lite statement against a tenant cube."""
+        query = parse_mdx(statement)
+        engine = self.engine(tenant_id, query.cube)
+        result = query.execute(engine)
+        if self.billing is not None:
+            self.billing.meter(tenant_id, "query", 1)
+        return result
+
+    def navigator(self, tenant_id: str, cube: str,
+                  measures: Optional[List[str]] = None) \
+            -> CubeNavigator:
+        """A fresh navigation session over a tenant cube."""
+        return CubeNavigator(self.engine(tenant_id, cube), measures)
+
+    def members(self, tenant_id: str, cube: str, dimension: str,
+                level: str) -> List[Any]:
+        return self.engine(tenant_id, cube).members(dimension, level)

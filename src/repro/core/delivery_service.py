@@ -1,0 +1,131 @@
+"""IDS — the information delivery service.
+
+"The information delivery service is an abstraction level to support
+many client interfaces and technologies (e.g., web browser, mobile,
+office tools).  It can be also presented as a web service" (paper
+§3.1).  One rendered artefact, four delivery formats.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List
+
+from repro.errors import ServiceError
+from repro.reporting import (
+    Dashboard,
+    RenderedChart,
+    RenderedTable,
+    render_dashboard_html,
+    render_dashboard_text,
+)
+
+
+class Channel(enum.Enum):
+    """The client technologies the IDS can deliver to."""
+
+    WEB = "web"                # browser: full HTML
+    MOBILE = "mobile"          # compact text
+    OFFICE = "office"          # CSV-style tabular export
+    WEB_SERVICE = "webservice"  # structured JSON-ready dict
+
+
+class InformationDeliveryService:
+    """Formats dashboards and report elements per delivery channel."""
+
+    def deliver_report(self, output: Any, channel: Channel) -> Any:
+        """Deliver a BIRT report output through any channel.
+
+        ``output`` is a :class:`repro.reporting.birt.ReportOutput`;
+        its elements are wrapped in a transient dashboard so every
+        channel formatter applies uniformly.
+        """
+        wrapper = Dashboard(output.design.name)
+        for element in output.elements:
+            wrapper.add_row(element)
+        return self.deliver_dashboard(wrapper, channel)
+
+    def deliver_dashboard(self, dashboard: Dashboard,
+                          channel: Channel) -> Any:
+        if channel is Channel.WEB:
+            return render_dashboard_html(dashboard)
+        if channel is Channel.MOBILE:
+            return self._mobile_text(dashboard)
+        if channel is Channel.OFFICE:
+            return self._office_export(dashboard)
+        if channel is Channel.WEB_SERVICE:
+            return self._structured(dashboard)
+        raise ServiceError(f"unsupported channel {channel!r}")
+
+    # -- channel formatters ---------------------------------------------------------
+
+    @staticmethod
+    def _mobile_text(dashboard: Dashboard) -> str:
+        """A compact summary: element names plus headline numbers."""
+        lines = [f"[{dashboard.name}]"]
+        for row in dashboard.rows:
+            for element in row:
+                if isinstance(element, RenderedChart):
+                    values = [value for value in element.values()
+                              if isinstance(value, (int, float))]
+                    total = sum(values) if values else 0
+                    lines.append(
+                        f"- {element.name}: {len(element.series)} "
+                        f"series, total {total:,.0f}")
+                elif isinstance(element, RenderedTable):
+                    lines.append(
+                        f"- {element.name}: {len(element.rows)} rows")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _office_export(dashboard: Dashboard) -> str:
+        """CSV blocks, one per element (office-tool friendly)."""
+        blocks: List[str] = []
+        for row in dashboard.rows:
+            for element in row:
+                lines = [f"# {element.name}"]
+                if isinstance(element, RenderedChart):
+                    lines.append("category,value")
+                    for category, value in element.series:
+                        lines.append(f"{category},{value}")
+                elif isinstance(element, RenderedTable):
+                    columns = element.spec.columns
+                    lines.append(",".join(columns))
+                    for record in element.rows:
+                        lines.append(",".join(
+                            "" if record.get(column) is None
+                            else str(record.get(column))
+                            for column in columns))
+                blocks.append("\n".join(lines))
+        return "\n\n".join(blocks)
+
+    @staticmethod
+    def _structured(dashboard: Dashboard) -> Dict[str, Any]:
+        """JSON-ready structure for web-service consumers."""
+        elements: List[Dict[str, Any]] = []
+        for row_index, row in enumerate(dashboard.rows):
+            for element in row:
+                if isinstance(element, RenderedChart):
+                    elements.append({
+                        "row": row_index,
+                        "type": "chart",
+                        "kind": element.spec.kind,
+                        "name": element.name,
+                        "series": [
+                            {"category": category, "value": value}
+                            for category, value in element.series
+                        ],
+                    })
+                elif isinstance(element, RenderedTable):
+                    elements.append({
+                        "row": row_index,
+                        "type": "table",
+                        "name": element.name,
+                        "columns": element.spec.columns,
+                        "rows": element.rows,
+                    })
+        return {
+            "dashboard": dashboard.name,
+            "description": dashboard.description,
+            "elements": elements,
+        }

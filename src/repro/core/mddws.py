@@ -1,0 +1,152 @@
+"""MDDWS — the Model-Driven Data Warehouse Service.
+
+The DW design-and-management layer (paper Figs. 2-3): a web-based
+environment where a tenant designs its warehouse through the unified
+MDA + 2TUP method.  One call to :meth:`MddwsService.design_warehouse`
+runs a complete 2TUP iteration whose realization disciplines host the
+MDA chain (BCIM → PIM → PSM → code), deploys the generated DDL into
+the tenant's warehouse database, and registers the generated cubes
+with the analysis service — on-demand DW design end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.analysis_service import AnalysisService
+from repro.core.resources import TechnicalResourcesLayer
+from repro.core.tenancy import TenantManager
+from repro.errors import ServiceError
+from repro.mda import (
+    CimModel,
+    DwProject,
+    GeneratedArtifacts,
+    cim_to_pim,
+    generate_code,
+    pim_to_psm,
+)
+
+
+class MddwsService:
+    """Per-tenant model-driven DW design and project management."""
+
+    def __init__(self, tenants: TenantManager,
+                 resources: TechnicalResourcesLayer,
+                 analysis: Optional[AnalysisService] = None):
+        self.tenants = tenants
+        self.resources = resources
+        self.analysis = analysis
+        self._projects: Dict[str, DwProject] = {}
+
+    # -- project management (the methodology layer) ------------------------------------
+
+    def create_project(self, tenant_id: str, name: str,
+                       layers=("staging", "warehouse", "datamart")) \
+            -> DwProject:
+        self.tenants.require_active(tenant_id)
+        if tenant_id in self._projects:
+            raise ServiceError(
+                f"tenant {tenant_id!r} already has a DW project")
+        project = DwProject(name, layers=layers)
+        project.add_risk("source data quality", "high",
+                         "profile sources during preliminary study")
+        project.add_risk("requirement drift", "medium",
+                         "iterative 2TUP cycles keep scope in check")
+        self._projects[tenant_id] = project
+        return project
+
+    def project(self, tenant_id: str) -> DwProject:
+        project = self._projects.get(tenant_id)
+        if project is None:
+            raise ServiceError(
+                f"tenant {tenant_id!r} has no DW project")
+        return project
+
+    def project_status(self, tenant_id: str) -> Dict[str, Any]:
+        return self.project(tenant_id).status()
+
+    # -- model-driven design (the design layer) ------------------------------------------
+
+    def design_warehouse(self, tenant_id: str, cim: CimModel,
+                         layer: str = "warehouse",
+                         deploy: bool = True) -> Dict[str, Any]:
+        """Run one full 2TUP iteration carrying the MDA chain.
+
+        Returns a summary with the produced models, generated
+        artifacts, the completed iteration and deployment results.
+        """
+        project = self.project(tenant_id)
+        iteration = project.process.start_iteration(layer)
+
+        # Functional branch: capture and refine the business CIM.
+        iteration.complete("preliminary-study",
+                           deliverable={"subjects": cim.subject_names()})
+        iteration.complete("business-requirements", deliverable=cim)
+        iteration.complete("analysis", deliverable=cim)
+
+        # Technical branch: the TCIM and generic design.
+        iteration.complete("technical-requirements",
+                           deliverable=cim.technical)
+        iteration.complete("generic-design",
+                           deliverable={"platform":
+                                        cim.technical.target_platform})
+
+        # Realization: the MDA transformation process as a sub-process.
+        pim, pim_traces = cim_to_pim(cim)
+        iteration.complete("preliminary-design", deliverable=pim)
+        psm, psm_context = pim_to_psm(pim, cim.technical)
+        iteration.complete("detailed-design", deliverable=psm)
+        artifacts = generate_code(psm, pim)
+        iteration.complete("coding", deliverable=artifacts)
+        iteration.complete(
+            "code-completion",
+            deliverable={"open_points": artifacts.completion_points})
+
+        deployed: Dict[str, Any] = {"tables": [], "cubes": []}
+        if deploy:
+            deployed = self._deploy(tenant_id, artifacts)
+        iteration.complete("tests",
+                           deliverable={"model_problems":
+                                        pim.validate() + psm.validate()})
+        iteration.complete("deployment", deliverable=deployed)
+
+        self._register_artifacts(project, layer, pim, psm, artifacts)
+        return {
+            "layer": layer,
+            "iteration": iteration.number,
+            "pim": pim,
+            "psm": psm,
+            "artifacts": artifacts,
+            "pim_traces": pim_traces,
+            "psm_traces": psm_context.traces,
+            "deployed": deployed,
+        }
+
+    # -- deployment (the deployment layer) -------------------------------------------------
+
+    def _deploy(self, tenant_id: str,
+                artifacts: GeneratedArtifacts) -> Dict[str, Any]:
+        warehouse = self.resources.database(tenant_id, "warehouse")
+        created: List[str] = []
+        for statement in artifacts.ddl:
+            warehouse.execute(statement)
+            if statement.startswith("CREATE TABLE"):
+                created.append(statement.split()[2])
+        cubes: List[str] = []
+        if self.analysis is not None:
+            for definition in artifacts.cube_definitions:
+                self.analysis.define_cube(tenant_id, definition)
+                cubes.append(definition["name"])
+        self.resources.publish_event(
+            tenant_id, "dw-deployed",
+            f"{len(created)} tables, {len(cubes)} cubes")
+        return {"tables": created, "cubes": cubes}
+
+    @staticmethod
+    def _register_artifacts(project: DwProject, layer: str,
+                            pim, psm,
+                            artifacts: GeneratedArtifacts) -> None:
+        prefix = f"{layer}/iter{len(project.process.iterations)}"
+        project.register_artifact(f"{prefix}/pim", pim)
+        project.register_artifact(f"{prefix}/psm", psm)
+        project.register_artifact(f"{prefix}/code", artifacts)

@@ -1,0 +1,268 @@
+"""ODBIS platform assembly: the five-layer SaaS architecture (Fig. 1).
+
+:class:`OdbisPlatform` wires the technical-resources layer, the DW
+design & management layer (MDDWS), the administration & configuration
+layer, the five core BI services and the end-user access layer (a web
+application with an authentication filter and a tenant wall) into one
+object.  Each handled request records which layers it traversed — the
+observable artefact experiments E1 and E4 regenerate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.admin_service import AdminService
+from repro.core.analysis_service import AnalysisService
+from repro.core.delivery_service import Channel, InformationDeliveryService
+from repro.core.integration_service import IntegrationService
+from repro.core.mddws import MddwsService
+from repro.core.metadata_service import MetadataService
+from repro.core.provisioning import ProvisioningService
+from repro.core.reporting_service import ReportingService
+from repro.core.resources import TechnicalResourcesLayer
+from repro.core.subscription import BillingService
+from repro.core.tenancy import TenancyMode, TenantManager
+from repro.errors import HttpError, ReproError
+from repro.security import AccessDecisionManager
+from repro.web import JsonResponse, Request, Response, WebApplication
+
+#: The five layers of Fig. 1, outermost first.
+LAYERS = (
+    "end-user-access",
+    "core-bi-services",
+    "administration",
+    "design-management",
+    "technical-resources",
+)
+
+_PUBLIC_PATHS = ("/ping", "/login")
+
+
+class OdbisPlatform:
+    """The assembled on-demand BI platform."""
+
+    def __init__(self, mode: TenancyMode = TenancyMode.SHARED,
+                 use_olap_cache: bool = True):
+        # Layer 5: technical resources.
+        self.resources = TechnicalResourcesLayer()
+        # Tenancy + layer 3: administration and configuration.
+        self.tenants = TenantManager(mode)
+        self.billing = BillingService(self.tenants.platform_db)
+        self.admin = AdminService(self.tenants, self.billing)
+        # Layer 4: core BI services.
+        self.metadata = MetadataService(self.tenants, self.resources)
+        self.integration = IntegrationService(
+            self.tenants, self.resources, self.billing)
+        self.analysis = AnalysisService(
+            self.tenants, self.resources, self.billing,
+            use_cache=use_olap_cache,
+            config_provider=lambda tenant:
+                self.admin.configuration(tenant, "analysis"))
+        self.reporting = ReportingService(
+            self.tenants, self.metadata, self.billing)
+        self.delivery = InformationDeliveryService()
+        # Layer 2: DW design and management.
+        self.mddws = MddwsService(
+            self.tenants, self.resources, self.analysis)
+        # Cross-cutting: provisioning.
+        self.provisioning = ProvisioningService(
+            self.tenants, self.resources, self.billing,
+            self.admin, self.metadata)
+        # Layer 1: end-user access (web).
+        self.web = WebApplication("odbis")
+        self.last_trace: List[str] = []
+        self._install_middleware()
+        self._install_routes()
+
+    # -- access layer wiring ---------------------------------------------------------
+
+    def _install_middleware(self) -> None:
+        def trace_layer(request: Request, next_handler):
+            self.last_trace = ["end-user-access"]
+            return next_handler(request)
+
+        def authentication_filter(request: Request, next_handler):
+            if request.path in _PUBLIC_PATHS:
+                return next_handler(request)
+            token = request.header("x-auth-token")
+            if token is None:
+                raise HttpError(401, "missing X-Auth-Token header")
+            self.last_trace.append("administration")
+            request.principal = self.admin.authentication.validate(token)
+            return next_handler(request)
+
+        def tenant_wall(request: Request, next_handler):
+            parts = [part for part in request.path.split("/") if part]
+            if len(parts) >= 2 and parts[0] == "tenants":
+                request.tenant = parts[1]
+                if request.principal is not None:
+                    AccessDecisionManager().check_tenant(
+                        request.principal, request.tenant)
+            return next_handler(request)
+
+        self.web.use(trace_layer)
+        self.web.use(authentication_filter)
+        self.web.use(tenant_wall)
+
+    def _trace(self, *layers: str) -> None:
+        for layer in layers:
+            if layer not in self.last_trace:
+                self.last_trace.append(layer)
+
+    def _install_routes(self) -> None:
+        web = self.web
+        web.get("/ping", lambda r: JsonResponse({"status": "up"}))
+        web.post("/login", self._handle_login)
+        web.get("/tenants/{tenant}/datasources",
+                self._handle_datasources)
+        web.get("/tenants/{tenant}/datasets", self._handle_datasets)
+        web.get("/tenants/{tenant}/datasets/{name}/rows",
+                self._handle_dataset_rows)
+        web.get("/tenants/{tenant}/cubes", self._handle_cubes)
+        web.post("/tenants/{tenant}/mdx", self._handle_mdx)
+        web.get("/tenants/{tenant}/reports", self._handle_reports)
+        web.post("/tenants/{tenant}/reports/{name}/run",
+                 self._handle_run_report)
+        web.get("/tenants/{tenant}/dashboards", self._handle_dashboards)
+        web.post("/tenants/{tenant}/dashboards",
+                 self._handle_define_dashboard)
+        web.get("/tenants/{tenant}/dashboards/{name}",
+                self._handle_deliver_dashboard)
+        web.get("/tenants/{tenant}/project", self._handle_project)
+        web.post("/tenants/{tenant}/design", self._handle_design)
+        web.get("/admin/usage", self._handle_usage)
+
+    # -- route handlers ----------------------------------------------------------------
+
+    def _handle_login(self, request: Request) -> Response:
+        body = request.body or {}
+        session = self.admin.login(
+            body.get("username", ""), body.get("password", ""))
+        self._trace("administration")
+        return JsonResponse({
+            "token": session.token,
+            "username": session.principal.username,
+            "tenant": session.principal.tenant,
+            "authorities": sorted(session.principal.authorities),
+        })
+
+    def _handle_datasources(self, request: Request) -> Response:
+        self._trace("core-bi-services", "technical-resources")
+        return JsonResponse(self.metadata.datasources(request.tenant))
+
+    def _handle_datasets(self, request: Request) -> Response:
+        self._trace("core-bi-services", "technical-resources")
+        return JsonResponse(self.metadata.datasets(request.tenant))
+
+    def _handle_dataset_rows(self, request: Request) -> Response:
+        self._trace("core-bi-services", "technical-resources")
+        rows = self.metadata.dataset_rows(
+            request.tenant, request.require_param("name"))
+        self.billing.meter(request.tenant, "query", 1)
+        return JsonResponse({"rows": rows})
+
+    def _handle_cubes(self, request: Request) -> Response:
+        self._trace("core-bi-services")
+        return JsonResponse(self.analysis.cubes(request.tenant))
+
+    def _handle_mdx(self, request: Request) -> Response:
+        self._trace("core-bi-services", "technical-resources")
+        statement = (request.body or {}).get("statement")
+        if not statement:
+            raise HttpError(400, "body needs a 'statement' field")
+        cells = self.analysis.execute_mdx(request.tenant, statement)
+        return JsonResponse({
+            "measures": cells.measures,
+            "axes": [list(axis) for axis in cells.axes],
+            "rows": cells.rows,
+        })
+
+    def _handle_reports(self, request: Request) -> Response:
+        self._trace("core-bi-services")
+        return JsonResponse(self.reporting.reports(request.tenant))
+
+    def _handle_run_report(self, request: Request) -> Response:
+        self._trace("core-bi-services", "technical-resources")
+        output = self.reporting.run_report(
+            request.tenant, request.require_param("name"),
+            request.body or {})
+        payload = []
+        for element in output.elements:
+            if hasattr(element, "series"):
+                payload.append({"name": element.name,
+                                "series": element.series})
+            else:
+                payload.append({"name": element.name,
+                                "rows": element.rows})
+        return JsonResponse({"report": output.design.name,
+                             "elements": payload})
+
+    def _handle_dashboards(self, request: Request) -> Response:
+        self._trace("core-bi-services")
+        return JsonResponse(self.reporting.dashboards(request.tenant))
+
+    def _handle_define_dashboard(self, request: Request) -> Response:
+        """Publish a dashboard definition from its JSON form."""
+        from repro.reporting import DashboardDefinition
+
+        if request.principal is not None \
+                and not request.principal.has_authority("REPORT_EDIT"):
+            raise HttpError(403, "REPORT_EDIT authority required")
+        self._trace("core-bi-services")
+        definition = DashboardDefinition.from_dict(request.body or {})
+        self.reporting.define_dashboard(request.tenant, definition)
+        return JsonResponse({"dashboard": definition.name},
+                            status=201)
+
+    def _handle_deliver_dashboard(self, request: Request) -> Response:
+        self._trace("core-bi-services")
+        name = request.require_param("name")
+        if name in self.reporting.dashboard_definitions(request.tenant):
+            dashboard = self.reporting.render_dashboard(
+                request.tenant, name)
+        else:
+            dashboard = self.reporting.dashboard(request.tenant, name)
+        channel_name = request.query.get("channel", "webservice")
+        try:
+            channel = Channel(channel_name)
+        except ValueError as exc:
+            raise HttpError(400,
+                            f"unknown channel {channel_name!r}") from exc
+        delivered = self.delivery.deliver_dashboard(dashboard, channel)
+        if channel is Channel.WEB_SERVICE:
+            return JsonResponse(delivered)
+        return Response(status=200, body=delivered)
+
+    def _handle_project(self, request: Request) -> Response:
+        self._trace("design-management")
+        return JsonResponse(self.mddws.project_status(request.tenant))
+
+    def _handle_design(self, request: Request) -> Response:
+        """Run a model-driven design from a JSON CIM (MDDWS web UI)."""
+        from repro.mda import CimModel
+
+        if request.principal is not None \
+                and not request.principal.has_authority("DW_DESIGN"):
+            raise HttpError(403, "DW_DESIGN authority required")
+        self._trace("design-management", "technical-resources")
+        payload = request.body or {}
+        cim = CimModel.from_dict(payload.get("cim", payload))
+        layer = payload.get("layer", "warehouse")
+        summary = self.mddws.design_warehouse(
+            request.tenant, cim, layer=layer)
+        return JsonResponse({
+            "layer": summary["layer"],
+            "iteration": summary["iteration"],
+            "tables": summary["deployed"]["tables"],
+            "cubes": summary["deployed"]["cubes"],
+            "completion_points":
+                summary["artifacts"].completion_points,
+        }, status=201)
+
+    def _handle_usage(self, request: Request) -> Response:
+        if request.principal is None \
+                or not request.principal.has_authority("PLATFORM_ADMIN"):
+            raise HttpError(403, "PLATFORM_ADMIN authority required")
+        self._trace("administration")
+        return JsonResponse(self.admin.usage_report())

@@ -1,0 +1,74 @@
+"""Tenant provisioning: on-boarding a customer across every layer."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.admin_service import AdminService
+from repro.core.metadata_service import MetadataService
+from repro.core.resources import TechnicalResourcesLayer
+from repro.core.subscription import BillingService
+from repro.core.tenancy import TenantContext, TenantManager
+from repro.errors import ProvisioningError
+
+
+class ProvisioningService:
+    """Creates everything a new tenant needs to start working."""
+
+    def __init__(self, tenants: TenantManager,
+                 resources: TechnicalResourcesLayer,
+                 billing: BillingService,
+                 admin: AdminService,
+                 metadata: MetadataService):
+        self.tenants = tenants
+        self.resources = resources
+        self.billing = billing
+        self.admin = admin
+        self.metadata = metadata
+        self.provision_log: List[Dict[str, Any]] = []
+
+    def provision(self, tenant_id: str, display_name: str,
+                  plan: str = "starter",
+                  admin_username: Optional[str] = None,
+                  admin_password: str = "changeme") -> TenantContext:
+        """On-board one tenant across all platform layers.
+
+        Steps: validate the plan, register the tenancy, attach the
+        warehouse database to the technical-resources layer, register
+        the default data source, and create the tenant-admin account.
+        """
+        self.billing.plan(plan)  # unknown plan fails before any change
+        context = self.tenants.register(tenant_id, display_name, plan)
+        steps: List[str] = ["tenancy-registered"]
+
+        self.resources.register_database(
+            tenant_id, "warehouse", context.warehouse_db)
+        steps.append("warehouse-attached")
+
+        self.metadata.create_datasource(
+            tenant_id, "warehouse", "repro://warehouse")
+        steps.append("default-datasource")
+
+        username = admin_username or f"admin@{tenant_id}"
+        self.admin.create_account(
+            username, admin_password, tenant=tenant_id,
+            roles=["tenant-admin"])
+        steps.append("admin-account")
+
+        self.resources.publish_event(tenant_id, "provisioned",
+                                     display_name)
+        self.provision_log.append({
+            "tenant": tenant_id,
+            "plan": plan,
+            "steps": steps,
+        })
+        return context
+
+    def deprovision(self, tenant_id: str) -> None:
+        """Deactivate a tenant (data retained, access revoked)."""
+        context = self.tenants.context(tenant_id)
+        if not context.active:
+            raise ProvisioningError(
+                f"tenant {tenant_id!r} is already deactivated")
+        self.tenants.deactivate(tenant_id)
+        self.resources.publish_event(tenant_id, "deprovisioned")

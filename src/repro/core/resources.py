@@ -1,0 +1,61 @@
+"""The technical-resources layer (deployment layer).
+
+"Contains the data warehousing tools (e.g., database, ETL engine,
+analysis server, etc.) used to deploy and to execute the designed DW
+models ... interoperability between all of these tools and APIs can be
+ensured using an Enterprise Service Bus" (paper §3.1).
+
+This layer owns the per-tenant named databases and the platform ESB;
+every core service resolves physical resources through it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.engine.database import Database
+from repro.errors import TenantError
+from repro.esb import MessageBus
+
+#: Channel carrying resource-level events (deploys, loads, queries).
+EVENTS_CHANNEL = "platform-events"
+
+
+class TechnicalResourcesLayer:
+    """Named databases per tenant plus the integration bus."""
+
+    def __init__(self) -> None:
+        self._databases: Dict[Tuple[str, str], Database] = {}
+        self.bus = MessageBus()
+        self.bus.create_channel(EVENTS_CHANNEL)
+
+    # -- databases -----------------------------------------------------------------
+
+    def register_database(self, tenant_id: str, name: str,
+                          database: Database) -> None:
+        key = (tenant_id, name)
+        if key in self._databases:
+            raise TenantError(
+                f"tenant {tenant_id!r} already has a database "
+                f"named {name!r}")
+        self._databases[key] = database
+
+    def database(self, tenant_id: str, name: str) -> Database:
+        database = self._databases.get((tenant_id, name))
+        if database is None:
+            raise TenantError(
+                f"tenant {tenant_id!r} has no database named {name!r}")
+        return database
+
+    def database_names(self, tenant_id: str) -> List[str]:
+        return sorted(name for (tenant, name) in self._databases
+                      if tenant == tenant_id)
+
+    # -- events ---------------------------------------------------------------------
+
+    def publish_event(self, tenant_id: str, kind: str,
+                      detail: str = "") -> None:
+        """Announce a resource-level event on the bus."""
+        self.bus.send(EVENTS_CHANNEL, {
+            "tenant": tenant_id, "kind": kind, "detail": detail,
+        })

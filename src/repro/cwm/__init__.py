@@ -1,0 +1,36 @@
+"""Common Warehouse Metamodel implementation (the CWM/CWMX substitute).
+
+CWM is the OMG metamodel the ODBIS domain model implements (paper
+Fig. 5).  Each module contributes one CWM package as a set of MOF
+metaclasses; :func:`cwm_metamodel` assembles the full metamodel, and
+the ``*Builder`` classes offer ergonomic construction of conforming
+models:
+
+* :mod:`repro.cwm.foundation` — Core package (ModelElement, Package, ...)
+* :mod:`repro.cwm.relational` — Relational package (Catalog ... Column)
+* :mod:`repro.cwm.multidim` — OLAP package (Cube, Dimension, ...)
+* :mod:`repro.cwm.transformation` — Transformation package
+* :mod:`repro.cwm.warehouse_process` — Warehouse Process package
+* :mod:`repro.cwm.business` — Business Nomenclature (the CWMX flavour)
+* :mod:`repro.cwm.odm` — Ontology Definition Metamodel (the paper's
+  announced extension for semantic schema integration)
+"""
+
+from repro.cwm.assembly import cwm_metamodel
+from repro.cwm.business import BusinessBuilder
+from repro.cwm.multidim import OlapBuilder
+from repro.cwm.odm import OdmBuilder, SemanticMatcher
+from repro.cwm.relational import RelationalBuilder
+from repro.cwm.transformation import TransformationBuilder
+from repro.cwm.warehouse_process import WarehouseProcessBuilder
+
+__all__ = [
+    "BusinessBuilder",
+    "OdmBuilder",
+    "OlapBuilder",
+    "RelationalBuilder",
+    "SemanticMatcher",
+    "TransformationBuilder",
+    "WarehouseProcessBuilder",
+    "cwm_metamodel",
+]

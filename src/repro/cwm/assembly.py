@@ -1,0 +1,34 @@
+"""Assembly of the full CWM metamodel from its packages."""
+
+from __future__ import annotations
+
+from repro.cwm.business import business_classes
+from repro.cwm.foundation import foundation_classes
+from repro.cwm.multidim import multidim_classes
+from repro.cwm.odm import odm_classes
+from repro.cwm.relational import relational_classes
+from repro.cwm.transformation import transformation_classes
+from repro.cwm.warehouse_process import warehouse_process_classes
+from repro.mof.kernel import Metamodel
+
+CWM_NAME = "CWM"
+CWM_VERSION = "1.1"
+
+
+def cwm_metamodel() -> Metamodel:
+    """Build the complete CWM metamodel (foundation + all packages).
+
+    The result is a fresh, independent Metamodel instance; installing it
+    in a :class:`repro.mof.registry.MetamodelRegistry` makes it available
+    for extent creation by name.
+    """
+    classes = (
+        foundation_classes()
+        + relational_classes()
+        + multidim_classes()
+        + transformation_classes()
+        + warehouse_process_classes()
+        + business_classes()
+        + odm_classes()
+    )
+    return Metamodel(CWM_NAME, classes, version=CWM_VERSION)

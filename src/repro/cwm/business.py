@@ -1,0 +1,99 @@
+"""CWMX-style Business Nomenclature package.
+
+Glossaries, terms and the mapping from business vocabulary to technical
+model elements — the "semantic mapping between standard concepts
+provided by CWM and business concepts" the paper's domain model
+supports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mof.kernel import (
+    MetaAttribute,
+    MetaClass,
+    MetaReference,
+    ModelExtent,
+    MofElement,
+)
+
+
+def business_classes() -> List[MetaClass]:
+    """The metaclasses of the Business Nomenclature package."""
+    return [
+        MetaClass("Glossary", superclass="Package"),
+        MetaClass(
+            "Taxonomy",
+            superclass="Package",
+        ),
+        MetaClass(
+            "Concept",
+            superclass="ModelElement",
+            references=[
+                MetaReference("taxonomy", "Taxonomy"),
+                MetaReference("narrower", "Concept", many=True),
+            ],
+        ),
+        MetaClass(
+            "Term",
+            superclass="ModelElement",
+            attributes=[
+                MetaAttribute("definition", "string"),
+                MetaAttribute("example", "string"),
+            ],
+            references=[
+                MetaReference("glossary", "Glossary"),
+                MetaReference("concept", "Concept"),
+                MetaReference("relatedElement", "ModelElement",
+                              many=True),
+                MetaReference("synonym", "Term", many=True),
+                MetaReference("preferredTerm", "Term"),
+            ],
+        ),
+    ]
+
+
+class BusinessBuilder:
+    """Ergonomic construction of business nomenclature models."""
+
+    def __init__(self, extent: ModelExtent):
+        self.extent = extent
+
+    def glossary(self, name: str) -> MofElement:
+        return self.extent.create("Glossary", name=name)
+
+    def taxonomy(self, name: str) -> MofElement:
+        return self.extent.create("Taxonomy", name=name)
+
+    def concept(self, taxonomy: MofElement, name: str,
+                broader: Optional[MofElement] = None) -> MofElement:
+        concept = self.extent.create("Concept", name=name)
+        concept.link("taxonomy", taxonomy)
+        taxonomy.link("ownedElement", concept)
+        if broader is not None:
+            broader.link("narrower", concept)
+        return concept
+
+    def term(self, glossary: MofElement, name: str,
+             definition: Optional[str] = None,
+             concept: Optional[MofElement] = None) -> MofElement:
+        term = self.extent.create("Term", name=name)
+        if definition is not None:
+            term.set("definition", definition)
+        term.link("glossary", glossary)
+        glossary.link("ownedElement", term)
+        if concept is not None:
+            term.link("concept", concept)
+        return term
+
+    def relate(self, term: MofElement,
+               element: MofElement) -> MofElement:
+        """Attach a technical model element to a business term."""
+        term.link("relatedElement", element)
+        return term
+
+    @staticmethod
+    def terms_of(glossary: MofElement) -> List[MofElement]:
+        return [element for element in glossary.refs("ownedElement")
+                if element.class_name == "Term"]

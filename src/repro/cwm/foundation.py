@@ -1,0 +1,97 @@
+"""CWM Core (foundation) package.
+
+The abstract backbone every other CWM package extends: Element,
+ModelElement (named things), Namespace (owners), Package and Classifier
+with Features — a faithful trimming of the CWM Core class diagram.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mof.kernel import MetaAttribute, MetaClass, MetaReference
+
+
+def foundation_classes() -> List[MetaClass]:
+    """The metaclasses of the CWM Core package."""
+    return [
+        MetaClass("Element", abstract=True),
+        MetaClass(
+            "ModelElement",
+            superclass="Element",
+            abstract=True,
+            attributes=[
+                MetaAttribute("name", "string", required=True),
+                MetaAttribute("description", "string"),
+                MetaAttribute("visibility", "string", default="public"),
+            ],
+        ),
+        MetaClass(
+            "Namespace",
+            superclass="ModelElement",
+            abstract=True,
+            references=[
+                MetaReference("ownedElement", "ModelElement",
+                              many=True, composite=True),
+            ],
+        ),
+        MetaClass("Package", superclass="Namespace"),
+        MetaClass(
+            "Classifier",
+            superclass="Namespace",
+            abstract=True,
+            references=[
+                MetaReference("feature", "Feature",
+                              many=True, composite=True),
+            ],
+        ),
+        MetaClass(
+            "Feature",
+            superclass="ModelElement",
+            abstract=True,
+        ),
+        MetaClass(
+            "Attribute",
+            superclass="Feature",
+            attributes=[
+                MetaAttribute("type", "string"),
+            ],
+        ),
+        MetaClass(
+            "DataType",
+            superclass="Classifier",
+            attributes=[
+                MetaAttribute("typeCode", "string"),
+            ],
+        ),
+        MetaClass(
+            "Expression",
+            superclass="Element",
+            attributes=[
+                MetaAttribute("body", "string", required=True),
+                MetaAttribute("language", "string", default="sql"),
+            ],
+        ),
+        MetaClass(
+            "Dependency",
+            superclass="ModelElement",
+            attributes=[
+                MetaAttribute("kind", "string"),
+            ],
+            references=[
+                MetaReference("client", "ModelElement", many=True),
+                MetaReference("supplier", "ModelElement", many=True),
+            ],
+        ),
+        MetaClass(
+            "TaggedValue",
+            superclass="Element",
+            attributes=[
+                MetaAttribute("tag", "string", required=True),
+                MetaAttribute("value", "string"),
+            ],
+            references=[
+                MetaReference("modelElement", "ModelElement"),
+            ],
+        ),
+    ]

@@ -1,0 +1,166 @@
+"""CWM OLAP (multidimensional) package: cubes, dimensions, hierarchies."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.mof.kernel import (
+    MetaAttribute,
+    MetaClass,
+    MetaReference,
+    ModelExtent,
+    MofElement,
+)
+
+
+def multidim_classes() -> List[MetaClass]:
+    """The metaclasses of the CWM OLAP package."""
+    return [
+        MetaClass("OlapSchema", superclass="Package"),
+        MetaClass(
+            "Cube",
+            superclass="Classifier",
+            attributes=[
+                MetaAttribute("isVirtual", "boolean", default=False),
+            ],
+            references=[
+                MetaReference("olapSchema", "OlapSchema"),
+                MetaReference("cubeDimensionAssociation",
+                              "CubeDimensionAssociation",
+                              many=True, composite=True),
+                MetaReference("factTable", "Table"),
+            ],
+        ),
+        MetaClass(
+            "Dimension",
+            superclass="Classifier",
+            attributes=[
+                MetaAttribute("isTime", "boolean", default=False),
+                MetaAttribute("isMeasure", "boolean", default=False),
+            ],
+            references=[
+                MetaReference("olapSchema", "OlapSchema"),
+                MetaReference("hierarchy", "Hierarchy",
+                              many=True, composite=True),
+                MetaReference("dimensionTable", "Table"),
+            ],
+        ),
+        MetaClass(
+            "Hierarchy",
+            superclass="ModelElement",
+            references=[
+                MetaReference("level", "Level", many=True,
+                              composite=True),
+            ],
+        ),
+        MetaClass(
+            "Level",
+            superclass="ModelElement",
+            attributes=[
+                MetaAttribute("ordinal", "integer", default=0),
+            ],
+            references=[
+                MetaReference("keyColumn", "Column"),
+            ],
+        ),
+        MetaClass(
+            "Measure",
+            superclass="Feature",
+            attributes=[
+                MetaAttribute("aggregator", "string", default="sum"),
+            ],
+            references=[
+                MetaReference("column", "Column"),
+            ],
+        ),
+        MetaClass(
+            "CubeDimensionAssociation",
+            superclass="ModelElement",
+            references=[
+                MetaReference("dimension", "Dimension", required=True),
+                MetaReference("foreignKeyColumn", "Column"),
+            ],
+        ),
+    ]
+
+
+class OlapBuilder:
+    """Ergonomic construction of CWM OLAP models in an extent."""
+
+    def __init__(self, extent: ModelExtent):
+        self.extent = extent
+
+    def olap_schema(self, name: str) -> MofElement:
+        return self.extent.create("OlapSchema", name=name)
+
+    def cube(self, schema: MofElement, name: str,
+             fact_table: Optional[MofElement] = None) -> MofElement:
+        cube = self.extent.create("Cube", name=name)
+        cube.link("olapSchema", schema)
+        schema.link("ownedElement", cube)
+        if fact_table is not None:
+            cube.link("factTable", fact_table)
+        return cube
+
+    def dimension(self, schema: MofElement, name: str,
+                  is_time: bool = False,
+                  dimension_table: Optional[MofElement] = None) \
+            -> MofElement:
+        dimension = self.extent.create(
+            "Dimension", name=name, isTime=is_time)
+        dimension.link("olapSchema", schema)
+        schema.link("ownedElement", dimension)
+        if dimension_table is not None:
+            dimension.link("dimensionTable", dimension_table)
+        return dimension
+
+    def hierarchy(self, dimension: MofElement, name: str,
+                  level_names: Sequence[str] = ()) -> MofElement:
+        hierarchy = self.extent.create("Hierarchy", name=name)
+        dimension.link("hierarchy", hierarchy)
+        for ordinal, level_name in enumerate(level_names):
+            level = self.extent.create(
+                "Level", name=level_name, ordinal=ordinal)
+            hierarchy.link("level", level)
+        return hierarchy
+
+    def measure(self, cube: MofElement, name: str,
+                aggregator: str = "sum",
+                column: Optional[MofElement] = None) -> MofElement:
+        measure = self.extent.create(
+            "Measure", name=name, aggregator=aggregator)
+        cube.link("feature", measure)
+        if column is not None:
+            measure.link("column", column)
+        return measure
+
+    def associate(self, cube: MofElement, dimension: MofElement,
+                  foreign_key_column: Optional[MofElement] = None) \
+            -> MofElement:
+        association = self.extent.create(
+            "CubeDimensionAssociation",
+            name=f"{cube.name}-{dimension.name}")
+        association.link("dimension", dimension)
+        if foreign_key_column is not None:
+            association.link("foreignKeyColumn", foreign_key_column)
+        cube.link("cubeDimensionAssociation", association)
+        return association
+
+    # -- introspection --------------------------------------------------------------
+
+    @staticmethod
+    def dimensions_of(cube: MofElement) -> List[MofElement]:
+        return [association.ref("dimension")
+                for association in cube.refs("cubeDimensionAssociation")]
+
+    @staticmethod
+    def measures_of(cube: MofElement) -> List[MofElement]:
+        return [feature for feature in cube.refs("feature")
+                if feature.class_name == "Measure"]
+
+    @staticmethod
+    def levels_of(dimension: MofElement) -> List[MofElement]:
+        levels: List[MofElement] = []
+        for hierarchy in dimension.refs("hierarchy"):
+            levels.extend(hierarchy.refs("level"))
+        return sorted(levels, key=lambda level: level.get("ordinal") or 0)

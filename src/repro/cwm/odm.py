@@ -1,0 +1,251 @@
+"""ODM — the Ontology Definition Metamodel (paper future work).
+
+"The Ontology Definition Metamodel is proposed to design some models
+presented as ontology, used to solve the semantic schemas integration
+and the semantic data integration problems" (paper §3.2; listed as a
+planned extension in §3.3).  This module implements that extension: an
+OWL-flavoured metamodel package plus a semantic matcher that uses
+ontology synonym/equivalence knowledge to propose column mappings
+between heterogeneous relational schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cwm.relational import RelationalBuilder
+from repro.mof.kernel import (
+    MetaAttribute,
+    MetaClass,
+    MetaReference,
+    ModelExtent,
+    MofElement,
+)
+
+
+def odm_classes() -> List[MetaClass]:
+    """The metaclasses of the ODM package (OWL-lite flavour)."""
+    return [
+        MetaClass("Ontology", superclass="Package"),
+        MetaClass(
+            "OntClass",
+            superclass="ModelElement",
+            attributes=[
+                MetaAttribute("label", "string"),
+            ],
+            references=[
+                MetaReference("ontology", "Ontology"),
+                MetaReference("subClassOf", "OntClass", many=True),
+                MetaReference("equivalentClass", "OntClass",
+                              many=True),
+                MetaReference("synonym", "OntTerm", many=True,
+                              composite=True),
+            ],
+        ),
+        MetaClass(
+            "OntTerm",
+            superclass="ModelElement",
+            attributes=[
+                MetaAttribute("language", "string", default="en"),
+            ],
+        ),
+        MetaClass(
+            "DatatypeProperty",
+            superclass="ModelElement",
+            attributes=[
+                MetaAttribute("range", "string", default="string"),
+            ],
+            references=[
+                MetaReference("domain", "OntClass", required=True),
+            ],
+        ),
+        MetaClass(
+            "ObjectProperty",
+            superclass="ModelElement",
+            references=[
+                MetaReference("domain", "OntClass", required=True),
+                MetaReference("rangeClass", "OntClass", required=True),
+            ],
+        ),
+        MetaClass(
+            "Individual",
+            superclass="ModelElement",
+            references=[
+                MetaReference("classifiedBy", "OntClass",
+                              required=True),
+            ],
+        ),
+    ]
+
+
+class OdmBuilder:
+    """Ergonomic construction of ODM ontologies in a CWM extent."""
+
+    def __init__(self, extent: ModelExtent):
+        self.extent = extent
+
+    def ontology(self, name: str) -> MofElement:
+        return self.extent.create("Ontology", name=name)
+
+    def ont_class(self, ontology: MofElement, name: str,
+                  synonyms: Sequence[str] = (),
+                  label: Optional[str] = None) -> MofElement:
+        ont_class = self.extent.create(
+            "OntClass", name=name, label=label or name)
+        ont_class.link("ontology", ontology)
+        ontology.link("ownedElement", ont_class)
+        for synonym in synonyms:
+            term = self.extent.create("OntTerm", name=synonym)
+            ont_class.link("synonym", term)
+        return ont_class
+
+    def subclass(self, child: MofElement,
+                 parent: MofElement) -> MofElement:
+        child.link("subClassOf", parent)
+        return child
+
+    def equivalent(self, first: MofElement,
+                   second: MofElement) -> None:
+        first.link("equivalentClass", second)
+        second.link("equivalentClass", first)
+
+    def datatype_property(self, domain: MofElement, name: str,
+                          range_type: str = "string") -> MofElement:
+        prop = self.extent.create(
+            "DatatypeProperty", name=name, range=range_type)
+        prop.link("domain", domain)
+        return prop
+
+    def object_property(self, domain: MofElement, name: str,
+                        range_class: MofElement) -> MofElement:
+        prop = self.extent.create("ObjectProperty", name=name)
+        prop.link("domain", domain)
+        prop.link("rangeClass", range_class)
+        return prop
+
+    def individual(self, ont_class: MofElement,
+                   name: str) -> MofElement:
+        individual = self.extent.create("Individual", name=name)
+        individual.link("classifiedBy", ont_class)
+        return individual
+
+    # -- vocabulary lookups --------------------------------------------------------
+
+    def vocabulary_of(self, ont_class: MofElement) -> Set[str]:
+        """All names under which this concept is known (lowercased),
+        including synonyms and equivalent classes' vocabularies."""
+        names: Set[str] = set()
+        stack = [ont_class]
+        seen: Set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current.element_id in seen:
+                continue
+            seen.add(current.element_id)
+            if current.name:
+                names.add(current.name.lower())
+            label = current.get("label")
+            if label:
+                names.add(label.lower())
+            for term in current.refs("synonym"):
+                if term.name:
+                    names.add(term.name.lower())
+            stack.extend(current.refs("equivalentClass"))
+        return names
+
+
+@dataclass
+class ColumnMatch:
+    """A proposed source→target column mapping."""
+
+    source_column: str
+    target_column: str
+    reason: str  # 'exact-name' | 'ontology-synonym' | 'ontology-equivalence'
+    concept: Optional[str] = None
+
+    @property
+    def confidence(self) -> float:
+        return {"exact-name": 1.0,
+                "ontology-synonym": 0.9,
+                "ontology-equivalence": 0.8}[self.reason]
+
+
+class SemanticMatcher:
+    """Proposes column mappings between two tables using an ontology.
+
+    The matcher resolves each column name against the ontology's
+    concept vocabularies (name + label + synonyms + equivalent
+    classes); two columns naming the same concept are proposed as a
+    mapping even when their spellings differ.
+    """
+
+    def __init__(self, odm: OdmBuilder):
+        self.odm = odm
+        self._concept_index: Dict[str, MofElement] = {}
+        for ont_class in odm.extent.instances_of("OntClass"):
+            for word in odm.vocabulary_of(ont_class):
+                self._concept_index.setdefault(word, ont_class)
+
+    def concept_for(self, column_name: str) -> Optional[MofElement]:
+        return self._concept_index.get(column_name.lower())
+
+    def match_tables(self, source_table: MofElement,
+                     target_table: MofElement) -> List[ColumnMatch]:
+        """Column-mapping proposals, highest confidence first."""
+        source_columns = [column.name for column
+                          in RelationalBuilder.columns_of(source_table)]
+        target_columns = [column.name for column
+                          in RelationalBuilder.columns_of(target_table)]
+        matches: List[ColumnMatch] = []
+        claimed_targets: Set[str] = set()
+
+        # Pass 1: exact (case-insensitive) name equality.
+        target_by_lower = {name.lower(): name
+                           for name in target_columns}
+        for source in source_columns:
+            target = target_by_lower.get(source.lower())
+            if target is not None and target not in claimed_targets:
+                matches.append(ColumnMatch(source, target,
+                                           "exact-name"))
+                claimed_targets.add(target)
+
+        # Pass 2: shared ontology concept (synonyms + equivalences).
+        matched_sources = {match.source_column for match in matches}
+        for source in source_columns:
+            if source in matched_sources:
+                continue
+            source_concept = self.concept_for(source)
+            if source_concept is None:
+                continue
+            source_vocabulary = self.odm.vocabulary_of(source_concept)
+            for target in target_columns:
+                if target in claimed_targets:
+                    continue
+                if target.lower() in source_vocabulary:
+                    same_class = self.concept_for(target) \
+                        is source_concept
+                    matches.append(ColumnMatch(
+                        source, target,
+                        "ontology-synonym" if same_class
+                        else "ontology-equivalence",
+                        concept=source_concept.name))
+                    claimed_targets.add(target)
+                    break
+        matches.sort(key=lambda match: -match.confidence)
+        return matches
+
+    def unmatched_columns(self, source_table: MofElement,
+                          target_table: MofElement) \
+            -> Tuple[List[str], List[str]]:
+        """Columns no proposal covers — the manual-mapping worklist."""
+        matches = self.match_tables(source_table, target_table)
+        matched_sources = {match.source_column for match in matches}
+        matched_targets = {match.target_column for match in matches}
+        sources = [column.name for column
+                   in RelationalBuilder.columns_of(source_table)
+                   if column.name not in matched_sources]
+        targets = [column.name for column
+                   in RelationalBuilder.columns_of(target_table)
+                   if column.name not in matched_targets]
+        return sources, targets

@@ -1,0 +1,215 @@
+"""CWM Relational package: catalogs, schemas, tables, columns, keys."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ModelConstraintError
+from repro.mof.kernel import (
+    MetaAttribute,
+    MetaClass,
+    MetaReference,
+    ModelExtent,
+    MofElement,
+)
+
+
+def relational_classes() -> List[MetaClass]:
+    """The metaclasses of the CWM Relational package."""
+    return [
+        MetaClass("Catalog", superclass="Package"),
+        MetaClass(
+            "Schema",
+            superclass="Package",
+            references=[
+                MetaReference("catalog", "Catalog"),
+            ],
+        ),
+        MetaClass(
+            "ColumnSet",
+            superclass="Classifier",
+            abstract=True,
+        ),
+        MetaClass(
+            "Table",
+            superclass="ColumnSet",
+            attributes=[
+                MetaAttribute("isTemporary", "boolean", default=False),
+            ],
+            references=[
+                MetaReference("schema", "Schema"),
+            ],
+        ),
+        MetaClass(
+            "View",
+            superclass="ColumnSet",
+            attributes=[
+                MetaAttribute("queryText", "string"),
+            ],
+            references=[
+                MetaReference("schema", "Schema"),
+            ],
+        ),
+        MetaClass(
+            "Column",
+            superclass="Attribute",
+            attributes=[
+                MetaAttribute("sqlType", "string", required=True),
+                MetaAttribute("isNullable", "boolean", default=True),
+                MetaAttribute("length", "integer"),
+                MetaAttribute("precision", "integer"),
+            ],
+        ),
+        MetaClass(
+            "UniqueConstraint",
+            superclass="ModelElement",
+            references=[
+                MetaReference("feature", "Column", many=True,
+                              required=True),
+            ],
+        ),
+        MetaClass(
+            "PrimaryKey",
+            superclass="UniqueConstraint",
+        ),
+        MetaClass(
+            "ForeignKey",
+            superclass="ModelElement",
+            references=[
+                MetaReference("feature", "Column", many=True,
+                              required=True),
+                MetaReference("uniqueKey", "UniqueConstraint",
+                              required=True),
+            ],
+        ),
+        MetaClass(
+            "SQLIndex",
+            superclass="ModelElement",
+            attributes=[
+                MetaAttribute("isUnique", "boolean", default=False),
+            ],
+            references=[
+                MetaReference("spannedClass", "Table", required=True),
+                MetaReference("indexedFeature", "Column", many=True,
+                              required=True),
+            ],
+        ),
+    ]
+
+
+class RelationalBuilder:
+    """Ergonomic construction of CWM Relational models in an extent."""
+
+    def __init__(self, extent: ModelExtent):
+        self.extent = extent
+
+    def catalog(self, name: str) -> MofElement:
+        return self.extent.create("Catalog", name=name)
+
+    def schema(self, name: str,
+               catalog: Optional[MofElement] = None) -> MofElement:
+        schema = self.extent.create("Schema", name=name)
+        if catalog is not None:
+            schema.link("catalog", catalog)
+            catalog.link("ownedElement", schema)
+        return schema
+
+    def table(self, schema: MofElement, name: str) -> MofElement:
+        table = self.extent.create("Table", name=name)
+        table.link("schema", schema)
+        schema.link("ownedElement", table)
+        return table
+
+    def column(self, table: MofElement, name: str, sql_type: str,
+               nullable: bool = True,
+               length: Optional[int] = None) -> MofElement:
+        column = self.extent.create(
+            "Column", name=name, sqlType=sql_type, isNullable=nullable)
+        if length is not None:
+            column.set("length", length)
+        table.link("feature", column)
+        return column
+
+    def primary_key(self, table: MofElement, name: str,
+                    columns: Sequence[MofElement]) -> MofElement:
+        key = self.extent.create("PrimaryKey", name=name)
+        for column in columns:
+            self._require_owned(table, column)
+            key.link("feature", column)
+        table.link("ownedElement", key)
+        return key
+
+    def foreign_key(self, table: MofElement, name: str,
+                    columns: Sequence[MofElement],
+                    target_key: MofElement) -> MofElement:
+        key = self.extent.create("ForeignKey", name=name)
+        for column in columns:
+            self._require_owned(table, column)
+            key.link("feature", column)
+        key.link("uniqueKey", target_key)
+        table.link("ownedElement", key)
+        return key
+
+    def index(self, table: MofElement, name: str,
+              columns: Sequence[MofElement],
+              unique: bool = False) -> MofElement:
+        index = self.extent.create("SQLIndex", name=name, isUnique=unique)
+        index.link("spannedClass", table)
+        for column in columns:
+            self._require_owned(table, column)
+            index.link("indexedFeature", column)
+        return index
+
+    @staticmethod
+    def _require_owned(table: MofElement, column: MofElement) -> None:
+        if column not in table.refs("feature"):
+            raise ModelConstraintError(
+                f"column {column.name!r} does not belong to "
+                f"table {table.name!r}")
+
+    # -- introspection ------------------------------------------------------------
+
+    @staticmethod
+    def columns_of(table: MofElement) -> List[MofElement]:
+        return table.refs("feature")
+
+    @staticmethod
+    def tables_of(schema: MofElement) -> List[MofElement]:
+        return [element for element in schema.refs("ownedElement")
+                if element.class_name == "Table"]
+
+    @staticmethod
+    def primary_key_of(table: MofElement) -> Optional[MofElement]:
+        for element in table.refs("ownedElement"):
+            if element.class_name == "PrimaryKey":
+                return element
+        return None
+
+    @staticmethod
+    def foreign_keys_of(table: MofElement) -> List[MofElement]:
+        return [element for element in table.refs("ownedElement")
+                if element.class_name == "ForeignKey"]
+
+
+def reflect_physical_table(extent: ModelExtent, database,
+                           table_name: str,
+                           schema_name: str = "reflected") -> MofElement:
+    """Reverse-engineer a physical engine table into CWM elements.
+
+    Creates (or reuses) a Schema named ``schema_name`` in ``extent``
+    and populates a Table element with one Column per physical column —
+    the bridge the semantic matcher uses to reason about live schemas.
+    """
+    builder = RelationalBuilder(extent)
+    schema = extent.find_by_name("Schema", schema_name)
+    if schema is None:
+        schema = builder.schema(schema_name)
+    existing = extent.find_by_name("Table", table_name)
+    if existing is not None:
+        return existing
+    physical = database.storage(table_name).schema
+    table = builder.table(schema, table_name)
+    for column in physical.columns:
+        builder.column(table, column.name, column.type.value,
+                       nullable=column.nullable)
+    return table

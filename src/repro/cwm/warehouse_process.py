@@ -1,0 +1,110 @@
+"""CWM Warehouse Process package: scheduled warehouse operations.
+
+Describes *when and how* transformation activities run — the metadata
+behind the integration service's job scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mof.kernel import (
+    MetaAttribute,
+    MetaClass,
+    MetaReference,
+    ModelExtent,
+    MofElement,
+)
+
+
+def warehouse_process_classes() -> List[MetaClass]:
+    """The metaclasses of the CWM Warehouse Process package."""
+    return [
+        MetaClass(
+            "WarehouseProcess",
+            superclass="ModelElement",
+            references=[
+                MetaReference("activity", "TransformationActivity"),
+                MetaReference("event", "WarehouseEvent", many=True,
+                              composite=True),
+            ],
+        ),
+        MetaClass(
+            "WarehouseEvent",
+            superclass="ModelElement",
+            abstract=True,
+        ),
+        MetaClass(
+            "ScheduleEvent",
+            superclass="WarehouseEvent",
+            attributes=[
+                MetaAttribute("frequency", "string", required=True),
+                MetaAttribute("startTime", "string"),
+            ],
+        ),
+        MetaClass(
+            "CascadeEvent",
+            superclass="WarehouseEvent",
+            references=[
+                MetaReference("triggeringProcess", "WarehouseProcess",
+                              required=True),
+            ],
+        ),
+        MetaClass(
+            "ProcessExecution",
+            superclass="ModelElement",
+            attributes=[
+                MetaAttribute("status", "string", default="pending"),
+                MetaAttribute("startedAt", "string"),
+                MetaAttribute("finishedAt", "string"),
+                MetaAttribute("rowsProcessed", "integer", default=0),
+            ],
+            references=[
+                MetaReference("process", "WarehouseProcess",
+                              required=True),
+            ],
+        ),
+    ]
+
+
+class WarehouseProcessBuilder:
+    """Ergonomic construction of CWM Warehouse Process models."""
+
+    def __init__(self, extent: ModelExtent):
+        self.extent = extent
+
+    def process(self, name: str,
+                activity: Optional[MofElement] = None) -> MofElement:
+        process = self.extent.create("WarehouseProcess", name=name)
+        if activity is not None:
+            process.link("activity", activity)
+        return process
+
+    def schedule(self, process: MofElement, frequency: str,
+                 start_time: Optional[str] = None) -> MofElement:
+        event = self.extent.create(
+            "ScheduleEvent",
+            name=f"{process.name}-schedule",
+            frequency=frequency)
+        if start_time is not None:
+            event.set("startTime", start_time)
+        process.link("event", event)
+        return event
+
+    def cascade(self, process: MofElement,
+                triggered_by: MofElement) -> MofElement:
+        event = self.extent.create(
+            "CascadeEvent", name=f"{process.name}-cascade")
+        event.link("triggeringProcess", triggered_by)
+        process.link("event", event)
+        return event
+
+    def execution(self, process: MofElement, status: str = "pending") \
+            -> MofElement:
+        count = len(self.extent.instances_of("ProcessExecution"))
+        execution = self.extent.create(
+            "ProcessExecution",
+            name=f"{process.name}-run-{count + 1}",
+            status=status)
+        execution.link("process", process)
+        return execution

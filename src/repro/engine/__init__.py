@@ -1,0 +1,33 @@
+"""Embedded relational database engine.
+
+This package is the reproduction's stand-in for PostgreSQL in the ODBIS
+technical-resources layer (paper Fig. 5).  It implements a useful subset
+of SQL end-to-end: a tokenizer and recursive-descent parser, a logical
+planner, an iterator-model executor, hash and sorted indexes, and
+undo-log transactions — all against an in-memory row store with optional
+snapshot persistence.
+
+Quickstart::
+
+    from repro.engine import Database
+
+    db = Database("demo")
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT)")
+    db.execute("INSERT INTO t (id, name) VALUES (?, ?)", (1, "ada"))
+    rows = db.query("SELECT name FROM t WHERE id = 1")
+    assert rows[0]["name"] == "ada"
+"""
+
+from repro.engine.database import Connection, Database, ResultSet
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.types import SqlType
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Connection",
+    "Database",
+    "ResultSet",
+    "SqlType",
+    "TableSchema",
+]

@@ -1,0 +1,275 @@
+"""The :class:`Database` facade: the public entry point of the engine.
+
+A Database owns the catalog, the per-table storages and the statement
+cache, and exposes ``execute``/``query`` plus explicit transactions.
+Connections are thin cursors over one database, mirroring the way the
+ODBIS data layer hands JDBC-style connections to the services above it.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.engine.executor import Executor, ResultSet
+from repro.engine.parser import SelectStatement, TransactionStatement, parse_sql
+from repro.engine.schema import Catalog, TableSchema
+from repro.engine.storage import TableStorage
+from repro.engine.transactions import Transaction
+from repro.errors import CatalogError, EngineError, TransactionError
+
+
+class Database:
+    """An embedded SQL database.
+
+    Thread-unsafe by design (each tenant/service gets its own handle in
+    ODBIS).  Statements are parsed once and cached by SQL text.
+    """
+
+    def __init__(self, name: str = "main"):
+        self.name = name
+        self.catalog = Catalog()
+        self._storages: Dict[str, TableStorage] = {}
+        self.views: Dict[str, Any] = {}  # name -> SelectStatement
+        self._executor = Executor(self)
+        self._transaction: Optional[Transaction] = None
+        self._statement_cache: Dict[str, Any] = {}
+        self.statistics = {"statements": 0, "rows_returned": 0}
+
+    def __repr__(self) -> str:
+        return f"<Database {self.name!r} tables={self.catalog.table_names()}>"
+
+    # -- storage management ------------------------------------------------------
+
+    def create_storage(self, schema: TableSchema) -> TableStorage:
+        if schema.name.lower() in self.views:
+            raise CatalogError(
+                f"a view named {schema.name!r} already exists")
+        self.catalog.add_table(schema)
+        storage = TableStorage(schema)
+        self._storages[schema.name.lower()] = storage
+        self.record_undo(("create_table", schema.name))
+        return storage
+
+    def drop_storage(self, name: str, record: bool = True) -> None:
+        self.catalog.drop_table(name)
+        storage = self._storages.pop(name.lower())
+        if record:
+            self.record_undo(("drop_table", name, storage))
+
+    def attach_storage(self, storage: TableStorage) -> None:
+        """Re-attach a previously dropped storage (transaction rollback)."""
+        self.catalog.add_table(storage.schema)
+        self._storages[storage.schema.name.lower()] = storage
+
+    def storage(self, name: str) -> TableStorage:
+        storage = self._storages.get(name.lower())
+        if storage is None:
+            raise CatalogError(f"no such table: {name!r}")
+        return storage
+
+    def table_names(self) -> List[str]:
+        return self.catalog.table_names()
+
+    def view_names(self) -> List[str]:
+        return sorted(self.views)
+
+    def row_count(self, table: str) -> int:
+        return len(self.storage(table))
+
+    # -- statement execution ------------------------------------------------------
+
+    def _parse(self, sql: str):
+        statement = self._statement_cache.get(sql)
+        if statement is None:
+            statement = parse_sql(sql)
+            self._statement_cache[sql] = statement
+        return statement
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
+        """Run any statement.
+
+        Returns a :class:`ResultSet` for SELECT, the affected row count
+        for DML, and 0 for DDL and transaction control.
+        """
+        statement = self._parse(sql)
+        self.statistics["statements"] += 1
+        if isinstance(statement, TransactionStatement):
+            return self._execute_transaction(statement.action)
+        result = self._executor.execute(statement, tuple(params))
+        if isinstance(result, ResultSet):
+            self.statistics["rows_returned"] += len(result)
+        return result
+
+    def query(self, sql: str, params: Sequence[Any] = ()) \
+            -> List[Dict[str, Any]]:
+        """Run a SELECT and return its rows as dictionaries."""
+        result = self.execute(sql, params)
+        if not isinstance(result, ResultSet):
+            raise EngineError("query() requires a SELECT statement")
+        return result.to_dicts()
+
+    def query_value(self, sql: str, params: Sequence[Any] = ()) -> Any:
+        """Run a SELECT that yields exactly one value and return it."""
+        result = self.execute(sql, params)
+        if not isinstance(result, ResultSet):
+            raise EngineError("query_value() requires a SELECT statement")
+        return result.scalar()
+
+    def executemany(self, sql: str,
+                    param_rows: Sequence[Sequence[Any]]) -> int:
+        """Run one parameterized DML statement for each parameter row."""
+        total = 0
+        for params in param_rows:
+            result = self.execute(sql, params)
+            if isinstance(result, int):
+                total += result
+        return total
+
+    # -- transactions ----------------------------------------------------------------
+
+    def _execute_transaction(self, action: str) -> int:
+        if action == "BEGIN":
+            self.begin()
+        elif action == "COMMIT":
+            self.commit()
+        else:
+            self.rollback()
+        return 0
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._transaction is not None and self._transaction.active
+
+    def begin(self) -> None:
+        if self.in_transaction:
+            raise TransactionError("transaction already in progress")
+        self._transaction = Transaction()
+
+    def commit(self) -> None:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        self._transaction.commit()
+        self._transaction = None
+
+    def rollback(self) -> None:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        self._transaction.rollback(self)
+        self._transaction = None
+
+    def record_undo(self, entry) -> None:
+        if self.in_transaction:
+            self._transaction.record(entry)
+
+    def transaction(self) -> "_TransactionScope":
+        """Context manager: commit on success, roll back on exception."""
+        return _TransactionScope(self)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Snapshot the whole database to ``path``."""
+        if self.in_transaction:
+            raise TransactionError("cannot snapshot during a transaction")
+        payload = {
+            "name": self.name,
+            "views": dict(self.views),
+            "tables": [
+                {
+                    "schema": storage.schema,
+                    "rows": storage.rows,
+                    "next_rowid": storage._next_rowid,
+                    "indexes": [
+                        (index.name, index.column_names, index.unique)
+                        for index in storage.indexes.values()
+                    ],
+                }
+                for storage in self._storages.values()
+            ],
+        }
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Database":
+        """Restore a database from a snapshot produced by :meth:`save`."""
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        database = cls(payload["name"])
+        for entry in payload["tables"]:
+            schema: TableSchema = entry["schema"]
+            database.catalog.add_table(schema)
+            storage = TableStorage(schema)
+            storage.indexes.clear()
+            storage.rows = dict(entry["rows"])
+            storage._next_rowid = entry["next_rowid"]
+            for index_name, column_names, unique in entry["indexes"]:
+                storage.add_index(index_name, column_names, unique=unique)
+            database._storages[schema.name.lower()] = storage
+        database.views.update(payload.get("views", {}))
+        return database
+
+
+class _TransactionScope:
+    def __init__(self, database: Database):
+        self._db = database
+
+    def __enter__(self) -> Database:
+        self._db.begin()
+        return self._db
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._db.commit()
+        else:
+            self._db.rollback()
+        return False
+
+
+class Connection:
+    """A lightweight DB-API-flavoured cursor over a Database.
+
+    The ODBIS persistence layer (``repro.orm``) talks to the engine
+    through this class, mirroring how Hibernate sits on JDBC.
+    """
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.closed = False
+
+    def _check(self) -> None:
+        if self.closed:
+            raise EngineError("connection is closed")
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
+        self._check()
+        return self.database.execute(sql, params)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) \
+            -> List[Dict[str, Any]]:
+        self._check()
+        return self.database.query(sql, params)
+
+    def begin(self) -> None:
+        self._check()
+        self.database.begin()
+
+    def commit(self) -> None:
+        self._check()
+        self.database.commit()
+
+    def rollback(self) -> None:
+        self._check()
+        self.database.rollback()
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

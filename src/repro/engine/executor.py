@@ -1,0 +1,736 @@
+"""Iterator-model execution of parsed SQL statements.
+
+The executor walks the statement AST produced by :mod:`repro.engine.parser`
+and runs it against the table storages.  Joins are left-deep; equality
+joins are executed as hash joins, everything else as nested loops.
+Single-table equality predicates use a matching hash index when present.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.expressions import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    EvalContext,
+    Expression,
+    Literal,
+    Parameter,
+    Star,
+    _expr_text,
+    find_aggregates,
+)
+from repro.engine.parser import (
+    AlterTableAddColumn,
+    CompoundSelect,
+    CreateTableAsStatement,
+    CreateIndexStatement,
+    CreateViewStatement,
+    DropViewStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    InsertStatement,
+    Join,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+    UpdateStatement,
+)
+from repro.engine.schema import TableSchema
+from repro.engine.types import sort_key
+from repro.errors import CatalogError, EngineError
+
+_AMBIGUOUS = object()
+
+
+class ResultSet:
+    """A fully materialized query result."""
+
+    def __init__(self, columns: List[str], rows: List[tuple]):
+        self.columns = columns
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        for row in self.rows:
+            yield dict(zip(self.columns, row))
+
+    def __repr__(self) -> str:
+        return f"<ResultSet {len(self.rows)} rows x {self.columns}>"
+
+    def first(self) -> Optional[Dict[str, Any]]:
+        if not self.rows:
+            return None
+        return dict(zip(self.columns, self.rows[0]))
+
+    def scalar(self) -> Any:
+        """The single value of a one-row one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise EngineError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}")
+        return self.rows[0][0]
+
+    def column(self, name: str) -> List[Any]:
+        try:
+            position = self.columns.index(name)
+        except ValueError as exc:
+            raise EngineError(f"result has no column {name!r}") from exc
+        return [row[position] for row in self.rows]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class _Source:
+    """One resolved FROM-clause table: alias, schema and storage."""
+
+    def __init__(self, alias: str, schema: TableSchema, storage):
+        self.alias = alias
+        self.schema = schema
+        self.storage = storage
+
+    def contexts(self) -> Iterable[Dict[str, Any]]:
+        for rowid, row in self.storage.scan():
+            yield self.row_context(rowid, row)
+
+    def row_context(self, rowid: int, row: List[Any]) -> Dict[str, Any]:
+        values: Dict[str, Any] = {"__rowid_" + self.alias.lower(): rowid}
+        alias = self.alias.lower()
+        for column, value in zip(self.schema.columns, row):
+            name = column.name.lower()
+            values[f"{alias}.{name}"] = value
+            values[name] = value
+        return values
+
+    def null_context(self) -> Dict[str, Any]:
+        values: Dict[str, Any] = {"__rowid_" + self.alias.lower(): None}
+        alias = self.alias.lower()
+        for column in self.schema.columns:
+            name = column.name.lower()
+            values[f"{alias}.{name}"] = None
+            values[name] = None
+        return values
+
+
+def _merge_contexts(left: Dict[str, Any],
+                    right: Dict[str, Any]) -> Dict[str, Any]:
+    merged = dict(left)
+    for key, value in right.items():
+        if "." in key or key.startswith("__rowid_"):
+            merged[key] = value
+        elif key in merged:
+            merged[key] = _AMBIGUOUS
+        else:
+            merged[key] = value
+    return merged
+
+
+class _PseudoColumn:
+    """Column stand-in for view outputs (star expansion only)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class _ViewSource:
+    """A FROM-clause source backed by a view's materialized output."""
+
+    def __init__(self, alias: str, column_names):
+        self.alias = alias
+        self.schema = _PseudoSchema(column_names)
+
+
+class _PseudoSchema:
+    def __init__(self, column_names):
+        self.columns = [_PseudoColumn(name) for name in column_names]
+
+    def has_column(self, name: str) -> bool:
+        target = name.lower()
+        return any(column.name.lower() == target
+                   for column in self.columns)
+
+
+class _RowContext(EvalContext):
+    """EvalContext that rejects ambiguous unqualified column names."""
+
+    def lookup(self, name: str) -> Any:
+        key = name.lower()
+        if key in self.values:
+            value = self.values[key]
+            if value is _AMBIGUOUS:
+                raise EngineError(f"ambiguous column reference {name!r}")
+            return value
+        raise EngineError(f"unknown column {name!r} in expression")
+
+
+class Executor:
+    """Executes statements against a :class:`repro.engine.database.Database`."""
+
+    def __init__(self, database):
+        self._db = database
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def execute(self, statement, params: Sequence[Any]) -> Any:
+        if isinstance(statement, SelectStatement):
+            return self.execute_select(statement, params)
+        if isinstance(statement, CompoundSelect):
+            return self._execute_compound(statement, params)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement, params)
+        if isinstance(statement, UpdateStatement):
+            return self._execute_update(statement, params)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement, params)
+        if isinstance(statement, CreateTableStatement):
+            return self._execute_create_table(statement)
+        if isinstance(statement, DropTableStatement):
+            return self._execute_drop_table(statement)
+        if isinstance(statement, CreateIndexStatement):
+            return self._execute_create_index(statement)
+        if isinstance(statement, AlterTableAddColumn):
+            self._db.storage(statement.table).add_column(statement.column)
+            return 0
+        if isinstance(statement, CreateTableAsStatement):
+            return self._execute_create_table_as(statement, params)
+        if isinstance(statement, CreateViewStatement):
+            return self._execute_create_view(statement)
+        if isinstance(statement, DropViewStatement):
+            return self._execute_drop_view(statement)
+        raise EngineError(
+            f"executor cannot handle {type(statement).__name__}")
+
+    # -- DDL ----------------------------------------------------------------------
+
+    def _execute_create_table(self, statement: CreateTableStatement) -> int:
+        if statement.if_not_exists and self._db.catalog.has_table(statement.name):
+            return 0
+        schema = TableSchema(statement.name, statement.columns)
+        self._db.create_storage(schema)
+        return 0
+
+    def _execute_drop_table(self, statement: DropTableStatement) -> int:
+        if statement.if_exists and not self._db.catalog.has_table(statement.name):
+            return 0
+        self._db.drop_storage(statement.name)
+        return 0
+
+    def _execute_create_index(self, statement: CreateIndexStatement) -> int:
+        storage = self._db.storage(statement.table)
+        storage.add_index(statement.name, statement.columns,
+                          unique=statement.unique)
+        return 0
+
+    def _execute_create_table_as(self, statement: CreateTableAsStatement,
+                                 params: Sequence[Any]) -> int:
+        """CTAS: materialize a query into a new table.
+
+        Column types are inferred from the first non-NULL value of
+        each output column (TEXT when a column is entirely NULL).
+        """
+        import datetime
+
+        from repro.engine.schema import Column as SchemaColumn
+        from repro.engine.schema import TableSchema
+        from repro.engine.types import SqlType
+
+        if statement.if_not_exists \
+                and self._db.catalog.has_table(statement.name):
+            return 0
+        result = self.execute_select(statement.select, params)
+
+        def infer(position: int) -> SqlType:
+            for row in result.rows:
+                value = row[position]
+                if value is None:
+                    continue
+                if isinstance(value, bool):
+                    return SqlType.BOOLEAN
+                if isinstance(value, int):
+                    return SqlType.INTEGER
+                if isinstance(value, float):
+                    return SqlType.REAL
+                if isinstance(value, datetime.datetime):
+                    return SqlType.TIMESTAMP
+                if isinstance(value, datetime.date):
+                    return SqlType.DATE
+                return SqlType.TEXT
+            return SqlType.TEXT
+
+        columns = [
+            SchemaColumn(name=name, type=infer(position))
+            for position, name in enumerate(result.columns)
+        ]
+        schema = TableSchema(statement.name, columns)
+        storage = self._db.create_storage(schema)
+        count = 0
+        for row in result.rows:
+            rowid = storage.insert(list(row))
+            self._db.record_undo(
+                ("insert", schema.name, rowid, list(row)))
+            count += 1
+        return count
+
+    def _execute_create_view(self, statement: CreateViewStatement) -> int:
+        key = statement.name.lower()
+        if key in self._db.views:
+            if statement.if_not_exists:
+                return 0
+            raise CatalogError(f"view {statement.name!r} already exists")
+        if self._db.catalog.has_table(statement.name):
+            raise CatalogError(
+                f"a table named {statement.name!r} already exists")
+        # Validate the defining query eagerly so broken views fail at
+        # creation, not first use.
+        self.execute_select(statement.select, ())
+        self._db.views[key] = statement.select
+        return 0
+
+    def _execute_drop_view(self, statement: DropViewStatement) -> int:
+        key = statement.name.lower()
+        if key not in self._db.views:
+            if statement.if_exists:
+                return 0
+            raise CatalogError(f"no such view: {statement.name!r}")
+        del self._db.views[key]
+        return 0
+
+    # -- DML ----------------------------------------------------------------------
+
+    def _execute_insert(self, statement: InsertStatement,
+                        params: Sequence[Any]) -> int:
+        storage = self._db.storage(statement.table)
+        schema = storage.schema
+        columns = statement.columns or schema.column_names
+        count = 0
+        context = _RowContext({}, params)
+        for value_exprs in statement.rows:
+            if len(value_exprs) != len(columns):
+                raise EngineError(
+                    f"INSERT into {statement.table}: {len(columns)} columns "
+                    f"but {len(value_exprs)} values")
+            values = {
+                column: expr.evaluate(context)
+                for column, expr in zip(columns, value_exprs)
+            }
+            row = schema.coerce_row(values)
+            rowid = storage.insert(row)
+            self._db.record_undo(("insert", schema.name, rowid, row))
+            count += 1
+        return count
+
+    def _execute_update(self, statement: UpdateStatement,
+                        params: Sequence[Any]) -> int:
+        storage = self._db.storage(statement.table)
+        schema = storage.schema
+        source = _Source(statement.table, schema, storage)
+        count = 0
+        targets: List[Tuple[int, List[Any]]] = []
+        for rowid, row in list(storage.scan()):
+            context = _RowContext(source.row_context(rowid, row), params)
+            if statement.where is not None \
+                    and statement.where.evaluate(context) is not True:
+                continue
+            new_row = list(row)
+            for column_name, expr in statement.assignments:
+                position = schema.column_index(column_name)
+                value = expr.evaluate(context)
+                values = {column_name: value}
+                coerced = schema.coerce_row(
+                    {**dict(zip(schema.column_names, new_row)), **values})
+                new_row = coerced
+            targets.append((rowid, new_row))
+        for rowid, new_row in targets:
+            old_row = storage.update(rowid, new_row)
+            self._db.record_undo(("update", schema.name, rowid, old_row))
+            count += 1
+        return count
+
+    def _execute_delete(self, statement: DeleteStatement,
+                        params: Sequence[Any]) -> int:
+        storage = self._db.storage(statement.table)
+        source = _Source(statement.table, storage.schema, storage)
+        doomed: List[int] = []
+        for rowid, row in list(storage.scan()):
+            context = _RowContext(source.row_context(rowid, row), params)
+            if statement.where is not None \
+                    and statement.where.evaluate(context) is not True:
+                continue
+            doomed.append(rowid)
+        for rowid in doomed:
+            old_row = storage.delete(rowid)
+            self._db.record_undo(
+                ("delete", storage.schema.name, rowid, old_row))
+        return len(doomed)
+
+    # -- SELECT ---------------------------------------------------------------------
+
+    def execute_select(self, statement: SelectStatement,
+                       params: Sequence[Any]) -> ResultSet:
+        sources: List[_Source] = []
+        if statement.from_clause is None:
+            contexts: List[Dict[str, Any]] = [{}]
+        elif isinstance(statement.from_clause, TableRef) \
+                and statement.where is not None \
+                and statement.from_clause.name.lower() \
+                not in self._db.views:
+            # Single-table query: try an index-accelerated scan for an
+            # equality predicate before falling back to a full scan.
+            source = self._resolve(statement.from_clause)
+            sources.append(source)
+            indexed = self._try_index_scan(
+                source, statement.where, params)
+            if indexed is not None:
+                contexts = indexed
+            else:
+                contexts = list(source.contexts())
+        else:
+            contexts = list(
+                self._from_contexts(statement.from_clause, sources, params))
+
+        if statement.where is not None:
+            contexts = [
+                values for values in contexts
+                if statement.where.evaluate(_RowContext(values, params)) is True
+            ]
+
+        items = self._expand_stars(statement.items, sources)
+        aggregates: List[AggregateCall] = []
+        for item in items:
+            aggregates.extend(find_aggregates(item.expression))
+        if statement.having is not None:
+            aggregates.extend(find_aggregates(statement.having))
+        for expr, _asc in statement.order_by:
+            aggregates.extend(find_aggregates(expr))
+
+        grouped = bool(statement.group_by) or bool(aggregates)
+        if grouped:
+            contexts = self._group(
+                contexts, statement.group_by, aggregates, params)
+            if statement.having is not None:
+                contexts = [
+                    values for values in contexts
+                    if statement.having.evaluate(
+                        _RowContext(values, params)) is True
+                ]
+
+        columns = [self._output_name(item, index)
+                   for index, item in enumerate(items)]
+
+        # Evaluate the projection, remembering the source context of each
+        # output row so ORDER BY can reference non-projected columns.
+        produced: List[Tuple[tuple, Dict[str, Any]]] = []
+        for values in contexts:
+            context = _RowContext(values, params)
+            row = tuple(item.expression.evaluate(context) for item in items)
+            order_values = dict(values)
+            for name, value in zip(columns, row):
+                order_values.setdefault(name.lower(), value)
+            produced.append((row, order_values))
+
+        if statement.distinct:
+            seen = set()
+            unique: List[Tuple[tuple, Dict[str, Any]]] = []
+            for row, order_values in produced:
+                marker = tuple(
+                    (type(v).__name__, v) if v.__hash__ else repr(v)
+                    for v in row)
+                if marker not in seen:
+                    seen.add(marker)
+                    unique.append((row, order_values))
+            produced = unique
+
+        if statement.order_by:
+            for expr, ascending in reversed(statement.order_by):
+                produced.sort(
+                    key=lambda pair: sort_key(
+                        expr.evaluate(_RowContext(pair[1], params))),
+                    reverse=not ascending)
+
+        rows = [row for row, _ctx in produced]
+        if statement.offset is not None:
+            offset = int(statement.offset.evaluate(_RowContext({}, params)))
+            rows = rows[offset:]
+        if statement.limit is not None:
+            limit = int(statement.limit.evaluate(_RowContext({}, params)))
+            rows = rows[:limit]
+        return ResultSet(columns, rows)
+
+    def _execute_compound(self, statement: CompoundSelect,
+                          params: Sequence[Any]) -> ResultSet:
+        """UNION / UNION ALL: concatenate part results."""
+        results = [self.execute_select(part, params)
+                   for part in statement.parts]
+        width = len(results[0].columns)
+        for result in results[1:]:
+            if len(result.columns) != width:
+                raise EngineError(
+                    f"UNION parts have different column counts "
+                    f"({width} vs {len(result.columns)})")
+        rows: List[tuple] = list(results[0].rows)
+        for flag, result in zip(statement.all_flags, results[1:]):
+            rows.extend(result.rows)
+            if not flag:
+                seen = set()
+                unique: List[tuple] = []
+                for row in rows:
+                    marker = tuple(repr(value) for value in row)
+                    if marker not in seen:
+                        seen.add(marker)
+                        unique.append(row)
+                rows = unique
+        return ResultSet(results[0].columns, rows)
+
+    # -- index-accelerated scans --------------------------------------------------------
+
+    def _try_index_scan(self, source: _Source, where: Expression,
+                        params: Sequence[Any]) \
+            -> Optional[List[Dict[str, Any]]]:
+        """Candidate row contexts via an index, or None to full-scan.
+
+        Handles a top-level equality predicate ``column = constant``
+        (possibly inside an AND conjunction) where ``column`` has a
+        single-column index.  The full WHERE is still re-applied by the
+        caller, so the index only needs to be a superset filter.
+        """
+        candidates = self._find_indexable_equality(source, where, params)
+        if candidates is None:
+            return None
+        index, key = candidates
+        rowids = index.lookup((key,))
+        contexts: List[Dict[str, Any]] = []
+        for rowid in rowids:
+            row = source.storage.rows.get(rowid)
+            if row is not None:
+                contexts.append(source.row_context(rowid, row))
+        return contexts
+
+    def _find_indexable_equality(self, source: _Source,
+                                 where: Expression,
+                                 params: Sequence[Any]):
+        if isinstance(where, BinaryOp) and where.op == "AND":
+            left = self._find_indexable_equality(
+                source, where.left, params)
+            if left is not None:
+                return left
+            return self._find_indexable_equality(
+                source, where.right, params)
+        if not isinstance(where, BinaryOp) or where.op != "=":
+            return None
+        column_side, value_side = where.left, where.right
+        if not isinstance(column_side, ColumnRef):
+            column_side, value_side = where.right, where.left
+        if not isinstance(column_side, ColumnRef):
+            return None
+        if not isinstance(value_side, (Literal, Parameter)):
+            return None
+        name = column_side.name.lower()
+        if "." in name:
+            prefix, name = name.split(".", 1)
+            if prefix != source.alias.lower():
+                return None
+        if not source.schema.has_column(name):
+            return None
+        index = source.storage.find_index(name)
+        if index is None or len(index.column_names) != 1:
+            return None
+        key = value_side.evaluate(_RowContext({}, params))
+        if key is None:
+            return None
+        return index, key
+
+    # -- FROM / joins ----------------------------------------------------------------
+
+    def _resolve(self, ref: TableRef) -> Optional[_Source]:
+        storage = self._db.storage(ref.name)
+        return _Source(ref.alias, storage.schema, storage)
+
+    def _view_source(self, ref: TableRef,
+                     params: Sequence[Any]) -> "_ViewSource":
+        select = self._db.views[ref.name.lower()]
+        result = self.execute_select(select, params)
+        return _ViewSource(ref.alias, result.columns)
+
+    def _view_contexts(self, ref: TableRef,
+                       params: Sequence[Any]) -> List[Dict[str, Any]]:
+        """Materialize a view reference into row contexts."""
+        select = self._db.views[ref.name.lower()]
+        result = self.execute_select(select, params)
+        alias = ref.alias.lower()
+        contexts: List[Dict[str, Any]] = []
+        for row in result.rows:
+            values: Dict[str, Any] = {}
+            for column, value in zip(result.columns, row):
+                values[f"{alias}.{column.lower()}"] = value
+                values[column.lower()] = value
+            contexts.append(values)
+        return contexts
+
+    def _from_contexts(self, node, sources: List[_Source],
+                       params: Sequence[Any]) -> Iterable[Dict[str, Any]]:
+        if isinstance(node, TableRef):
+            if node.name.lower() in self._db.views:
+                sources.append(self._view_source(node, params))
+                return self._view_contexts(node, params)
+            source = self._resolve(node)
+            sources.append(source)
+            return source.contexts()
+        if isinstance(node, Join):
+            left_contexts = list(
+                self._from_contexts(node.left, sources, params))
+            right_source = self._resolve(node.right)
+            sources.append(right_source)
+            return self._join(
+                left_contexts, right_source, node.kind, node.condition, params)
+        raise EngineError(f"bad FROM node {node!r}")  # pragma: no cover
+
+    def _join(self, left_contexts: List[Dict[str, Any]], right: _Source,
+              kind: str, condition: Optional[Expression],
+              params: Sequence[Any]) -> Iterable[Dict[str, Any]]:
+        equi = self._equi_join_keys(condition, left_contexts, right)
+        if equi is not None and kind in ("INNER", "LEFT"):
+            yield from self._hash_join(
+                left_contexts, right, kind, equi, params)
+            return
+        right_contexts = list(right.contexts())
+        for left_values in left_contexts:
+            matched = False
+            for right_values in right_contexts:
+                merged = _merge_contexts(left_values, right_values)
+                if condition is not None:
+                    verdict = condition.evaluate(_RowContext(merged, params))
+                    if verdict is not True:
+                        continue
+                matched = True
+                yield merged
+            if kind == "LEFT" and not matched:
+                yield _merge_contexts(left_values, right.null_context())
+
+    def _equi_join_keys(self, condition: Optional[Expression],
+                        left_contexts: List[Dict[str, Any]],
+                        right: _Source):
+        """Detect ``left.col = right.col`` to enable a hash join."""
+        if not isinstance(condition, BinaryOp) or condition.op != "=":
+            return None
+        if not isinstance(condition.left, ColumnRef) \
+                or not isinstance(condition.right, ColumnRef):
+            return None
+        sample = left_contexts[0] if left_contexts else {}
+
+        def side(ref: ColumnRef) -> Optional[str]:
+            key = ref.name.lower()
+            qualified = key if "." in key else None
+            alias = right.alias.lower()
+            if qualified is not None:
+                if qualified.startswith(alias + "."):
+                    return "right"
+                return "left" if qualified in sample or not left_contexts \
+                    else None
+            if right.schema.has_column(key):
+                if key in sample:
+                    return None  # ambiguous — fall back to nested loop
+                return "right"
+            return "left"
+
+        left_side = side(condition.left)
+        right_side = side(condition.right)
+        if left_side == "left" and right_side == "right":
+            return condition.left, condition.right
+        if left_side == "right" and right_side == "left":
+            return condition.right, condition.left
+        return None
+
+    def _hash_join(self, left_contexts, right: _Source, kind: str,
+                   keys, params) -> Iterable[Dict[str, Any]]:
+        left_key_expr, right_key_expr = keys
+        buckets: Dict[Any, List[Dict[str, Any]]] = {}
+        for right_values in right.contexts():
+            key = right_key_expr.evaluate(_RowContext(right_values, params))
+            if key is None:
+                continue
+            buckets.setdefault(key, []).append(right_values)
+        for left_values in left_contexts:
+            key = left_key_expr.evaluate(_RowContext(left_values, params))
+            matches = buckets.get(key, []) if key is not None else []
+            if matches:
+                for right_values in matches:
+                    yield _merge_contexts(left_values, right_values)
+            elif kind == "LEFT":
+                yield _merge_contexts(left_values, right.null_context())
+
+    # -- grouping --------------------------------------------------------------------
+
+    def _group(self, contexts: List[Dict[str, Any]],
+               group_by: List[Expression],
+               aggregates: List[AggregateCall],
+               params: Sequence[Any]) -> List[Dict[str, Any]]:
+        groups: Dict[tuple, List[Dict[str, Any]]] = {}
+        order: List[tuple] = []
+        if group_by:
+            for values in contexts:
+                context = _RowContext(values, params)
+                key = tuple(
+                    sort_key(expr.evaluate(context)) for expr in group_by)
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(values)
+        else:
+            key = ()
+            groups[key] = list(contexts)
+            order.append(key)
+
+        unique_aggregates: Dict[str, AggregateCall] = {}
+        for aggregate in aggregates:
+            unique_aggregates.setdefault(aggregate.result_key(), aggregate)
+
+        result: List[Dict[str, Any]] = []
+        for key in order:
+            members = groups[key]
+            representative = dict(members[0]) if members else {}
+            member_contexts = [_RowContext(m, params) for m in members]
+            for slot, aggregate in unique_aggregates.items():
+                representative[slot] = aggregate.compute(member_contexts)
+            result.append(representative)
+        return result
+
+    # -- projection helpers -------------------------------------------------------------
+
+    def _expand_stars(self, items: List[SelectItem],
+                      sources: List[_Source]) -> List[SelectItem]:
+        expanded: List[SelectItem] = []
+        for item in items:
+            if not isinstance(item.expression, Star):
+                expanded.append(item)
+                continue
+            if not sources:
+                raise EngineError("SELECT * requires a FROM clause")
+            qualifier = None
+            if item.alias and item.alias.endswith(".*"):
+                qualifier = item.alias[:-2].lower()
+            for source in sources:
+                if qualifier is not None \
+                        and source.alias.lower() != qualifier:
+                    continue
+                for column in source.schema.columns:
+                    ref = ColumnRef(f"{source.alias}.{column.name}")
+                    expanded.append(SelectItem(ref, column.name))
+        return expanded
+
+    def _output_name(self, item: SelectItem, index: int) -> str:
+        if item.alias:
+            return item.alias
+        expression = item.expression
+        if isinstance(expression, ColumnRef):
+            return expression.name.split(".")[-1]
+        if isinstance(expression, AggregateCall):
+            return expression.result_key().replace("__agg_", "")
+        return f"column{index + 1}"

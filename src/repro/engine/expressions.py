@@ -1,0 +1,595 @@
+"""Expression AST and evaluator with SQL three-valued logic.
+
+Expressions are evaluated against a *row context*: a mapping from column
+names (both qualified ``alias.column`` and unqualified ``column``) to
+values, plus the positional statement parameters.  NULL is represented
+by ``None``; comparison operators propagate NULL and the boolean
+connectives implement Kleene three-valued logic.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.types import is_comparable, sort_key
+from repro.errors import EngineError, SqlSyntaxError
+
+
+class EvalContext:
+    """Everything an expression may reference during evaluation."""
+
+    __slots__ = ("values", "params")
+
+    def __init__(self, values: Dict[str, Any], params: Sequence[Any] = ()):
+        self.values = values
+        self.params = params
+
+    def lookup(self, name: str) -> Any:
+        key = name.lower()
+        if key in self.values:
+            return self.values[key]
+        raise EngineError(f"unknown column {name!r} in expression")
+
+
+class Expression:
+    """Base class for AST nodes."""
+
+    def evaluate(self, context: EvalContext) -> Any:
+        raise NotImplementedError
+
+    def column_refs(self) -> List[str]:
+        """All column names referenced beneath this node."""
+        refs: List[str] = []
+        self._collect_refs(refs)
+        return refs
+
+    def _collect_refs(self, out: List[str]) -> None:
+        pass
+
+    def contains_aggregate(self) -> bool:
+        return False
+
+
+@dataclass
+class Literal(Expression):
+    value: Any
+
+    def evaluate(self, context: EvalContext) -> Any:
+        return self.value
+
+
+@dataclass
+class Parameter(Expression):
+    index: int
+
+    def evaluate(self, context: EvalContext) -> Any:
+        try:
+            return context.params[self.index]
+        except IndexError as exc:
+            raise EngineError(
+                f"statement needs parameter #{self.index + 1} "
+                f"but only {len(context.params)} were supplied") from exc
+
+
+@dataclass
+class ColumnRef(Expression):
+    name: str
+
+    def evaluate(self, context: EvalContext) -> Any:
+        return context.lookup(self.name)
+
+    def _collect_refs(self, out: List[str]) -> None:
+        out.append(self.name)
+
+
+@dataclass
+class Star(Expression):
+    """``*`` — only valid inside COUNT(*) and SELECT lists."""
+
+    def evaluate(self, context: EvalContext) -> Any:  # pragma: no cover
+        raise EngineError("'*' cannot be evaluated as a value")
+
+
+def _three_valued_and(left: Any, right: Any) -> Any:
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def _three_valued_or(left: Any, right: Any) -> Any:
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def _compare(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    if op == "=":
+        return left == right
+    if op in ("!=", "<>"):
+        return left != right
+    if not is_comparable(left, right):
+        raise EngineError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}")
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise EngineError(f"unknown comparison operator {op!r}")  # pragma: no cover
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    if op == "||":
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise EngineError("'||' requires TEXT operands")
+        return left + right
+    if not isinstance(left, (int, float)) or isinstance(left, bool) \
+            or not isinstance(right, (int, float)) or isinstance(right, bool):
+        raise EngineError(f"arithmetic {op!r} requires numeric operands")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise EngineError("division by zero")
+        result = left / right
+        if isinstance(left, int) and isinstance(right, int) \
+                and result == int(result):
+            return int(result)
+        return result
+    if op == "%":
+        if right == 0:
+            raise EngineError("division by zero")
+        return left % right
+    raise EngineError(f"unknown arithmetic operator {op!r}")  # pragma: no cover
+
+
+@dataclass
+class BinaryOp(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, context: EvalContext) -> Any:
+        op = self.op
+        if op == "AND":
+            return _three_valued_and(
+                self.left.evaluate(context), self.right.evaluate(context))
+        if op == "OR":
+            return _three_valued_or(
+                self.left.evaluate(context), self.right.evaluate(context))
+        left = self.left.evaluate(context)
+        right = self.right.evaluate(context)
+        if op in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            return _compare(op, left, right)
+        return _arith(op, left, right)
+
+    def _collect_refs(self, out: List[str]) -> None:
+        self.left._collect_refs(out)
+        self.right._collect_refs(out)
+
+    def contains_aggregate(self) -> bool:
+        return self.left.contains_aggregate() or self.right.contains_aggregate()
+
+
+@dataclass
+class UnaryOp(Expression):
+    op: str
+    operand: Expression
+
+    def evaluate(self, context: EvalContext) -> Any:
+        value = self.operand.evaluate(context)
+        if self.op == "NOT":
+            if value is None:
+                return None
+            return not value
+        if value is None:
+            return None
+        if self.op == "-":
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise EngineError("unary '-' requires a numeric operand")
+            return -value
+        if self.op == "+":
+            return value
+        raise EngineError(f"unknown unary operator {self.op!r}")  # pragma: no cover
+
+    def _collect_refs(self, out: List[str]) -> None:
+        self.operand._collect_refs(out)
+
+    def contains_aggregate(self) -> bool:
+        return self.operand.contains_aggregate()
+
+
+@dataclass
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, context: EvalContext) -> Any:
+        value = self.operand.evaluate(context)
+        result = value is None
+        return not result if self.negated else result
+
+    def _collect_refs(self, out: List[str]) -> None:
+        self.operand._collect_refs(out)
+
+    def contains_aggregate(self) -> bool:
+        return self.operand.contains_aggregate()
+
+
+@dataclass
+class InList(Expression):
+    operand: Expression
+    options: List[Expression]
+    negated: bool = False
+
+    def evaluate(self, context: EvalContext) -> Any:
+        value = self.operand.evaluate(context)
+        if value is None:
+            return None
+        saw_null = False
+        for option in self.options:
+            candidate = option.evaluate(context)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return not self.negated
+        if saw_null:
+            return None
+        return self.negated
+
+    def _collect_refs(self, out: List[str]) -> None:
+        self.operand._collect_refs(out)
+        for option in self.options:
+            option._collect_refs(out)
+
+    def contains_aggregate(self) -> bool:
+        return (self.operand.contains_aggregate()
+                or any(o.contains_aggregate() for o in self.options))
+
+
+@dataclass
+class Between(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def evaluate(self, context: EvalContext) -> Any:
+        value = self.operand.evaluate(context)
+        low = self.low.evaluate(context)
+        high = self.high.evaluate(context)
+        result = _three_valued_and(
+            _compare(">=", value, low), _compare("<=", value, high))
+        if result is None:
+            return None
+        return not result if self.negated else result
+
+    def _collect_refs(self, out: List[str]) -> None:
+        self.operand._collect_refs(out)
+        self.low._collect_refs(out)
+        self.high._collect_refs(out)
+
+
+@dataclass
+class Like(Expression):
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+    def evaluate(self, context: EvalContext) -> Any:
+        value = self.operand.evaluate(context)
+        pattern = self.pattern.evaluate(context)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise EngineError("LIKE requires TEXT operands")
+        regex = _like_to_regex(pattern)
+        result = regex.match(value) is not None
+        return not result if self.negated else result
+
+    def _collect_refs(self, out: List[str]) -> None:
+        self.operand._collect_refs(out)
+        self.pattern._collect_refs(out)
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+    parts = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("^" + "".join(parts) + "$", re.IGNORECASE | re.DOTALL)
+
+
+@dataclass
+class CaseExpr(Expression):
+    """``CASE WHEN cond THEN value ... ELSE value END``."""
+
+    branches: List[Tuple[Expression, Expression]]
+    default: Optional[Expression] = None
+
+    def evaluate(self, context: EvalContext) -> Any:
+        for condition, result in self.branches:
+            if condition.evaluate(context) is True:
+                return result.evaluate(context)
+        if self.default is not None:
+            return self.default.evaluate(context)
+        return None
+
+    def _collect_refs(self, out: List[str]) -> None:
+        for condition, result in self.branches:
+            condition._collect_refs(out)
+            result._collect_refs(out)
+        if self.default is not None:
+            self.default._collect_refs(out)
+
+    def contains_aggregate(self) -> bool:
+        for condition, result in self.branches:
+            if condition.contains_aggregate() or result.contains_aggregate():
+                return True
+        return self.default is not None and self.default.contains_aggregate()
+
+
+_SCALAR_FUNCTIONS = {}
+
+
+def scalar_function(name):
+    def register(fn):
+        _SCALAR_FUNCTIONS[name] = fn
+        return fn
+    return register
+
+
+@scalar_function("UPPER")
+def _fn_upper(value):
+    return None if value is None else str(value).upper()
+
+
+@scalar_function("LOWER")
+def _fn_lower(value):
+    return None if value is None else str(value).lower()
+
+
+@scalar_function("LENGTH")
+def _fn_length(value):
+    return None if value is None else len(str(value))
+
+
+@scalar_function("ABS")
+def _fn_abs(value):
+    return None if value is None else abs(value)
+
+
+@scalar_function("ROUND")
+def _fn_round(value, digits=0):
+    if value is None:
+        return None
+    return round(value, int(digits))
+
+
+@scalar_function("COALESCE")
+def _fn_coalesce(*values):
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+@scalar_function("NULLIF")
+def _fn_nullif(left, right):
+    return None if left == right else left
+
+
+@scalar_function("SUBSTR")
+def _fn_substr(value, start, length=None):
+    if value is None:
+        return None
+    text = str(value)
+    begin = int(start) - 1
+    if length is None:
+        return text[begin:]
+    return text[begin:begin + int(length)]
+
+
+@scalar_function("TRIM")
+def _fn_trim(value):
+    return None if value is None else str(value).strip()
+
+
+@scalar_function("YEAR")
+def _fn_year(value):
+    return None if value is None else value.year
+
+
+@scalar_function("MONTH")
+def _fn_month(value):
+    return None if value is None else value.month
+
+
+@scalar_function("DAY")
+def _fn_day(value):
+    return None if value is None else value.day
+
+
+@scalar_function("DATE")
+def _fn_date(value):
+    if value is None:
+        return None
+    if isinstance(value, datetime.datetime):
+        return value.date()
+    if isinstance(value, datetime.date):
+        return value
+    return datetime.date.fromisoformat(str(value))
+
+
+@dataclass
+class FunctionCall(Expression):
+    name: str
+    args: List[Expression]
+
+    def evaluate(self, context: EvalContext) -> Any:
+        fn = _SCALAR_FUNCTIONS.get(self.name.upper())
+        if fn is None:
+            raise EngineError(f"unknown function {self.name!r}")
+        values = [arg.evaluate(context) for arg in self.args]
+        return fn(*values)
+
+    def _collect_refs(self, out: List[str]) -> None:
+        for arg in self.args:
+            arg._collect_refs(out)
+
+    def contains_aggregate(self) -> bool:
+        return any(arg.contains_aggregate() for arg in self.args)
+
+
+AGGREGATE_NAMES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+@dataclass
+class AggregateCall(Expression):
+    """An aggregate reference such as ``SUM(amount)`` or ``COUNT(*)``.
+
+    During grouped execution the executor pre-computes each aggregate and
+    places the result in the row context under :meth:`result_key`, which
+    is what ``evaluate`` reads back.
+    """
+
+    name: str
+    argument: Expression  # Star() for COUNT(*)
+    distinct: bool = False
+
+    def result_key(self) -> str:
+        flag = "distinct " if self.distinct else ""
+        return f"__agg_{self.name.lower()}({flag}{_expr_text(self.argument)})"
+
+    def evaluate(self, context: EvalContext) -> Any:
+        key = self.result_key()
+        if key in context.values:
+            return context.values[key]
+        raise EngineError(
+            f"aggregate {self.name} used outside a grouped query")
+
+    def compute(self, contexts: List[EvalContext]) -> Any:
+        """Fold the aggregate over the member rows of one group."""
+        if isinstance(self.argument, Star):
+            if self.name != "COUNT":
+                raise EngineError(f"{self.name}(*) is not valid")
+            return len(contexts)
+        values = [self.argument.evaluate(ctx) for ctx in contexts]
+        values = [value for value in values if value is not None]
+        if self.distinct:
+            unique: List[Any] = []
+            seen = set()
+            for value in values:
+                marker = (type(value).__name__, value)
+                if marker not in seen:
+                    seen.add(marker)
+                    unique.append(value)
+            values = unique
+        if self.name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if self.name == "SUM":
+            return sum(values)
+        if self.name == "AVG":
+            return sum(values) / len(values)
+        if self.name == "MIN":
+            return min(values, key=sort_key)
+        if self.name == "MAX":
+            return max(values, key=sort_key)
+        raise EngineError(f"unknown aggregate {self.name!r}")  # pragma: no cover
+
+    def _collect_refs(self, out: List[str]) -> None:
+        if not isinstance(self.argument, Star):
+            self.argument._collect_refs(out)
+
+    def contains_aggregate(self) -> bool:
+        return True
+
+
+def _expr_text(expr: Expression) -> str:
+    """A stable textual key for an expression (used for aggregate slots)."""
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, ColumnRef):
+        return expr.name.lower()
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, BinaryOp):
+        return f"({_expr_text(expr.left)}{expr.op}{_expr_text(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        return f"({expr.op}{_expr_text(expr.operand)})"
+    if isinstance(expr, FunctionCall):
+        inner = ",".join(_expr_text(arg) for arg in expr.args)
+        return f"{expr.name.lower()}({inner})"
+    if isinstance(expr, CaseExpr):
+        parts = [
+            f"when {_expr_text(c)} then {_expr_text(r)}"
+            for c, r in expr.branches
+        ]
+        if expr.default is not None:
+            parts.append(f"else {_expr_text(expr.default)}")
+        return "case " + " ".join(parts)
+    return repr(expr)
+
+
+def find_aggregates(expr: Expression) -> List[AggregateCall]:
+    """All AggregateCall nodes nested anywhere inside ``expr``."""
+    found: List[AggregateCall] = []
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, AggregateCall):
+            found.append(node)
+            return
+        if isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, FunctionCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, CaseExpr):
+            for condition, result in node.branches:
+                walk(condition)
+                walk(result)
+            if node.default is not None:
+                walk(node.default)
+        elif isinstance(node, (IsNull,)):
+            walk(node.operand)
+        elif isinstance(node, InList):
+            walk(node.operand)
+            for option in node.options:
+                walk(option)
+        elif isinstance(node, Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, Like):
+            walk(node.operand)
+            walk(node.pattern)
+
+    walk(expr)
+    return found

@@ -1,0 +1,81 @@
+"""Hash indexes with optional uniqueness enforcement."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.errors import ConstraintViolation
+
+_Key = Tuple[Any, ...]
+
+
+class Index:
+    """A hash index over one or more columns of a table.
+
+    The index maps a tuple of column values to the set of rowids holding
+    those values.  NULL keys are indexed but never participate in
+    uniqueness checks (mirroring SQL semantics where NULL != NULL).
+    """
+
+    def __init__(self, name: str, column_names: List[str],
+                 positions: List[int], unique: bool = False):
+        self.name = name
+        self.column_names = list(column_names)
+        self.positions = list(positions)
+        self.unique = unique
+        self._buckets: Dict[_Key, Set[int]] = {}
+
+    def __repr__(self) -> str:
+        kind = "UNIQUE " if self.unique else ""
+        return f"<{kind}Index {self.name} on ({', '.join(self.column_names)})>"
+
+    def key_for(self, row: List[Any]) -> _Key:
+        return tuple(row[position] for position in self.positions)
+
+    def _key_has_null(self, key: _Key) -> bool:
+        return any(part is None for part in key)
+
+    def check_insert(self, rowid: int, row: List[Any], table: str) -> None:
+        """Raise if inserting ``row`` would violate uniqueness."""
+        if not self.unique:
+            return
+        key = self.key_for(row)
+        if self._key_has_null(key):
+            return
+        existing = self._buckets.get(key)
+        if existing:
+            columns = ", ".join(self.column_names)
+            raise ConstraintViolation(
+                f"UNIQUE constraint failed: {table}({columns}) = {key!r}")
+
+    def check_update(self, rowid: int, old_row: List[Any],
+                     new_row: List[Any], table: str) -> None:
+        if not self.unique:
+            return
+        new_key = self.key_for(new_row)
+        if self._key_has_null(new_key):
+            return
+        existing = self._buckets.get(new_key, set())
+        if existing - {rowid}:
+            columns = ", ".join(self.column_names)
+            raise ConstraintViolation(
+                f"UNIQUE constraint failed: {table}({columns}) = {new_key!r}")
+
+    def insert(self, rowid: int, row: List[Any]) -> None:
+        key = self.key_for(row)
+        self._buckets.setdefault(key, set()).add(rowid)
+
+    def delete(self, rowid: int, row: List[Any]) -> None:
+        key = self.key_for(row)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(rowid)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: _Key) -> Set[int]:
+        """Rowids whose indexed columns equal ``key`` exactly."""
+        return set(self._buckets.get(tuple(key), set()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())

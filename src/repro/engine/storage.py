@@ -1,0 +1,127 @@
+"""Row storage for the embedded engine.
+
+Each table's rows live in a dict keyed by a monotonically increasing
+rowid.  Mutations are funnelled through three primitives (insert, delete,
+update) which report enough information for the transaction layer to
+undo them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.indexes import Index
+from repro.engine.schema import TableSchema
+from repro.errors import ConstraintViolation
+
+
+class TableStorage:
+    """Rows plus secondary indexes for a single table."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.rows: Dict[int, List[Any]] = {}
+        self._next_rowid = 1
+        self.indexes: Dict[str, Index] = {}
+        # Unique constraints (incl. the primary key) get an implicit index.
+        for column in schema.columns:
+            if column.unique:
+                self.add_index(
+                    f"__uniq_{schema.name}_{column.name}".lower(),
+                    [column.name],
+                    unique=True,
+                )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- indexes ------------------------------------------------------------
+
+    def add_index(self, name: str, column_names: List[str],
+                  unique: bool = False) -> Index:
+        positions = [self.schema.column_index(c) for c in column_names]
+        index = Index(name, column_names, positions, unique=unique)
+        for rowid, row in self.rows.items():
+            index.insert(rowid, row)
+        self.indexes[name.lower()] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        self.indexes.pop(name.lower(), None)
+
+    def find_index(self, column_name: str) -> Optional[Index]:
+        """Return some index whose leading column is ``column_name``."""
+        target = column_name.lower()
+        for index in self.indexes.values():
+            if index.column_names[0].lower() == target:
+                return index
+        return None
+
+    def add_column(self, column) -> None:
+        """Extend the schema and backfill existing rows.
+
+        Existing rows take the column default; a NOT NULL column
+        without a default is rejected when rows already exist.
+        """
+        if column.default is None and not column.nullable and self.rows:
+            raise ConstraintViolation(
+                f"cannot add NOT NULL column {column.name!r} without "
+                f"a default to non-empty table {self.schema.name!r}")
+        self.schema.add_column(column)
+        for row in self.rows.values():
+            row.append(column.default)
+        if column.unique:
+            self.add_index(
+                f"__uniq_{self.schema.name}_{column.name}".lower(),
+                [column.name], unique=True)
+
+    # -- mutations ----------------------------------------------------------
+
+    def insert(self, row: List[Any]) -> int:
+        """Insert a coerced row, returning its rowid."""
+        rowid = self._next_rowid
+        for index in self.indexes.values():
+            index.check_insert(rowid, row, self.schema.name)
+        self._next_rowid += 1
+        self.rows[rowid] = row
+        for index in self.indexes.values():
+            index.insert(rowid, row)
+        return rowid
+
+    def delete(self, rowid: int) -> List[Any]:
+        """Delete a row by rowid, returning the old row (for undo)."""
+        row = self.rows.pop(rowid)
+        for index in self.indexes.values():
+            index.delete(rowid, row)
+        return row
+
+    def update(self, rowid: int, new_row: List[Any]) -> List[Any]:
+        """Replace a row in place, returning the old row (for undo)."""
+        old_row = self.rows[rowid]
+        for index in self.indexes.values():
+            index.check_update(rowid, old_row, new_row, self.schema.name)
+        for index in self.indexes.values():
+            index.delete(rowid, old_row)
+            index.insert(rowid, new_row)
+        self.rows[rowid] = new_row
+        return old_row
+
+    def restore(self, rowid: int, row: List[Any]) -> None:
+        """Re-insert a previously deleted row under its original rowid."""
+        if rowid in self.rows:
+            raise ConstraintViolation(
+                f"rowid {rowid} already present in {self.schema.name}")
+        self.rows[rowid] = row
+        self._next_rowid = max(self._next_rowid, rowid + 1)
+        for index in self.indexes.values():
+            index.insert(rowid, row)
+
+    # -- scans ---------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[int, List[Any]]]:
+        """Iterate ``(rowid, row)`` pairs in insertion order."""
+        # Copy the id list so callers may mutate during iteration.
+        for rowid in list(self.rows):
+            row = self.rows.get(rowid)
+            if row is not None:
+                yield rowid, row

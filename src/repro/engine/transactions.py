@@ -1,0 +1,69 @@
+"""Undo-log transactions for the embedded engine.
+
+The engine runs in auto-commit mode until ``BEGIN`` opens an explicit
+transaction.  While a transaction is open, every mutation appends an
+undo record; ``ROLLBACK`` replays the records in reverse, ``COMMIT``
+discards them.  DDL (create/drop table) participates too, so a rolled
+back transaction also removes tables it created.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.errors import TransactionError
+
+# Undo record shapes:
+#   ("insert", table, rowid, row)          -> undo by deleting rowid
+#   ("delete", table, rowid, old_row)      -> undo by restoring old row
+#   ("update", table, rowid, old_row)      -> undo by writing old row back
+#   ("create_table", table)                -> undo by dropping the table
+#   ("drop_table", table, storage)         -> undo by re-attaching storage
+UndoRecord = Tuple[Any, ...]
+
+
+class Transaction:
+    """The undo log of one open transaction."""
+
+    def __init__(self) -> None:
+        self._log: List[UndoRecord] = []
+        self.active = True
+
+    def record(self, entry: UndoRecord) -> None:
+        if not self.active:
+            raise TransactionError("transaction is no longer active")
+        self._log.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def commit(self) -> None:
+        if not self.active:
+            raise TransactionError("transaction already finished")
+        self.active = False
+        self._log.clear()
+
+    def rollback(self, database) -> None:
+        if not self.active:
+            raise TransactionError("transaction already finished")
+        self.active = False
+        for entry in reversed(self._log):
+            action = entry[0]
+            if action == "insert":
+                _, table, rowid, _row = entry
+                database.storage(table).delete(rowid)
+            elif action == "delete":
+                _, table, rowid, old_row = entry
+                database.storage(table).restore(rowid, old_row)
+            elif action == "update":
+                _, table, rowid, old_row = entry
+                database.storage(table).update(rowid, old_row)
+            elif action == "create_table":
+                _, table = entry
+                database.drop_storage(table, record=False)
+            elif action == "drop_table":
+                _, table, storage = entry
+                database.attach_storage(storage)
+            else:  # pragma: no cover
+                raise TransactionError(f"bad undo record {entry!r}")
+        self._log.clear()

@@ -1,0 +1,207 @@
+"""Exception hierarchy shared by every ODBIS subsystem.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch platform errors without also swallowing programming
+mistakes such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+# --- database engine -------------------------------------------------------
+
+class EngineError(ReproError):
+    """Base class for errors raised by the embedded SQL engine."""
+
+
+class SqlSyntaxError(EngineError):
+    """The SQL text could not be parsed."""
+
+
+class CatalogError(EngineError):
+    """A schema object is missing, duplicated or inconsistent."""
+
+
+class ConstraintViolation(EngineError):
+    """A NOT NULL, UNIQUE or PRIMARY KEY constraint was violated."""
+
+
+class TypeMismatch(EngineError):
+    """A value does not fit the declared column type."""
+
+
+class TransactionError(EngineError):
+    """Invalid use of the transaction API (double commit, etc.)."""
+
+
+# --- ORM -------------------------------------------------------------------
+
+class OrmError(ReproError):
+    """Base class for persistence-layer errors."""
+
+
+class MappingError(OrmError):
+    """An entity class is not mapped correctly."""
+
+
+class EntityNotFound(OrmError):
+    """No row exists for the requested entity identity."""
+
+
+class StaleSessionError(OrmError):
+    """The session was used after being closed."""
+
+
+# --- metamodeling ----------------------------------------------------------
+
+class MofError(ReproError):
+    """Base class for meta-object-facility errors."""
+
+
+class MetamodelError(MofError):
+    """A metamodel definition is invalid (unknown class, bad reference)."""
+
+
+class ModelConstraintError(MofError):
+    """A model element violates a metamodel constraint."""
+
+
+class XmiError(MofError):
+    """XMI serialization or deserialization failed."""
+
+
+# --- MDA / 2TUP ------------------------------------------------------------
+
+class MdaError(ReproError):
+    """Base class for model-driven-architecture errors."""
+
+
+class TransformationError(MdaError):
+    """A QVT-style transformation failed to apply."""
+
+
+class ProcessError(MdaError):
+    """Invalid 2TUP process state transition."""
+
+
+# --- ETL -------------------------------------------------------------------
+
+class EtlError(ReproError):
+    """Base class for integration-service errors."""
+
+
+class JobValidationError(EtlError):
+    """The job graph is malformed (cycle, missing input, ...)."""
+
+
+class JobExecutionError(EtlError):
+    """A job step failed while running."""
+
+
+class SchedulerError(EtlError):
+    """Invalid schedule definition or scheduler state."""
+
+
+# --- OLAP ------------------------------------------------------------------
+
+class OlapError(ReproError):
+    """Base class for analysis-service errors."""
+
+
+class CubeDefinitionError(OlapError):
+    """A cube schema is inconsistent with its star schema."""
+
+
+class MdxSyntaxError(OlapError):
+    """An MDX-lite query could not be parsed."""
+
+
+class QueryError(OlapError):
+    """A cube query referenced unknown members or measures."""
+
+
+# --- reporting -------------------------------------------------------------
+
+class ReportingError(ReproError):
+    """Base class for reporting-service errors."""
+
+
+class ReportDefinitionError(ReportingError):
+    """A report design is invalid."""
+
+
+class RenderError(ReportingError):
+    """A report could not be rendered."""
+
+
+# --- rules / BPM -----------------------------------------------------------
+
+class RulesError(ReproError):
+    """Base class for business-rules errors."""
+
+
+class RuleSyntaxError(RulesError):
+    """The rule DSL text could not be parsed."""
+
+
+class BpmError(ReproError):
+    """Base class for business-process errors."""
+
+
+# --- security --------------------------------------------------------------
+
+class SecurityError(ReproError):
+    """Base class for security errors."""
+
+
+class AuthenticationError(SecurityError):
+    """Credentials or session token were rejected."""
+
+
+class AccessDeniedError(SecurityError):
+    """The principal lacks the authority required by the operation."""
+
+
+# --- ESB / web -------------------------------------------------------------
+
+class EsbError(ReproError):
+    """Base class for service-bus errors."""
+
+
+class WebError(ReproError):
+    """Base class for web-layer errors."""
+
+
+class HttpError(WebError):
+    """An HTTP-style error carrying a status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+# --- platform core ---------------------------------------------------------
+
+class PlatformError(ReproError):
+    """Base class for ODBIS platform errors."""
+
+
+class TenantError(PlatformError):
+    """Unknown tenant, duplicate tenant or cross-tenant access."""
+
+
+class ProvisioningError(PlatformError):
+    """Tenant provisioning failed."""
+
+
+class SubscriptionError(PlatformError):
+    """Metering/billing misuse (unknown plan, closed period, ...)."""
+
+
+class ServiceError(PlatformError):
+    """A core BI service rejected an operation."""

@@ -1,0 +1,16 @@
+"""Enterprise service bus (the Spring Integration substitute).
+
+The paper plans interoperability between the data-warehousing tools of
+the technical-resources layer "using an Enterprise Service Bus like
+framework (we plan to use spring integration module)".  This package
+provides that fabric: named channels, transformers, routers, service
+activators, wiretaps and a dead-letter channel.
+"""
+
+from repro.esb.bus import (
+    Message,
+    MessageBus,
+    DEAD_LETTER_CHANNEL,
+)
+
+__all__ = ["DEAD_LETTER_CHANNEL", "Message", "MessageBus"]

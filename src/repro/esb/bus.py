@@ -1,0 +1,142 @@
+"""Message channels, endpoints and the bus.
+
+The bus delivers synchronously: sending to a channel runs every
+endpoint attached to it in registration order.  Endpoints are:
+
+* **service activators** — terminal handlers,
+* **transformers** — rewrite the payload and forward to an output
+  channel,
+* **routers** — choose the next channel per message,
+* **wiretaps** — observe without consuming.
+
+A handler exception routes the message to the dead-letter channel with
+the error recorded in its headers — the bus never drops a message
+silently.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import EsbError
+
+DEAD_LETTER_CHANNEL = "dead-letter"
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A payload plus headers travelling through the bus."""
+
+    payload: Any
+    headers: Dict[str, Any] = field(default_factory=dict)
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def with_payload(self, payload: Any) -> "Message":
+        return Message(payload=payload, headers=dict(self.headers))
+
+
+class _Endpoint:
+    """One consumer attached to a channel."""
+
+    def __init__(self, kind: str, handler: Callable,
+                 output_channel: Optional[str] = None):
+        self.kind = kind
+        self.handler = handler
+        self.output_channel = output_channel
+
+
+class MessageBus:
+    """A synchronous integration bus with named channels."""
+
+    def __init__(self, max_hops: int = 100):
+        self._channels: Dict[str, List[_Endpoint]] = {
+            DEAD_LETTER_CHANNEL: [],
+        }
+        self.max_hops = max_hops
+        self.dead_letters: List[Message] = []
+        self.delivery_log: List[str] = []
+
+    # -- topology -------------------------------------------------------------------
+
+    def create_channel(self, name: str) -> None:
+        if name in self._channels:
+            raise EsbError(f"channel {name!r} already exists")
+        self._channels[name] = []
+
+    def channels(self) -> List[str]:
+        return sorted(self._channels)
+
+    def _channel(self, name: str) -> List[_Endpoint]:
+        if name not in self._channels:
+            raise EsbError(f"no such channel: {name!r}")
+        return self._channels[name]
+
+    def service_activator(self, channel: str,
+                          handler: Callable[[Message], None]) -> None:
+        """Attach a terminal handler to a channel."""
+        self._channel(channel).append(_Endpoint("activator", handler))
+
+    def transformer(self, channel: str,
+                    transform: Callable[[Any], Any],
+                    output_channel: str) -> None:
+        """Attach a payload transformer forwarding to another channel."""
+        self._channel(output_channel)  # must exist
+        self._channel(channel).append(
+            _Endpoint("transformer", transform, output_channel))
+
+    def router(self, channel: str,
+               route: Callable[[Message], Optional[str]]) -> None:
+        """Attach a router choosing the next channel per message."""
+        self._channel(channel).append(_Endpoint("router", route))
+
+    def wiretap(self, channel: str,
+                observer: Callable[[Message], None]) -> None:
+        """Attach a non-consuming observer."""
+        self._channel(channel).append(_Endpoint("wiretap", observer))
+
+    # -- delivery --------------------------------------------------------------------
+
+    def send(self, channel: str, payload: Any,
+             headers: Optional[Dict[str, Any]] = None) -> Message:
+        """Send a payload into a channel; returns the message."""
+        message = Message(payload=payload, headers=dict(headers or {}))
+        self._deliver(channel, message, hops=0)
+        return message
+
+    def _deliver(self, channel: str, message: Message,
+                 hops: int) -> None:
+        if hops > self.max_hops:
+            raise EsbError(
+                f"message {message.message_id} exceeded "
+                f"{self.max_hops} hops (routing loop?)")
+        self.delivery_log.append(f"{channel}:{message.message_id}")
+        if channel == DEAD_LETTER_CHANNEL:
+            self.dead_letters.append(message)
+        for endpoint in self._channel(channel):
+            try:
+                if endpoint.kind == "wiretap":
+                    endpoint.handler(message)
+                elif endpoint.kind == "activator":
+                    endpoint.handler(message)
+                elif endpoint.kind == "transformer":
+                    transformed = message.with_payload(
+                        endpoint.handler(message.payload))
+                    self._deliver(endpoint.output_channel,
+                                  transformed, hops + 1)
+                elif endpoint.kind == "router":
+                    target = endpoint.handler(message)
+                    if target is not None:
+                        self._deliver(target, message, hops + 1)
+            except EsbError:
+                raise
+            except Exception as exc:  # route failures to dead letters
+                failed = Message(
+                    payload=message.payload,
+                    headers={**message.headers,
+                             "error": str(exc),
+                             "failed_channel": channel})
+                self._deliver(DEAD_LETTER_CHANNEL, failed, hops + 1)

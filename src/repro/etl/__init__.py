@@ -1,0 +1,67 @@
+"""ETL substrate (the Talend-style integration engine).
+
+The integration service (IS) defines data-integration jobs as a chain
+of operators between an extractor and a loader, validates them, runs
+them with per-run statistics, and schedules them on a simulated clock:
+
+* :mod:`repro.etl.sources` — extractors (tables, rows, CSV, callables)
+* :mod:`repro.etl.operators` — transform operators (project, filter,
+  derive, lookup, aggregate, dedupe, surrogate keys, type casts, ...)
+* :mod:`repro.etl.jobs` — job definition, validation, runner, job graph
+* :mod:`repro.etl.scheduler` — cron-lite scheduling on a virtual clock
+"""
+
+from repro.etl.jobs import EtlJob, JobGraph, JobResult, JobRunner, Load
+from repro.etl.operators import (
+    Aggregate,
+    Deduplicate,
+    Derive,
+    Filter,
+    Lookup,
+    Operator,
+    Project,
+    Rename,
+    RowError,
+    Sort,
+    SurrogateKey,
+    TypeCast,
+    Validate,
+)
+from repro.etl.scheduler import Schedule, Scheduler
+from repro.etl.sources import (
+    CallableSource,
+    CsvSource,
+    RowsSource,
+    Source,
+    TableSource,
+    time_dimension_rows,
+)
+
+__all__ = [
+    "Aggregate",
+    "CallableSource",
+    "CsvSource",
+    "Deduplicate",
+    "Derive",
+    "EtlJob",
+    "Filter",
+    "JobGraph",
+    "JobResult",
+    "JobRunner",
+    "Load",
+    "Lookup",
+    "Operator",
+    "Project",
+    "Rename",
+    "RowError",
+    "RowsSource",
+    "Schedule",
+    "Scheduler",
+    "Sort",
+    "Source",
+    "SurrogateKey",
+    "TableSource",
+    "TypeCast",
+    "time_dimension_rows",
+    "Validate",
+]

@@ -1,0 +1,333 @@
+"""Transform operators for ETL pipelines.
+
+Operators are composable row-stream transformers: each consumes an
+iterator of row dicts and yields transformed rows.  A row that cannot
+be processed raises :class:`RowError`, which the job runner either
+counts-and-skips or escalates depending on its error policy.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import EtlError
+
+Row = Dict[str, Any]
+
+
+class RowError(EtlError):
+    """A single row failed inside an operator."""
+
+    def __init__(self, message: str, row: Row):
+        super().__init__(message)
+        self.row = dict(row)
+
+
+class Operator:
+    """Base class: subclasses override :meth:`process`.
+
+    Per-row failures are routed through :meth:`_reject`: when the job
+    runner installed an ``error_sink`` (skip policy) the bad row is
+    recorded and the stream continues; otherwise the RowError
+    propagates (fail policy).
+    """
+
+    name = "operator"
+    error_sink: Optional[Callable[[RowError], None]] = None
+
+    def process(self, rows: Iterator[Row]) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    def _reject(self, message: str, row: Row) -> None:
+        error = RowError(f"{self.describe()}: {message}", row)
+        if self.error_sink is None:
+            raise error
+        self.error_sink(error)
+
+
+class Project(Operator):
+    """Keep only the listed columns (missing columns are an error)."""
+
+    name = "project"
+
+    def __init__(self, columns: Sequence[str]):
+        if not columns:
+            raise EtlError("Project needs at least one column")
+        self.columns = list(columns)
+
+    def process(self, rows: Iterator[Row]) -> Iterator[Row]:
+        for row in rows:
+            missing = [c for c in self.columns if c not in row]
+            if missing:
+                self._reject(f"row lacks column {missing[0]!r}", row)
+                continue
+            yield {column: row[column] for column in self.columns}
+
+
+class Rename(Operator):
+    """Rename columns: ``Rename({'old': 'new'})``."""
+
+    name = "rename"
+
+    def __init__(self, renames: Dict[str, str]):
+        self.renames = dict(renames)
+
+    def process(self, rows: Iterator[Row]) -> Iterator[Row]:
+        for row in rows:
+            yield {self.renames.get(key, key): value
+                   for key, value in row.items()}
+
+
+class Filter(Operator):
+    """Keep rows for which the predicate is truthy."""
+
+    name = "filter"
+
+    def __init__(self, predicate: Callable[[Row], bool],
+                 label: str = "predicate"):
+        self.predicate = predicate
+        self.label = label
+
+    def describe(self) -> str:
+        return f"filter({self.label})"
+
+    def process(self, rows: Iterator[Row]) -> Iterator[Row]:
+        for row in rows:
+            if self.predicate(row):
+                yield row
+
+
+class Derive(Operator):
+    """Add (or overwrite) a column computed from the row."""
+
+    name = "derive"
+
+    def __init__(self, column: str, compute: Callable[[Row], Any]):
+        self.column = column
+        self.compute = compute
+
+    def process(self, rows: Iterator[Row]) -> Iterator[Row]:
+        for row in rows:
+            updated = dict(row)
+            updated[self.column] = self.compute(row)
+            yield updated
+
+
+class TypeCast(Operator):
+    """Cast named columns to int/float/str/bool/date; bad values error."""
+
+    _CASTS: Dict[str, Callable[[Any], Any]] = {
+        "int": lambda value: int(value),
+        "float": lambda value: float(value),
+        "str": lambda value: str(value),
+        "bool": lambda value: str(value).strip().lower()
+        in ("1", "true", "yes", "y"),
+        "date": lambda value: value
+        if isinstance(value, datetime.date)
+        else datetime.date.fromisoformat(str(value).strip()),
+    }
+
+    name = "typecast"
+
+    def __init__(self, casts: Dict[str, str]):
+        for column, type_name in casts.items():
+            if type_name not in self._CASTS:
+                raise EtlError(
+                    f"typecast: unknown type {type_name!r} "
+                    f"for column {column!r}")
+        self.casts = dict(casts)
+
+    def process(self, rows: Iterator[Row]) -> Iterator[Row]:
+        for row in rows:
+            updated = dict(row)
+            bad = False
+            for column, type_name in self.casts.items():
+                value = updated.get(column)
+                if value is None or value == "":
+                    updated[column] = None
+                    continue
+                try:
+                    updated[column] = self._CASTS[type_name](value)
+                except (ValueError, TypeError):
+                    self._reject(
+                        f"cannot cast {column}={value!r} to {type_name}",
+                        row)
+                    bad = True
+                    break
+            if not bad:
+                yield updated
+
+
+class Lookup(Operator):
+    """Enrich rows from a key→values mapping (a hash lookup join).
+
+    ``on`` names the row column holding the key; matched mapping values
+    (a dict) are merged into the row.  Unmatched rows pass through
+    unchanged with ``default`` merged in, or raise when
+    ``required=True``.
+    """
+
+    name = "lookup"
+
+    def __init__(self, on: str, mapping: Dict[Any, Dict[str, Any]],
+                 required: bool = False,
+                 default: Optional[Dict[str, Any]] = None):
+        self.on = on
+        self.mapping = dict(mapping)
+        self.required = required
+        self.default = dict(default or {})
+
+    def process(self, rows: Iterator[Row]) -> Iterator[Row]:
+        for row in rows:
+            key = row.get(self.on)
+            match = self.mapping.get(key)
+            if match is not None:
+                yield {**row, **match}
+            elif self.required:
+                self._reject(f"no match for {self.on}={key!r}", row)
+            else:
+                yield {**row, **self.default}
+
+
+class Deduplicate(Operator):
+    """Drop rows whose key columns repeat an already-seen combination."""
+
+    name = "deduplicate"
+
+    def __init__(self, keys: Sequence[str]):
+        if not keys:
+            raise EtlError("Deduplicate needs at least one key column")
+        self.keys = list(keys)
+
+    def process(self, rows: Iterator[Row]) -> Iterator[Row]:
+        seen = set()
+        for row in rows:
+            marker = tuple(repr(row.get(key)) for key in self.keys)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            yield row
+
+
+class Sort(Operator):
+    """Sort the stream (materializes it) by one or more columns.
+
+    Prefix a column with ``-`` for descending order.
+    """
+
+    name = "sort"
+
+    def __init__(self, columns: Sequence[str]):
+        if not columns:
+            raise EtlError("Sort needs at least one column")
+        self.columns = list(columns)
+
+    def process(self, rows: Iterator[Row]) -> Iterator[Row]:
+        materialized = list(rows)
+        for column in reversed(self.columns):
+            descending = column.startswith("-")
+            name = column[1:] if descending else column
+            materialized.sort(
+                key=lambda row: (row.get(name) is None, row.get(name)),
+                reverse=descending)
+        yield from materialized
+
+
+class SurrogateKey(Operator):
+    """Assign a dense integer surrogate key column."""
+
+    name = "surrogate-key"
+
+    def __init__(self, column: str, start: int = 1):
+        self.column = column
+        self.start = start
+
+    def process(self, rows: Iterator[Row]) -> Iterator[Row]:
+        for offset, row in enumerate(rows):
+            updated = dict(row)
+            updated[self.column] = self.start + offset
+            yield updated
+
+
+class Aggregate(Operator):
+    """Group rows and compute aggregates.
+
+    ``aggregations`` maps output column → ``(function, input column)``
+    where function is one of sum/avg/min/max/count.
+    """
+
+    _FUNCTIONS = ("sum", "avg", "min", "max", "count")
+
+    name = "aggregate"
+
+    def __init__(self, group_by: Sequence[str],
+                 aggregations: Dict[str, tuple]):
+        for output, (function, _column) in aggregations.items():
+            if function not in self._FUNCTIONS:
+                raise EtlError(
+                    f"aggregate: unknown function {function!r} "
+                    f"for {output!r}")
+        self.group_by = list(group_by)
+        self.aggregations = dict(aggregations)
+
+    def process(self, rows: Iterator[Row]) -> Iterator[Row]:
+        groups: Dict[tuple, List[Row]] = {}
+        order: List[tuple] = []
+        for row in rows:
+            key = tuple(repr(row.get(column)) for column in self.group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        for key in order:
+            members = groups[key]
+            result: Row = {
+                column: members[0].get(column)
+                for column in self.group_by
+            }
+            for output, (function, column) in self.aggregations.items():
+                values = [member.get(column) for member in members
+                          if member.get(column) is not None]
+                if function == "count":
+                    result[output] = len(values)
+                elif not values:
+                    result[output] = None
+                elif function == "sum":
+                    result[output] = sum(values)
+                elif function == "avg":
+                    result[output] = sum(values) / len(values)
+                elif function == "min":
+                    result[output] = min(values)
+                elif function == "max":
+                    result[output] = max(values)
+            yield result
+
+
+class Validate(Operator):
+    """Raise RowError for rows failing any rule.
+
+    ``rules`` maps a rule label to a predicate over the row.
+    """
+
+    name = "validate"
+
+    def __init__(self, rules: Dict[str, Callable[[Row], bool]]):
+        if not rules:
+            raise EtlError("Validate needs at least one rule")
+        self.rules = dict(rules)
+
+    def process(self, rows: Iterator[Row]) -> Iterator[Row]:
+        for row in rows:
+            failed = None
+            for label, predicate in self.rules.items():
+                if not predicate(row):
+                    failed = label
+                    break
+            if failed is not None:
+                self._reject(f"rule {failed!r} failed", row)
+            else:
+                yield row

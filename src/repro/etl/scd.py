@@ -1,0 +1,134 @@
+"""Slowly-changing-dimension (Type 2) loading.
+
+The paper's TCIM carries a ``history_tracking`` flag and the PIM→PSM
+transformation emits ``valid_from``/``valid_to`` columns for it; this
+module supplies the matching load strategy.  A Type-2 load keys rows
+by a *natural key*: when a tracked attribute changes, the current
+version is closed (``valid_to`` set, ``is_current`` cleared) and a new
+version is inserted — full history is preserved.
+
+Target-table contract: the natural-key and tracked columns, plus a
+surrogate-key INTEGER column (``row_key`` by default, configurable to
+reuse a generated schema's own surrogate), ``valid_from DATE``,
+``valid_to DATE`` and ``is_current BOOLEAN``.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Dict, Iterator, List, Sequence
+
+from repro.engine.database import Database
+from repro.errors import JobExecutionError, JobValidationError
+from repro.etl.jobs import Load
+from repro.etl.operators import Row
+
+
+
+class ScdType2Load(Load):
+    """A Load that maintains Type-2 history in a dimension table."""
+
+    def __init__(self, database: Database, table: str,
+                 natural_key: Sequence[str],
+                 tracked: Sequence[str],
+                 effective_date: datetime.date,
+                 surrogate: str = "row_key"):
+        super().__init__(database, table, mode="append")
+        if not natural_key:
+            raise JobValidationError(
+                "SCD2 load needs at least one natural-key column")
+        if not tracked:
+            raise JobValidationError(
+                "SCD2 load needs at least one tracked column")
+        overlap = set(natural_key) & set(tracked)
+        if overlap:
+            raise JobValidationError(
+                f"columns {sorted(overlap)} cannot be both key and "
+                f"tracked")
+        self.natural_key = list(natural_key)
+        self.tracked = list(tracked)
+        self.effective_date = effective_date
+        self.surrogate = surrogate
+
+    def describe(self) -> str:
+        return (f"scd2-load({self.table}, "
+                f"key={'+'.join(self.natural_key)})")
+
+    def _check_contract(self) -> None:
+        schema = self.database.storage(self.table).schema
+        needed = (list(self.natural_key) + list(self.tracked)
+                  + [self.surrogate, "valid_from", "valid_to",
+                     "is_current"])
+        missing = [column for column in needed
+                   if not schema.has_column(column)]
+        if missing:
+            raise JobExecutionError(
+                f"SCD2 target {self.table!r} lacks columns {missing}")
+
+    def _current_version(self, key_values: Sequence[Any]) \
+            -> Dict[str, Any]:
+        predicate = " AND ".join(
+            f"{column} = ?" for column in self.natural_key)
+        rows = self.database.query(
+            f"SELECT * FROM {self.table} "
+            f"WHERE {predicate} AND is_current = TRUE",
+            tuple(key_values))
+        return rows[0] if rows else None
+
+    def _next_surrogate(self) -> int:
+        current = self.database.query_value(
+            f"SELECT MAX({self.surrogate}) FROM {self.table}")
+        return 1 if current is None else int(current) + 1
+
+    def _insert_version(self, row: Row) -> None:
+        values = {column: row.get(column)
+                  for column in self.natural_key + self.tracked}
+        values[self.surrogate] = self._next_surrogate()
+        values["valid_from"] = self.effective_date
+        values["valid_to"] = None
+        values["is_current"] = True
+        columns = ", ".join(values)
+        placeholders = ", ".join("?" for _ in values)
+        self.database.execute(
+            f"INSERT INTO {self.table} ({columns}) "
+            f"VALUES ({placeholders})",
+            tuple(values.values()))
+
+    def _close_version(self, surrogate_value: int) -> None:
+        self.database.execute(
+            f"UPDATE {self.table} SET valid_to = ?, "
+            f"is_current = FALSE WHERE {self.surrogate} = ?",
+            (self.effective_date, surrogate_value))
+
+    def write(self, rows: Iterator[Row]) -> int:
+        """Apply the incoming rows as Type-2 changes.
+
+        Returns the number of *new versions* written (unchanged rows
+        write nothing).
+        """
+        if not self.database.catalog.has_table(self.table):
+            raise JobExecutionError(
+                f"load target table {self.table!r} does not exist")
+        self._check_contract()
+        written = 0
+        for row in rows:
+            missing = [column for column in self.natural_key
+                       if row.get(column) is None]
+            if missing:
+                raise JobExecutionError(
+                    f"SCD2 row lacks natural key {missing[0]!r}: "
+                    f"{row!r}")
+            key_values = [row[column] for column in self.natural_key]
+            current = self._current_version(key_values)
+            if current is None:
+                self._insert_version(row)
+                written += 1
+                continue
+            changed = any(current.get(column) != row.get(column)
+                          for column in self.tracked)
+            if not changed:
+                continue
+            self._close_version(current[self.surrogate])
+            self._insert_version(row)
+            written += 1
+        return written

@@ -1,0 +1,61 @@
+"""Model-driven architecture engineering (MDA + QVT + 2TUP).
+
+This package implements the paper's Section 3.2 machinery:
+
+* :mod:`repro.mda.viewpoints` — the CIM/PIM/PSM model levels, including
+  the paper's BCIM (business CIM) and TCIM (technical CIM) split,
+* :mod:`repro.mda.qvt` — a QVT-lite rule-based model-to-model
+  transformation engine with trace records,
+* :mod:`repro.mda.transformations` — the built-in DW transformation
+  chain (requirements → multidimensional PIM → relational star PSM),
+* :mod:`repro.mda.codegen` — PSM-to-code generation (SQL DDL, ETL job
+  skeletons, OLAP cube definitions),
+* :mod:`repro.mda.process` — the 2 Track Unified Process whose
+  disciplines wrap the MDA transformation chain,
+* :mod:`repro.mda.project` — DW project management on top of 2TUP.
+"""
+
+from repro.mda.codegen import GeneratedArtifacts, generate_code
+from repro.mda.process import (
+    DISCIPLINES,
+    Discipline,
+    Iteration,
+    TwoTrackProcess,
+)
+from repro.mda.project import DwProject, Risk
+from repro.mda.qvt import QvtTransformation, Rule, TraceLink
+from repro.mda.transformations import cim_to_pim, pim_to_psm
+from repro.mda.viewpoints import (
+    BusinessRequirement,
+    CimModel,
+    DimensionSpec,
+    MeasureSpec,
+    PimModel,
+    PsmModel,
+    TechnicalRequirement,
+    Viewpoint,
+)
+
+__all__ = [
+    "BusinessRequirement",
+    "CimModel",
+    "DISCIPLINES",
+    "DimensionSpec",
+    "Discipline",
+    "DwProject",
+    "GeneratedArtifacts",
+    "Iteration",
+    "MeasureSpec",
+    "PimModel",
+    "PsmModel",
+    "QvtTransformation",
+    "Risk",
+    "Rule",
+    "TechnicalRequirement",
+    "TraceLink",
+    "TwoTrackProcess",
+    "Viewpoint",
+    "cim_to_pim",
+    "generate_code",
+    "pim_to_psm",
+]

@@ -1,0 +1,167 @@
+"""Code generation from a PSM: SQL DDL, ETL skeletons, cube definitions.
+
+The paper notes that "the result of an MDA process is a semi-complete
+system code", requiring a *code completion* activity afterwards.  This
+module therefore emits (a) executable DDL, (b) ETL job skeletons whose
+source bindings are completion points, and (c) OLAP cube definitions
+ready for the analysis service — and it reports the open completion
+points explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.cwm import OlapBuilder, RelationalBuilder
+from repro.errors import MdaError
+from repro.mda.viewpoints import PimModel, PsmModel
+from repro.mof.kernel import MofElement
+
+
+@dataclass
+class GeneratedArtifacts:
+    """Everything one codegen run produced."""
+
+    ddl: List[str] = field(default_factory=list)
+    etl_jobs: List[Dict[str, Any]] = field(default_factory=list)
+    cube_definitions: List[Dict[str, Any]] = field(default_factory=list)
+    completion_points: List[str] = field(default_factory=list)
+
+    @property
+    def artifact_count(self) -> int:
+        return len(self.ddl) + len(self.etl_jobs) \
+            + len(self.cube_definitions)
+
+
+def _table_ddl(table: MofElement) -> str:
+    relational = RelationalBuilder
+    parts = []
+    primary = relational.primary_key_of(table)
+    pk_columns = set()
+    if primary is not None:
+        pk_columns = {column.element_id
+                      for column in primary.refs("feature")}
+    for column in relational.columns_of(table):
+        clause = f"{column.name} {column.get('sqlType')}"
+        if column.element_id in pk_columns:
+            clause += " PRIMARY KEY"
+        elif column.get("isNullable") is False:
+            clause += " NOT NULL"
+        parts.append(clause)
+    if not parts:
+        raise MdaError(f"table {table.name!r} has no columns")
+    return f"CREATE TABLE {table.name} ({', '.join(parts)})"
+
+
+def _ordered_tables(psm: PsmModel) -> List[MofElement]:
+    """Tables ordered so FK targets are created before their referrers."""
+    relational = RelationalBuilder
+    tables = psm.tables()
+    by_id = {table.element_id: table for table in tables}
+    owner_of_key: Dict[str, str] = {}
+    for table in tables:
+        for element in table.refs("ownedElement"):
+            if element.is_kind_of("UniqueConstraint"):
+                owner_of_key[element.element_id] = table.element_id
+
+    ordered: List[MofElement] = []
+    visited: Dict[str, str] = {}  # id -> 'doing' | 'done'
+
+    def visit(table: MofElement) -> None:
+        state = visited.get(table.element_id)
+        if state == "done":
+            return
+        if state == "doing":
+            raise MdaError(
+                f"cyclic foreign keys detected at table {table.name!r}")
+        visited[table.element_id] = "doing"
+        for foreign in relational.foreign_keys_of(table):
+            target_key = foreign.ref("uniqueKey")
+            if target_key is None:
+                continue
+            owner = owner_of_key.get(target_key.element_id)
+            if owner is not None and owner != table.element_id:
+                visit(by_id[owner])
+        visited[table.element_id] = "done"
+        ordered.append(table)
+
+    for table in sorted(tables, key=lambda element: element.name or ""):
+        visit(table)
+    return ordered
+
+
+def generate_code(psm: PsmModel,
+                  pim: PimModel = None) -> GeneratedArtifacts:
+    """Generate DDL, ETL skeletons and cube definitions from a PSM.
+
+    Passing the originating ``pim`` lets the generator also emit one
+    cube definition per PIM cube, wired to the PSM fact tables.
+    """
+    artifacts = GeneratedArtifacts()
+    relational = RelationalBuilder
+
+    tables = _ordered_tables(psm)
+    for table in tables:
+        artifacts.ddl.append(_table_ddl(table))
+    for index in psm.extent.instances_of("SQLIndex"):
+        spanned = index.ref("spannedClass")
+        columns = ", ".join(
+            column.name for column in index.refs("indexedFeature"))
+        unique = "UNIQUE " if index.get("isUnique") else ""
+        artifacts.ddl.append(
+            f"CREATE {unique}INDEX {index.name} "
+            f"ON {spanned.name} ({columns})")
+
+    # One load-job skeleton per table; dimensions load before facts.
+    for table in tables:
+        columns = [column.name
+                   for column in relational.columns_of(table)]
+        job = {
+            "name": f"load_{table.name}",
+            "target_table": table.name,
+            "columns": columns,
+            "source": None,  # completion point: bind a real source
+            "kind": "dimension" if table.name.startswith("dim_")
+                    else "fact",
+        }
+        artifacts.etl_jobs.append(job)
+        artifacts.completion_points.append(
+            f"bind extraction source for job load_{table.name}")
+
+    if pim is not None:
+        olap = OlapBuilder(pim.extent)
+        for cube in pim.cubes():
+            fact_name = f"fact_{_normalize(cube.name)}"
+            dimensions = []
+            for dimension in olap.dimensions_of(cube):
+                dimensions.append({
+                    "name": dimension.name,
+                    "table": f"dim_{_normalize(dimension.name)}",
+                    "key": f"{_normalize(dimension.name)}_key",
+                    "levels": [_normalize(level.name)
+                               for level in olap.levels_of(dimension)],
+                })
+            measures = [
+                {
+                    "name": measure.name,
+                    "column": _normalize(measure.name),
+                    "aggregator": measure.get("aggregator") or "sum",
+                }
+                for measure in olap.measures_of(cube)
+            ]
+            artifacts.cube_definitions.append({
+                "name": cube.name,
+                "fact_table": fact_name,
+                "dimensions": dimensions,
+                "measures": measures,
+            })
+    return artifacts
+
+
+def _normalize(name: str) -> str:
+    """Same identifier normalization (and keyword mangling) as the
+    PIM->PSM transformation, so cube definitions always match DDL."""
+    from repro.mda.transformations import _snake
+
+    return _snake(name or "")

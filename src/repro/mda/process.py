@@ -1,0 +1,177 @@
+"""The 2 Track Unified Process (2TUP) adapted for DW engineering.
+
+2TUP is the Y-shaped process: a *functional* branch (business capture)
+and a *technical* branch (platform capture) both feed a *realization*
+branch.  Following the paper's Fig. 3, the realization disciplines wrap
+the MDA transformation chain: analysis yields the BCIM, preliminary
+design the PIM, detailed design the PSM and coding the generated code
+plus its completion.  One :class:`Iteration` develops one component of
+one DW layer; a layer may take several iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ProcessError
+
+FUNCTIONAL = "functional"
+TECHNICAL = "technical"
+REALIZATION = "realization"
+
+
+@dataclass(frozen=True)
+class Discipline:
+    """One 2TUP discipline and the MDA activity it hosts (if any)."""
+
+    name: str
+    branch: str
+    mda_activity: Optional[str] = None
+
+
+#: The disciplines of the adapted 2TUP process, in canonical order.
+DISCIPLINES: List[Discipline] = [
+    Discipline("preliminary-study", FUNCTIONAL),
+    Discipline("business-requirements", FUNCTIONAL, "define-bcim"),
+    Discipline("analysis", FUNCTIONAL, "refine-bcim"),
+    Discipline("technical-requirements", TECHNICAL, "define-tcim"),
+    Discipline("generic-design", TECHNICAL),
+    Discipline("preliminary-design", REALIZATION, "derive-pim"),
+    Discipline("detailed-design", REALIZATION, "derive-psm"),
+    Discipline("coding", REALIZATION, "generate-code"),
+    Discipline("code-completion", REALIZATION, "complete-code"),
+    Discipline("tests", REALIZATION),
+    Discipline("deployment", REALIZATION),
+]
+
+_BY_NAME: Dict[str, Discipline] = {
+    discipline.name: discipline for discipline in DISCIPLINES
+}
+
+
+class Iteration:
+    """One pass through the Y for one component of one DW layer."""
+
+    def __init__(self, number: int, layer: str, component: str = "main"):
+        self.number = number
+        self.layer = layer
+        self.component = component
+        self.completed: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        return (f"<Iteration #{self.number} {self.layer}/{self.component} "
+                f"{len(self.completed)}/{len(DISCIPLINES)} disciplines>")
+
+    # -- discipline ordering rules -------------------------------------------------
+
+    def _branch_done(self, branch: str) -> bool:
+        return all(discipline.name in self.completed
+                   for discipline in DISCIPLINES
+                   if discipline.branch == branch)
+
+    def _predecessors_done(self, target: Discipline) -> bool:
+        ahead = [discipline for discipline in DISCIPLINES
+                 if discipline.branch == target.branch]
+        for discipline in ahead:
+            if discipline.name == target.name:
+                return True
+            if discipline.name not in self.completed:
+                return False
+        return True  # pragma: no cover
+
+    def can_complete(self, discipline_name: str) -> bool:
+        discipline = _BY_NAME.get(discipline_name)
+        if discipline is None:
+            return False
+        if discipline.name in self.completed:
+            return False
+        if discipline.branch == REALIZATION:
+            if not (self._branch_done(FUNCTIONAL)
+                    and self._branch_done(TECHNICAL)):
+                return False
+        return self._predecessors_done(discipline)
+
+    def complete(self, discipline_name: str,
+                 deliverable: Any = None) -> "Iteration":
+        """Mark a discipline finished, attaching its deliverable."""
+        if discipline_name not in _BY_NAME:
+            raise ProcessError(f"unknown discipline {discipline_name!r}")
+        if discipline_name in self.completed:
+            raise ProcessError(
+                f"discipline {discipline_name!r} already completed")
+        if not self.can_complete(discipline_name):
+            raise ProcessError(
+                f"discipline {discipline_name!r} cannot start yet "
+                f"(branch ordering)")
+        self.completed[discipline_name] = deliverable
+        return self
+
+    def deliverable(self, discipline_name: str) -> Any:
+        if discipline_name not in self.completed:
+            raise ProcessError(
+                f"discipline {discipline_name!r} not completed")
+        return self.completed[discipline_name]
+
+    @property
+    def is_complete(self) -> bool:
+        return len(self.completed) == len(DISCIPLINES)
+
+    def progress(self) -> float:
+        return len(self.completed) / len(DISCIPLINES)
+
+
+class TwoTrackProcess:
+    """The engineering process of one DW project.
+
+    Layers are developed bottom-up through iterations; the MDA
+    transformation process runs as a sub-process inside each iteration
+    (the paper: "in our global DW engineering process, the MDA
+    transformation process is a sub-process").
+    """
+
+    def __init__(self, project_name: str, layers: Sequence[str]):
+        if not layers:
+            raise ProcessError("a DW project needs at least one layer")
+        self.project_name = project_name
+        self.layers = list(layers)
+        self.iterations: List[Iteration] = []
+
+    def start_iteration(self, layer: str,
+                        component: str = "main") -> Iteration:
+        if layer not in self.layers:
+            raise ProcessError(
+                f"unknown layer {layer!r}; project layers are "
+                f"{self.layers}")
+        iteration = Iteration(len(self.iterations) + 1, layer, component)
+        self.iterations.append(iteration)
+        return iteration
+
+    def iterations_for(self, layer: str) -> List[Iteration]:
+        return [iteration for iteration in self.iterations
+                if iteration.layer == layer]
+
+    def layer_complete(self, layer: str) -> bool:
+        done = self.iterations_for(layer)
+        return bool(done) and all(
+            iteration.is_complete for iteration in done)
+
+    @property
+    def is_complete(self) -> bool:
+        return all(self.layer_complete(layer) for layer in self.layers)
+
+    def discipline_matrix(self) -> List[Dict[str, Any]]:
+        """Per-iteration completion status — the Fig. 3 view."""
+        matrix = []
+        for iteration in self.iterations:
+            matrix.append({
+                "iteration": iteration.number,
+                "layer": iteration.layer,
+                "component": iteration.component,
+                "disciplines": {
+                    discipline.name: discipline.name in iteration.completed
+                    for discipline in DISCIPLINES
+                },
+                "progress": iteration.progress(),
+            })
+        return matrix

@@ -1,0 +1,102 @@
+"""DW project management over the 2TUP process.
+
+Carries the project-level concerns the MDDWS management layer exposes:
+layers, risks (the paper stresses DW projects are "exposed to several
+technical risks"), artifact registry and progress reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ProcessError
+from repro.mda.process import TwoTrackProcess
+
+#: The classical data-warehousing architecture layers (Inmon-style),
+#: used as the default layer decomposition for new projects.
+DEFAULT_LAYERS = ("source", "staging", "warehouse", "datamart")
+
+_SEVERITIES = ("low", "medium", "high", "critical")
+
+
+@dataclass
+class Risk:
+    """A tracked project risk with its mitigation."""
+
+    title: str
+    severity: str = "medium"
+    mitigation: str = ""
+    open: bool = True
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ProcessError(
+                f"risk severity must be one of {_SEVERITIES}, "
+                f"got {self.severity!r}")
+
+
+class DwProject:
+    """One data-warehouse development project."""
+
+    def __init__(self, name: str,
+                 layers: Sequence[str] = DEFAULT_LAYERS,
+                 description: str = ""):
+        self.name = name
+        self.description = description
+        self.process = TwoTrackProcess(name, layers)
+        self.risks: List[Risk] = []
+        self.artifacts: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        return (f"<DwProject {self.name!r} layers={self.process.layers} "
+                f"iterations={len(self.process.iterations)}>")
+
+    # -- risk management -----------------------------------------------------------
+
+    def add_risk(self, title: str, severity: str = "medium",
+                 mitigation: str = "") -> Risk:
+        risk = Risk(title, severity, mitigation)
+        self.risks.append(risk)
+        return risk
+
+    def close_risk(self, title: str) -> None:
+        for risk in self.risks:
+            if risk.title == title and risk.open:
+                risk.open = False
+                return
+        raise ProcessError(f"no open risk titled {title!r}")
+
+    def open_risks(self, minimum_severity: str = "low") -> List[Risk]:
+        threshold = _SEVERITIES.index(minimum_severity)
+        return [risk for risk in self.risks
+                if risk.open
+                and _SEVERITIES.index(risk.severity) >= threshold]
+
+    # -- artifact registry ----------------------------------------------------------
+
+    def register_artifact(self, key: str, artifact: Any) -> None:
+        if key in self.artifacts:
+            raise ProcessError(f"artifact {key!r} already registered")
+        self.artifacts[key] = artifact
+
+    def artifact(self, key: str) -> Any:
+        if key not in self.artifacts:
+            raise ProcessError(f"no artifact registered as {key!r}")
+        return self.artifacts[key]
+
+    # -- reporting --------------------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        process = self.process
+        return {
+            "project": self.name,
+            "layers": {
+                layer: process.layer_complete(layer)
+                for layer in process.layers
+            },
+            "iterations": len(process.iterations),
+            "complete": process.is_complete,
+            "open_risks": len(self.open_risks()),
+            "artifacts": sorted(self.artifacts),
+        }

@@ -1,0 +1,120 @@
+"""QVT-lite: rule-based model-to-model transformation with tracing.
+
+A transformation is an ordered list of :class:`Rule` objects.  Each
+rule matches elements of one source metaclass (optionally guarded) and
+produces target elements; every production is recorded as a
+:class:`TraceLink`, so later rules — and callers — can resolve where a
+source element went.  This mirrors QVT-Relations' ``when``/``where``
+resolution in a deliberately small package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import TransformationError
+from repro.mof.kernel import ModelExtent, MofElement
+
+
+@dataclass
+class TraceLink:
+    """One source-to-target production record."""
+
+    rule: str
+    source_id: str
+    target_ids: List[str]
+
+
+class TransformationContext:
+    """Shared state while one transformation executes."""
+
+    def __init__(self, source: ModelExtent, target: ModelExtent):
+        self.source = source
+        self.target = target
+        self.traces: List[TraceLink] = []
+        self._by_source: Dict[str, List[MofElement]] = {}
+
+    def record(self, rule_name: str, source_element: MofElement,
+               targets: Sequence[MofElement]) -> None:
+        self.traces.append(TraceLink(
+            rule_name,
+            source_element.element_id,
+            [target.element_id for target in targets]))
+        self._by_source.setdefault(
+            source_element.element_id, []).extend(targets)
+
+    def resolve(self, source_element: MofElement,
+                class_name: Optional[str] = None) -> MofElement:
+        """The target element a source element was transformed into.
+
+        With ``class_name`` the lookup is narrowed to targets of that
+        metaclass.  Raises TransformationError when unresolved — the
+        QVT analogue of a failed ``when`` clause.
+        """
+        candidates = self._by_source.get(source_element.element_id, [])
+        if class_name is not None:
+            candidates = [element for element in candidates
+                          if element.is_kind_of(class_name)]
+        if not candidates:
+            raise TransformationError(
+                f"no target produced yet for {source_element!r}"
+                + (f" of kind {class_name}" if class_name else ""))
+        return candidates[0]
+
+    def try_resolve(self, source_element: MofElement,
+                    class_name: Optional[str] = None) \
+            -> Optional[MofElement]:
+        try:
+            return self.resolve(source_element, class_name)
+        except TransformationError:
+            return None
+
+
+class Rule:
+    """One mapping rule: for each matching source element, produce targets.
+
+    ``produce`` receives ``(element, context)`` and returns the created
+    target element(s) — a single element, a list, or None to skip.
+    """
+
+    def __init__(self, name: str, source_class: str,
+                 produce: Callable[[MofElement, TransformationContext],
+                                   Any],
+                 guard: Optional[Callable[[MofElement], bool]] = None):
+        self.name = name
+        self.source_class = source_class
+        self.produce = produce
+        self.guard = guard
+
+    def matches(self, element: MofElement) -> bool:
+        if not element.is_kind_of(self.source_class):
+            return False
+        return self.guard is None or bool(self.guard(element))
+
+
+class QvtTransformation:
+    """An ordered set of rules executed over a source extent."""
+
+    def __init__(self, name: str, rules: Sequence[Rule]):
+        if not rules:
+            raise TransformationError(
+                f"transformation {name!r} has no rules")
+        self.name = name
+        self.rules = list(rules)
+
+    def run(self, source: ModelExtent,
+            target: ModelExtent) -> TransformationContext:
+        """Apply every rule in order; returns the context with traces."""
+        context = TransformationContext(source, target)
+        for rule in self.rules:
+            for element in source.instances_of(rule.source_class):
+                if not rule.matches(element):
+                    continue
+                produced = rule.produce(element, context)
+                if produced is None:
+                    continue
+                if isinstance(produced, MofElement):
+                    produced = [produced]
+                context.record(rule.name, element, produced)
+        return context

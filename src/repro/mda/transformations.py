@@ -1,0 +1,183 @@
+"""The built-in DW transformation chain (CIM → PIM → PSM).
+
+``cim_to_pim`` turns captured business requirements into a CWM OLAP
+model; ``pim_to_psm`` is a QVT transformation deriving a relational
+star schema from that OLAP model.  Together with
+:func:`repro.mda.codegen.generate_code` they realize the paper's
+"definition of the layer BCIM ... ends with components code
+generation" pipeline (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cwm import OlapBuilder, RelationalBuilder
+from repro.errors import TransformationError
+from repro.mda.qvt import QvtTransformation, Rule, TransformationContext
+from repro.mda.viewpoints import (
+    CimModel,
+    PimModel,
+    PsmModel,
+    TechnicalRequirement,
+)
+from repro.mof.kernel import MofElement
+
+
+def _snake(name: str) -> str:
+    """Snake-case an identifier, dodging SQL reserved words.
+
+    Generated DDL must be directly executable on the engine, so a
+    level or measure named e.g. ``group`` is mangled to ``group_``
+    (standard codegen identifier-mangling).
+    """
+    from repro.engine.parser import _KEYWORDS
+
+    cleaned = []
+    for char in name.strip():
+        if char.isalnum():
+            cleaned.append(char.lower())
+        else:
+            cleaned.append("_")
+    text = "".join(cleaned)
+    while "__" in text:
+        text = text.replace("__", "_")
+    text = text.strip("_")
+    if text.upper() in _KEYWORDS:
+        text += "_"
+    return text
+
+
+def cim_to_pim(cim: CimModel) -> Tuple[PimModel, List[Dict[str, str]]]:
+    """Derive the multidimensional PIM from the business requirements.
+
+    Each business requirement becomes one cube; each dimension spec
+    becomes a (shared, name-deduplicated) dimension with one hierarchy
+    holding its levels.  Returns the PIM plus a trace list.
+    """
+    pim = PimModel(f"{cim.name}-pim")
+    olap = OlapBuilder(pim.extent)
+    schema = olap.olap_schema(f"{_snake(cim.name)}_olap")
+    traces: List[Dict[str, str]] = []
+    shared_dimensions: Dict[str, MofElement] = {}
+
+    for requirement in cim.requirements:
+        cube = olap.cube(schema, requirement.subject)
+        traces.append({
+            "rule": "requirement-to-cube",
+            "source": requirement.subject,
+            "target": cube.element_id,
+        })
+        for spec in requirement.dimensions:
+            dimension = shared_dimensions.get(spec.name)
+            if dimension is None:
+                dimension = olap.dimension(
+                    schema, spec.name, is_time=spec.is_time)
+                olap.hierarchy(dimension, f"{_snake(spec.name)}_h",
+                               spec.levels)
+                shared_dimensions[spec.name] = dimension
+                traces.append({
+                    "rule": "dimension-spec-to-dimension",
+                    "source": spec.name,
+                    "target": dimension.element_id,
+                })
+            olap.associate(cube, dimension)
+        for measure in requirement.measures:
+            element = olap.measure(
+                cube, measure.name, aggregator=measure.aggregator)
+            traces.append({
+                "rule": "measure-spec-to-measure",
+                "source": measure.name,
+                "target": element.element_id,
+            })
+    problems = pim.validate()
+    if problems:
+        raise TransformationError(
+            f"cim_to_pim produced an invalid PIM: {problems}")
+    return pim, traces
+
+
+def pim_to_psm(pim: PimModel,
+               technical: Optional[TechnicalRequirement] = None) \
+        -> Tuple[PsmModel, TransformationContext]:
+    """QVT transformation: OLAP PIM → relational star-schema PSM.
+
+    * every OlapSchema maps to a relational Schema,
+    * every Dimension maps to a ``dim_*`` table (surrogate key when the
+      TCIM asks for one, plus one column per hierarchy level),
+    * every Cube maps to a ``fact_*`` table with one foreign key per
+      associated dimension and one numeric column per measure.
+    """
+    technical = technical or TechnicalRequirement()
+    psm = PsmModel(f"{pim.name}-psm", platform=technical.target_platform)
+    relational = RelationalBuilder(psm.extent)
+    olap = OlapBuilder(pim.extent)
+
+    def map_schema(element: MofElement,
+                   context: TransformationContext) -> MofElement:
+        return relational.schema(_snake(element.name or "dw"))
+
+    def map_dimension(element: MofElement,
+                      context: TransformationContext) -> List[MofElement]:
+        olap_schema = element.ref("olapSchema")
+        if olap_schema is None:
+            raise TransformationError(
+                f"dimension {element.name!r} has no OLAP schema")
+        schema = context.resolve(olap_schema, "Schema")
+        table_name = f"dim_{_snake(element.name)}"
+        table = relational.table(schema, table_name)
+        produced = [table]
+        if technical.surrogate_keys:
+            key = relational.column(
+                table, f"{_snake(element.name)}_key", "INTEGER",
+                nullable=False)
+            relational.primary_key(table, f"pk_{table_name}", [key])
+            produced.append(key)
+        for level in olap.levels_of(element):
+            produced.append(relational.column(
+                table, _snake(level.name), "TEXT"))
+        if technical.history_tracking:
+            produced.append(relational.column(
+                table, "valid_from", "DATE"))
+            produced.append(relational.column(
+                table, "valid_to", "DATE"))
+        return produced
+
+    def map_cube(element: MofElement,
+                 context: TransformationContext) -> List[MofElement]:
+        olap_schema = element.ref("olapSchema")
+        if olap_schema is None:
+            raise TransformationError(
+                f"cube {element.name!r} has no OLAP schema")
+        schema = context.resolve(olap_schema, "Schema")
+        table_name = f"fact_{_snake(element.name)}"
+        table = relational.table(schema, table_name)
+        produced = [table]
+        for dimension in olap.dimensions_of(element):
+            dim_table = context.resolve(dimension, "Table")
+            fk_column = relational.column(
+                table, f"{_snake(dimension.name)}_key", "INTEGER",
+                nullable=False)
+            produced.append(fk_column)
+            primary = relational.primary_key_of(dim_table)
+            if primary is not None:
+                relational.foreign_key(
+                    table,
+                    f"fk_{table_name}_{_snake(dimension.name)}",
+                    [fk_column], primary)
+        for measure in olap.measures_of(element):
+            produced.append(relational.column(
+                table, _snake(measure.name), "REAL"))
+        return produced
+
+    transformation = QvtTransformation("pim2psm", [
+        Rule("schema-to-schema", "OlapSchema", map_schema),
+        Rule("dimension-to-table", "Dimension", map_dimension),
+        Rule("cube-to-fact-table", "Cube", map_cube),
+    ])
+    context = transformation.run(pim.extent, psm.extent)
+    problems = psm.validate()
+    if problems:
+        raise TransformationError(
+            f"pim_to_psm produced an invalid PSM: {problems}")
+    return psm, context

@@ -1,0 +1,200 @@
+"""MDA viewpoints (CIM, PIM, PSM) for data-warehouse engineering.
+
+Following the paper, each DW layer is designed through a chain of
+models: a *computation-independent* requirements model split into
+business (BCIM) and technical (TCIM) parts, a *platform-independent*
+multidimensional model, and a *platform-specific* relational model.
+The PIM and PSM are CWM model extents; the CIM is a structured
+requirements capture.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cwm import cwm_metamodel
+from repro.errors import MdaError
+from repro.mof.kernel import ModelExtent
+
+
+class Viewpoint(enum.Enum):
+    """The MDA model levels used by the DW design framework."""
+
+    BCIM = "business-cim"
+    TCIM = "technical-cim"
+    PIM = "pim"
+    PSM = "psm"
+    CODE = "code"
+
+
+@dataclass
+class MeasureSpec:
+    """A numeric fact requested by the business (CIM level)."""
+
+    name: str
+    aggregator: str = "sum"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.aggregator not in ("sum", "avg", "min", "max", "count"):
+            raise MdaError(
+                f"measure {self.name!r}: unknown aggregator "
+                f"{self.aggregator!r}")
+
+
+@dataclass
+class DimensionSpec:
+    """An analysis axis requested by the business (CIM level).
+
+    ``levels`` are ordered from coarsest to finest (year → month → day).
+    """
+
+    name: str
+    levels: List[str] = field(default_factory=list)
+    is_time: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            self.levels = [self.name.lower()]
+
+
+@dataclass
+class BusinessRequirement:
+    """One analytical subject area — the unit the BCIM is made of.
+
+    This is the goal/user-driven capture: *what* the business wants to
+    analyse, before any platform decisions.
+    """
+
+    subject: str
+    measures: List[MeasureSpec]
+    dimensions: List[DimensionSpec]
+    goal: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.measures:
+            raise MdaError(
+                f"requirement {self.subject!r} needs at least one measure")
+        if not self.dimensions:
+            raise MdaError(
+                f"requirement {self.subject!r} needs at least one dimension")
+
+
+@dataclass
+class TechnicalRequirement:
+    """The TCIM: platform constraints shared by every layer."""
+
+    target_platform: str = "repro-engine"
+    naming_convention: str = "snake_case"
+    surrogate_keys: bool = True
+    history_tracking: bool = False
+
+
+class CimModel:
+    """The computation-independent model: BCIM + TCIM."""
+
+    def __init__(self, name: str,
+                 requirements: Sequence[BusinessRequirement],
+                 technical: Optional[TechnicalRequirement] = None):
+        if not requirements:
+            raise MdaError("a CIM needs at least one business requirement")
+        self.name = name
+        self.viewpoint = Viewpoint.BCIM
+        self.requirements = list(requirements)
+        self.technical = technical or TechnicalRequirement()
+
+    def __repr__(self) -> str:
+        return (f"<CimModel {self.name!r} "
+                f"subjects={[r.subject for r in self.requirements]}>")
+
+    def subject_names(self) -> List[str]:
+        return [requirement.subject for requirement in self.requirements]
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CimModel":
+        """Build a CIM from its JSON form (the MDDWS web API input).
+
+        Shape::
+
+            {"name": "retail",
+             "requirements": [
+               {"subject": "Sales", "goal": "...",
+                "measures": [{"name": "revenue",
+                              "aggregator": "sum"}],
+                "dimensions": [{"name": "Time",
+                                "levels": ["year", "month"],
+                                "is_time": true}]}],
+             "technical": {"surrogate_keys": true,
+                           "history_tracking": false}}
+        """
+        if not isinstance(payload, dict) or "name" not in payload:
+            raise MdaError("CIM payload needs a 'name' field")
+        requirements = []
+        for entry in payload.get("requirements", []):
+            measures = [
+                MeasureSpec(item["name"],
+                            item.get("aggregator", "sum"),
+                            item.get("description", ""))
+                for item in entry.get("measures", [])
+            ]
+            dimensions = [
+                DimensionSpec(item["name"],
+                              list(item.get("levels", [])),
+                              bool(item.get("is_time", False)),
+                              item.get("description", ""))
+                for item in entry.get("dimensions", [])
+            ]
+            requirements.append(BusinessRequirement(
+                subject=entry["subject"],
+                measures=measures,
+                dimensions=dimensions,
+                goal=entry.get("goal", "")))
+        technical_payload = payload.get("technical", {})
+        technical = TechnicalRequirement(
+            target_platform=technical_payload.get(
+                "target_platform", "repro-engine"),
+            naming_convention=technical_payload.get(
+                "naming_convention", "snake_case"),
+            surrogate_keys=bool(technical_payload.get(
+                "surrogate_keys", True)),
+            history_tracking=bool(technical_payload.get(
+                "history_tracking", False)))
+        return cls(payload["name"], requirements, technical)
+
+
+class PimModel:
+    """Platform-independent model: a CWM OLAP extent."""
+
+    def __init__(self, name: str, extent: Optional[ModelExtent] = None):
+        self.name = name
+        self.viewpoint = Viewpoint.PIM
+        self.extent = extent or ModelExtent(cwm_metamodel(), name)
+
+    def cubes(self) -> List:
+        return self.extent.instances_of("Cube")
+
+    def dimensions(self) -> List:
+        return self.extent.instances_of("Dimension")
+
+    def validate(self) -> List[str]:
+        return self.extent.validate()
+
+
+class PsmModel:
+    """Platform-specific model: a CWM Relational extent plus platform tag."""
+
+    def __init__(self, name: str, platform: str = "repro-engine",
+                 extent: Optional[ModelExtent] = None):
+        self.name = name
+        self.platform = platform
+        self.viewpoint = Viewpoint.PSM
+        self.extent = extent or ModelExtent(cwm_metamodel(), name)
+
+    def tables(self) -> List:
+        return self.extent.instances_of("Table")
+
+    def validate(self) -> List[str]:
+        return self.extent.validate()

@@ -1,0 +1,40 @@
+"""Meta-Object Facility kernel (the MOF/JMI/MDR substitute).
+
+The paper's domain model implements CWM through the Java Metadata
+Interface over a MOF repository (Sun's MDR).  This package provides the
+equivalent reflective facility in Python:
+
+* :class:`MetaClass`/:class:`MetaAttribute`/:class:`MetaReference` —
+  the M3-level constructs used to *define* metamodels (M2),
+* :class:`Metamodel` — a validated set of metaclasses,
+* :class:`ModelExtent` — a container of reflective model elements (M1)
+  instantiated from a metamodel, with validation,
+* :mod:`repro.mof.xmi` — XML Metadata Interchange-style serialization,
+* :mod:`repro.mof.constraints` — OCL-lite well-formedness rules.
+"""
+
+from repro.mof.constraints import Constraint, ConstraintChecker
+from repro.mof.kernel import (
+    MetaAttribute,
+    MetaClass,
+    MetaReference,
+    Metamodel,
+    ModelExtent,
+    MofElement,
+)
+from repro.mof.registry import MetamodelRegistry
+from repro.mof.xmi import read_xmi, write_xmi
+
+__all__ = [
+    "Constraint",
+    "ConstraintChecker",
+    "MetaAttribute",
+    "MetaClass",
+    "MetaReference",
+    "Metamodel",
+    "MetamodelRegistry",
+    "ModelExtent",
+    "MofElement",
+    "read_xmi",
+    "write_xmi",
+]

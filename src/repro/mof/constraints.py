@@ -1,0 +1,63 @@
+"""OCL-lite well-formedness constraints over model extents.
+
+A :class:`Constraint` is a named predicate scoped to one metaclass
+(covering its subclasses); a :class:`ConstraintChecker` evaluates a set
+of constraints against an extent and reports violations.  This stands
+in for the OCL rules that accompany CWM in the paper's design layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.mof.kernel import ModelExtent, MofElement
+
+
+@dataclass
+class Violation:
+    constraint: str
+    element_id: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.constraint}] {self.element_id}: {self.message}"
+
+
+class Constraint:
+    """A named invariant over instances of one metaclass."""
+
+    def __init__(self, name: str, class_name: str,
+                 predicate: Callable[[MofElement], bool],
+                 message: str):
+        self.name = name
+        self.class_name = class_name
+        self.predicate = predicate
+        self.message = message
+
+    def check(self, element: MofElement) -> bool:
+        return bool(self.predicate(element))
+
+
+class ConstraintChecker:
+    """Evaluates constraints against every matching element."""
+
+    def __init__(self, constraints: List[Constraint] = None):
+        self.constraints: List[Constraint] = list(constraints or [])
+
+    def add(self, constraint: Constraint) -> "ConstraintChecker":
+        self.constraints.append(constraint)
+        return self
+
+    def check(self, extent: ModelExtent) -> List[Violation]:
+        violations: List[Violation] = []
+        for constraint in self.constraints:
+            for element in extent.instances_of(constraint.class_name):
+                if not constraint.check(element):
+                    violations.append(Violation(
+                        constraint.name, element.element_id,
+                        constraint.message))
+        return violations
+
+    def is_satisfied(self, extent: ModelExtent) -> bool:
+        return not self.check(extent)

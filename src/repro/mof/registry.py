@@ -1,0 +1,46 @@
+"""Registry of installed metamodels.
+
+Mirrors the MDR repository's catalogue: ODBIS installs CWM, CWMX and
+the platform-specific metamodels here, then instantiates extents from
+them by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import MetamodelError
+from repro.mof.kernel import Metamodel, ModelExtent
+
+
+class MetamodelRegistry:
+    """Name-indexed collection of metamodels."""
+
+    def __init__(self) -> None:
+        self._metamodels: Dict[str, Metamodel] = {}
+
+    def install(self, metamodel: Metamodel) -> Metamodel:
+        if metamodel.name in self._metamodels:
+            raise MetamodelError(
+                f"metamodel {metamodel.name!r} is already installed")
+        self._metamodels[metamodel.name] = metamodel
+        return metamodel
+
+    def uninstall(self, name: str) -> None:
+        if name not in self._metamodels:
+            raise MetamodelError(f"metamodel {name!r} is not installed")
+        del self._metamodels[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._metamodels)
+
+    def get(self, name: str) -> Metamodel:
+        metamodel = self._metamodels.get(name)
+        if metamodel is None:
+            raise MetamodelError(f"metamodel {name!r} is not installed")
+        return metamodel
+
+    def create_extent(self, metamodel_name: str,
+                      extent_name: str = "extent") -> ModelExtent:
+        """Instantiate a fresh extent of an installed metamodel."""
+        return ModelExtent(self.get(metamodel_name), extent_name)

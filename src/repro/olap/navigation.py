@@ -1,0 +1,112 @@
+"""Stateful cube navigation: drill-down, roll-up, slice and dice.
+
+The paper's analysis service offers "data cube visualization and
+navigation"; this module is the navigation state machine behind that
+UI.  A navigator tracks, per dimension, the currently displayed level
+(or none) and the active slicers, and materializes the corresponding
+cell set on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.olap.engine import CellSet, OlapEngine
+
+
+class CubeNavigator:
+    """Interactive navigation over one cube."""
+
+    def __init__(self, engine: OlapEngine,
+                 measures: Optional[List[str]] = None):
+        self.engine = engine
+        self.schema = engine.schema
+        self.measures = list(measures or self.schema.measure_names())
+        # dimension name -> index into its level list, or None (rolled up)
+        self._depth: Dict[str, Optional[int]] = {
+            dimension.name: None for dimension in self.schema.dimensions
+        }
+        self._slicers: Dict[Tuple[str, str], Any] = {}
+        self.breadcrumbs: List[str] = []
+
+    # -- navigation operations ---------------------------------------------------
+
+    def drill_down(self, dimension_name: str) -> "CubeNavigator":
+        """Show the next finer level of a dimension."""
+        dimension = self.schema.dimension(dimension_name)
+        depth = self._depth[dimension.name]
+        next_depth = 0 if depth is None else depth + 1
+        if next_depth >= len(dimension.levels):
+            raise QueryError(
+                f"dimension {dimension.name!r} is already at its "
+                f"finest level {dimension.levels[-1]!r}")
+        self._depth[dimension.name] = next_depth
+        self.breadcrumbs.append(
+            f"drill-down {dimension.name} -> "
+            f"{dimension.levels[next_depth]}")
+        return self
+
+    def roll_up(self, dimension_name: str) -> "CubeNavigator":
+        """Collapse a dimension one level (or out of the view)."""
+        dimension = self.schema.dimension(dimension_name)
+        depth = self._depth[dimension.name]
+        if depth is None:
+            raise QueryError(
+                f"dimension {dimension.name!r} is already rolled up")
+        self._depth[dimension.name] = depth - 1 if depth > 0 else None
+        self.breadcrumbs.append(f"roll-up {dimension.name}")
+        return self
+
+    def slice(self, dimension_name: str, level: str,
+              member: Any) -> "CubeNavigator":
+        """Fix one member of a dimension level."""
+        dimension = self.schema.dimension(dimension_name)
+        dimension.level_index(level)
+        self._slicers[(dimension.name, level)] = member
+        self.breadcrumbs.append(
+            f"slice {dimension.name}.{level} = {member!r}")
+        return self
+
+    def dice(self, dimension_name: str, level: str,
+             members: List[Any]) -> "CubeNavigator":
+        """Restrict a dimension level to a member subset."""
+        dimension = self.schema.dimension(dimension_name)
+        dimension.level_index(level)
+        self._slicers[(dimension.name, level)] = list(members)
+        self.breadcrumbs.append(
+            f"dice {dimension.name}.{level} in {members!r}")
+        return self
+
+    def clear_slice(self, dimension_name: str,
+                    level: str) -> "CubeNavigator":
+        self._slicers.pop((dimension_name, level), None)
+        self.breadcrumbs.append(
+            f"clear-slice {dimension_name}.{level}")
+        return self
+
+    def reset(self) -> "CubeNavigator":
+        for name in self._depth:
+            self._depth[name] = None
+        self._slicers.clear()
+        self.breadcrumbs.append("reset")
+        return self
+
+    # -- current state -------------------------------------------------------------
+
+    def visible_axes(self) -> List[Tuple[str, str]]:
+        axes: List[Tuple[str, str]] = []
+        for dimension in self.schema.dimensions:
+            depth = self._depth[dimension.name]
+            if depth is not None:
+                axes.append((dimension.name, dimension.levels[depth]))
+        return axes
+
+    def active_slicers(self) -> List[Tuple[str, str, Any]]:
+        return [(dimension, level, member)
+                for (dimension, level), member in self._slicers.items()]
+
+    def current_view(self) -> CellSet:
+        """Materialize the cell set for the current navigation state."""
+        return self.engine.query(
+            self.measures, self.visible_axes(), self.active_slicers())

@@ -1,0 +1,50 @@
+"""Object-relational persistence layer (the JPA/Hibernate substitute).
+
+ODBIS services define *entities* — plain Python classes whose fields map
+to table columns — and manipulate them through a :class:`Session`
+implementing the unit-of-work and identity-map patterns, exactly the
+role JPA + Hibernate play in the paper's Fig. 5 stack.
+
+Quickstart::
+
+    from repro.engine import Database
+    from repro.orm import Entity, FieldSpec, Session, create_schema, entity
+
+    @entity(table="users", fields=[
+        FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+        FieldSpec("username", "TEXT", nullable=False, unique=True),
+    ])
+    class User(Entity):
+        pass
+
+    db = Database()
+    create_schema(db, [User])
+    with Session(db) as session:
+        user = User(username="ada")
+        session.add(user)
+        session.commit()
+"""
+
+from repro.orm.mapping import (
+    Entity,
+    FieldSpec,
+    ReferenceSpec,
+    create_schema,
+    entity,
+    mapping_of,
+)
+from repro.orm.query import CriteriaQuery
+from repro.orm.repository import Repository
+from repro.orm.session import Session
+
+__all__ = [
+    "CriteriaQuery",
+    "Entity",
+    "FieldSpec",
+    "ReferenceSpec",
+    "Repository",
+    "Session",
+    "create_schema",
+    "entity",
+    "mapping_of",
+]

@@ -1,0 +1,255 @@
+"""Entity-to-table mapping metadata.
+
+An entity is declared with the :func:`entity` class decorator, which
+attaches an :class:`EntityMapping` describing the backing table.  The
+decorator is the Python analogue of JPA's ``@Entity`` + ``@Column``
+annotations in the paper's persistence layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from repro.engine.database import Database
+from repro.engine.types import SqlType
+from repro.errors import MappingError
+
+
+@dataclass
+class ReferenceSpec:
+    """A many-to-one association resolved through the session.
+
+    ``column`` is the foreign-key field on this entity; ``target`` is
+    the referenced entity class.  Access via the generated property
+    lazily loads the target through the owning session (like JPA's
+    ``@ManyToOne(fetch = LAZY)``).
+    """
+
+    name: str
+    target: type
+    column: str
+
+
+@dataclass
+class FieldSpec:
+    """One persistent field of an entity."""
+
+    name: str
+    type_name: str
+    primary_key: bool = False
+    nullable: bool = True
+    unique: bool = False
+    default: Any = None
+    generated: bool = False  # surrogate key assigned by the session
+
+    def __post_init__(self) -> None:
+        self.sql_type = SqlType.from_sql(self.type_name)
+        if self.generated and not self.primary_key:
+            raise MappingError(
+                f"generated field {self.name!r} must be the primary key")
+
+
+class EntityMapping:
+    """The table mapping attached to an entity class."""
+
+    def __init__(self, entity_class: Type, table: str,
+                 fields: Sequence[FieldSpec],
+                 references: Sequence["ReferenceSpec"] = ()):
+        if not fields:
+            raise MappingError(
+                f"entity {entity_class.__name__} maps no fields")
+        primary = [spec for spec in fields if spec.primary_key]
+        if len(primary) != 1:
+            raise MappingError(
+                f"entity {entity_class.__name__} must have exactly one "
+                f"primary-key field, found {len(primary)}")
+        names = [spec.name for spec in fields]
+        if len(set(names)) != len(names):
+            raise MappingError(
+                f"entity {entity_class.__name__} maps duplicate fields")
+        self.entity_class = entity_class
+        self.table = table
+        self.fields = list(fields)
+        self.references = list(references)
+        for reference in self.references:
+            if reference.column not in names:
+                raise MappingError(
+                    f"reference {reference.name!r} uses unknown "
+                    f"column {reference.column!r}")
+            if reference.name in names:
+                raise MappingError(
+                    f"reference {reference.name!r} clashes with a "
+                    f"field name")
+        self.primary_key = primary[0]
+        self.field_names = names
+
+    def __repr__(self) -> str:
+        return (f"<EntityMapping {self.entity_class.__name__} "
+                f"-> {self.table}>")
+
+    def ddl(self) -> str:
+        """The CREATE TABLE statement for this mapping."""
+        parts = []
+        for spec in self.fields:
+            clause = f"{spec.name} {spec.type_name}"
+            if spec.primary_key:
+                clause += " PRIMARY KEY"
+            elif not spec.nullable:
+                clause += " NOT NULL"
+            if spec.unique and not spec.primary_key:
+                clause += " UNIQUE"
+            if spec.default is not None:
+                if isinstance(spec.default, str):
+                    escaped = spec.default.replace("'", "''")
+                    clause += f" DEFAULT '{escaped}'"
+                elif isinstance(spec.default, bool):
+                    clause += f" DEFAULT {'TRUE' if spec.default else 'FALSE'}"
+                else:
+                    clause += f" DEFAULT {spec.default}"
+            parts.append(clause)
+        return f"CREATE TABLE {self.table} ({', '.join(parts)})"
+
+    def state_of(self, instance: Any) -> Dict[str, Any]:
+        """The persistent state of ``instance`` as a column->value dict."""
+        return {
+            spec.name: getattr(instance, spec.name, None)
+            for spec in self.fields
+        }
+
+    def identity_of(self, instance: Any) -> Any:
+        return getattr(instance, self.primary_key.name, None)
+
+    def instantiate(self, row: Dict[str, Any]) -> Any:
+        """Build an entity instance from a database row."""
+        instance = self.entity_class.__new__(self.entity_class)
+        for spec in self.fields:
+            setattr(instance, spec.name, row.get(spec.name))
+        return instance
+
+
+class Entity:
+    """Convenience base class giving entities a keyword constructor."""
+
+    def __init__(self, **values: Any):
+        mapping = mapping_of(type(self))
+        unknown = [key for key in values if key not in mapping.field_names]
+        if unknown:
+            raise MappingError(
+                f"{type(self).__name__} has no persistent field "
+                f"{unknown[0]!r}")
+        for spec in mapping.fields:
+            setattr(self, spec.name, values.get(spec.name, spec.default))
+
+    def __repr__(self) -> str:
+        mapping = getattr(type(self), "__mapping__", None)
+        if mapping is None:
+            return super().__repr__()
+        pk = mapping.identity_of(self)
+        return f"<{type(self).__name__} {mapping.primary_key.name}={pk!r}>"
+
+    def __eq__(self, other: Any) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        mapping = mapping_of(type(self))
+        return mapping.state_of(self) == mapping.state_of(other)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+def entity(table: str, fields: Sequence[FieldSpec],
+           references: Sequence[ReferenceSpec] = ()):
+    """Class decorator attaching an :class:`EntityMapping`.
+
+    ``references`` adds lazy many-to-one association properties::
+
+        @entity(table="orders",
+                fields=[..., FieldSpec("customer_id", "INTEGER")],
+                references=[ReferenceSpec("customer", Customer,
+                                          "customer_id")])
+        class Order(Entity): ...
+
+        order.customer          # lazy session lookup by customer_id
+        order.customer = ada    # sets customer_id from ada's key
+    """
+
+    def decorate(cls: Type) -> Type:
+        cls.__mapping__ = EntityMapping(cls, table, fields, references)
+        for reference in references:
+            setattr(cls, reference.name,
+                    _association_property(reference))
+        return cls
+
+    return decorate
+
+
+def _association_property(reference: ReferenceSpec) -> property:
+    slot = f"_ref_{reference.name}"
+
+    def getter(self):
+        pending = getattr(self, slot, None)
+        if pending is not None:
+            return pending
+        foreign_key = getattr(self, reference.column, None)
+        if foreign_key is None:
+            return None
+        session = getattr(self, "_session", None)
+        if session is None:
+            raise MappingError(
+                f"cannot lazily load {reference.name!r}: instance is "
+                f"not attached to a session")
+        return session.get(reference.target, foreign_key)
+
+    def setter(self, target):
+        if target is None:
+            setattr(self, slot, None)
+            setattr(self, reference.column, None)
+            return
+        if not isinstance(target, reference.target):
+            raise MappingError(
+                f"{reference.name!r} expects "
+                f"{reference.target.__name__}, got "
+                f"{type(target).__name__}")
+        # Remember the object; the key may not exist yet (generated
+        # at flush), so the FK column is re-resolved on every flush.
+        setattr(self, slot, target)
+        setattr(self, reference.column,
+                mapping_of(type(target)).identity_of(target))
+
+    return property(getter, setter)
+
+
+def resolve_pending_references(instance: Any) -> None:
+    """Refresh FK columns from assigned association objects.
+
+    Called by the session before computing an instance's persistent
+    state, so associations assigned before the target's key generation
+    still store the right foreign key.
+    """
+    mapping = mapping_of(type(instance))
+    for reference in mapping.references:
+        target = getattr(instance, f"_ref_{reference.name}", None)
+        if target is not None:
+            setattr(instance, reference.column,
+                    mapping_of(type(target)).identity_of(target))
+
+
+def mapping_of(entity_class: Type) -> EntityMapping:
+    mapping = getattr(entity_class, "__mapping__", None)
+    if mapping is None:
+        raise MappingError(
+            f"{entity_class.__name__} is not a mapped entity "
+            f"(missing @entity decorator)")
+    return mapping
+
+
+def create_schema(database: Database, entity_classes: Sequence[Type],
+                  if_not_exists: bool = False) -> None:
+    """Create the backing table for each entity class."""
+    for entity_class in entity_classes:
+        mapping = mapping_of(entity_class)
+        ddl = mapping.ddl()
+        if if_not_exists:
+            ddl = ddl.replace("CREATE TABLE ", "CREATE TABLE IF NOT EXISTS ", 1)
+        database.execute(ddl)

@@ -1,0 +1,122 @@
+"""Criteria queries over mapped entities.
+
+A small fluent query API in the spirit of the JPA criteria API: build a
+WHERE clause from keyword equality filters and raw predicates, then
+fetch mapped instances through the session so they land in the identity
+map.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import OrmError
+from repro.orm.mapping import mapping_of
+
+
+class CriteriaQuery:
+    """A composable SELECT over one entity class."""
+
+    def __init__(self, session, entity_class: Type):
+        self._session = session
+        self._entity_class = entity_class
+        self._mapping = mapping_of(entity_class)
+        self._predicates: List[str] = []
+        self._params: List[Any] = []
+        self._order: List[str] = []
+        self._limit: Optional[int] = None
+        self._offset: Optional[int] = None
+
+    # -- builders -------------------------------------------------------------
+
+    def filter_by(self, **criteria: Any) -> "CriteriaQuery":
+        """Add equality predicates: ``filter_by(name='ada', active=True)``.
+
+        A ``None`` value becomes an ``IS NULL`` predicate.
+        """
+        for name, value in criteria.items():
+            if name not in self._mapping.field_names:
+                raise OrmError(
+                    f"{self._entity_class.__name__} has no field {name!r}")
+            if value is None:
+                self._predicates.append(f"{name} IS NULL")
+            else:
+                self._predicates.append(f"{name} = ?")
+                self._params.append(value)
+        return self
+
+    def where(self, predicate: str, params: Sequence[Any] = ()) \
+            -> "CriteriaQuery":
+        """Add a raw SQL predicate with positional parameters."""
+        self._predicates.append(f"({predicate})")
+        self._params.extend(params)
+        return self
+
+    def order_by(self, *fields: str) -> "CriteriaQuery":
+        """Order by field names; prefix with ``-`` for descending."""
+        for field in fields:
+            if field.startswith("-"):
+                name, direction = field[1:], "DESC"
+            else:
+                name, direction = field, "ASC"
+            if name not in self._mapping.field_names:
+                raise OrmError(
+                    f"{self._entity_class.__name__} has no field {name!r}")
+            self._order.append(f"{name} {direction}")
+        return self
+
+    def limit(self, count: int) -> "CriteriaQuery":
+        self._limit = int(count)
+        return self
+
+    def offset(self, count: int) -> "CriteriaQuery":
+        self._offset = int(count)
+        return self
+
+    # -- execution -------------------------------------------------------------
+
+    def _sql(self, projection: str) -> str:
+        sql = f"SELECT {projection} FROM {self._mapping.table}"
+        if self._predicates:
+            sql += " WHERE " + " AND ".join(self._predicates)
+        if self._order and projection == "*":
+            sql += " ORDER BY " + ", ".join(self._order)
+        if self._limit is not None and projection == "*":
+            sql += f" LIMIT {self._limit}"
+        if self._offset is not None and projection == "*":
+            sql += f" OFFSET {self._offset}"
+        return sql
+
+    def list(self) -> List[Any]:
+        """Run the query and return mapped entity instances."""
+        rows = self._session.database.query(
+            self._sql("*"), tuple(self._params))
+        return [
+            self._session._register_loaded(self._mapping, row)
+            for row in rows
+        ]
+
+    def first(self) -> Optional[Any]:
+        previous = self._limit
+        self._limit = 1
+        try:
+            results = self.list()
+        finally:
+            self._limit = previous
+        return results[0] if results else None
+
+    def one(self) -> Any:
+        """Exactly one result — raises OrmError otherwise."""
+        results = self.list()
+        if len(results) != 1:
+            raise OrmError(
+                f"expected exactly one {self._entity_class.__name__}, "
+                f"found {len(results)}")
+        return results[0]
+
+    def count(self) -> int:
+        return int(self._session.database.query_value(
+            self._sql("COUNT(*)"), tuple(self._params)))
+
+    def exists(self) -> bool:
+        return self.count() > 0

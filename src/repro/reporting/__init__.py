@@ -1,0 +1,42 @@
+"""Reporting substrate: BIRT-style designs, ad-hoc reports, dashboards.
+
+The reporting service (RS) in the paper supports two paths, both
+implemented here:
+
+* **BIRT reporting** — upload an XML report design and execute it
+  (:mod:`repro.reporting.birt`),
+* **ad-hoc reporting** — assemble chart reports, data-table reports and
+  dashboards programmatically (:mod:`repro.reporting.adhoc`).
+
+Rendering to text and HTML lives in :mod:`repro.reporting.render`.
+"""
+
+from repro.reporting.adhoc import AdhocReportBuilder
+from repro.reporting.birt import BirtRunner, ReportDesign, parse_report_design
+from repro.reporting.definitions import DashboardDefinition, ElementDefinition
+from repro.reporting.pivot import pivot_cellset
+from repro.reporting.model import (
+    ChartSpec,
+    Dashboard,
+    DataTableSpec,
+    RenderedChart,
+    RenderedTable,
+)
+from repro.reporting.render import render_dashboard_html, render_dashboard_text
+
+__all__ = [
+    "AdhocReportBuilder",
+    "DashboardDefinition",
+    "ElementDefinition",
+    "pivot_cellset",
+    "BirtRunner",
+    "ChartSpec",
+    "Dashboard",
+    "DataTableSpec",
+    "RenderedChart",
+    "RenderedTable",
+    "ReportDesign",
+    "parse_report_design",
+    "render_dashboard_html",
+    "render_dashboard_text",
+]

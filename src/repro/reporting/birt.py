@@ -1,0 +1,256 @@
+"""BIRT-style XML report designs and their runner.
+
+A report design is an XML document declaring parameters, data sets
+(SQL over a data source) and report items (tables and charts) bound to
+those data sets — structurally the same contract as a ``.rptdesign``
+file.  :class:`BirtRunner` executes a design against an embedded
+database, producing rendered tables and charts.
+
+Example design::
+
+    <report name="regional-sales">
+      <parameter name="year" type="int" default="2020"/>
+      <data-set name="sales"
+                query="SELECT region, revenue FROM v WHERE year = :year"/>
+      <table name="by-region" data-set="sales"
+             columns="region,revenue"/>
+      <chart name="rev" kind="bar" data-set="sales"
+             category="region" value="revenue"/>
+    </report>
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.database import Database
+from repro.errors import RenderError, ReportDefinitionError
+from repro.reporting.adhoc import AdhocReportBuilder
+from repro.reporting.model import (
+    ChartSpec,
+    DataTableSpec,
+    RenderedChart,
+    RenderedTable,
+)
+
+_PARAM_TYPES = {
+    "str": str,
+    "int": int,
+    "float": float,
+}
+
+_NAMED_PARAM = re.compile(r":([A-Za-z_][A-Za-z0-9_]*)")
+
+
+@dataclass
+class ReportParameter:
+    name: str
+    type_name: str = "str"
+    default: Any = None
+    required: bool = False
+
+    def coerce(self, value: Any) -> Any:
+        converter = _PARAM_TYPES[self.type_name]
+        try:
+            return converter(value)
+        except (TypeError, ValueError) as exc:
+            raise RenderError(
+                f"parameter {self.name!r}: cannot convert "
+                f"{value!r} to {self.type_name}") from exc
+
+
+@dataclass
+class ReportDataSet:
+    name: str
+    query: str
+
+
+@dataclass
+class ReportItem:
+    kind: str  # 'table' | 'chart'
+    data_set: str
+    spec: Any  # DataTableSpec | ChartSpec
+
+
+@dataclass
+class ReportDesign:
+    """A parsed report design."""
+
+    name: str
+    parameters: List[ReportParameter] = field(default_factory=list)
+    data_sets: List[ReportDataSet] = field(default_factory=list)
+    items: List[ReportItem] = field(default_factory=list)
+
+    def parameter(self, name: str) -> ReportParameter:
+        for parameter in self.parameters:
+            if parameter.name == name:
+                return parameter
+        raise ReportDefinitionError(
+            f"report {self.name!r} has no parameter {name!r}")
+
+    def data_set(self, name: str) -> ReportDataSet:
+        for data_set in self.data_sets:
+            if data_set.name == name:
+                return data_set
+        raise ReportDefinitionError(
+            f"report {self.name!r} has no data set {name!r}")
+
+
+def parse_report_design(document: str) -> ReportDesign:
+    """Parse a report-design XML document."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ReportDefinitionError(
+            f"malformed report design: {exc}") from exc
+    if root.tag != "report":
+        raise ReportDefinitionError(
+            f"expected <report> root, found <{root.tag}>")
+    name = root.get("name")
+    if not name:
+        raise ReportDefinitionError("report design needs a name")
+    design = ReportDesign(name=name)
+
+    for node in root:
+        if node.tag == "parameter":
+            type_name = node.get("type", "str")
+            if type_name not in _PARAM_TYPES:
+                raise ReportDefinitionError(
+                    f"parameter {node.get('name')!r}: unknown type "
+                    f"{type_name!r}")
+            parameter = ReportParameter(
+                name=_required(node, "name"),
+                type_name=type_name,
+                required=node.get("required", "false") == "true")
+            default = node.get("default")
+            if default is not None:
+                parameter.default = parameter.coerce(default)
+            design.parameters.append(parameter)
+        elif node.tag == "data-set":
+            design.data_sets.append(ReportDataSet(
+                name=_required(node, "name"),
+                query=_required(node, "query")))
+        elif node.tag == "table":
+            columns = [column.strip() for column in
+                       _required(node, "columns").split(",")]
+            spec = DataTableSpec(
+                name=_required(node, "name"),
+                columns=columns,
+                sort_by=node.get("sort-by"),
+                descending=node.get("descending", "false") == "true",
+                limit=int(node.get("limit"))
+                if node.get("limit") else None)
+            design.items.append(ReportItem(
+                "table", _required(node, "data-set"), spec))
+        elif node.tag == "chart":
+            spec = ChartSpec(
+                name=_required(node, "name"),
+                kind=_required(node, "kind"),
+                category=_required(node, "category"),
+                value=_required(node, "value"),
+                aggregator=node.get("aggregator", "sum"))
+            design.items.append(ReportItem(
+                "chart", _required(node, "data-set"), spec))
+        else:
+            raise ReportDefinitionError(
+                f"unknown report element <{node.tag}>")
+
+    known_sets = {data_set.name for data_set in design.data_sets}
+    for item in design.items:
+        if item.data_set not in known_sets:
+            raise ReportDefinitionError(
+                f"item {item.spec.name!r} references unknown "
+                f"data set {item.data_set!r}")
+    if not design.items:
+        raise ReportDefinitionError(
+            f"report {name!r} declares no tables or charts")
+    return design
+
+
+def _required(node: ET.Element, attribute: str) -> str:
+    value = node.get(attribute)
+    if value is None:
+        raise ReportDefinitionError(
+            f"<{node.tag}> is missing the {attribute!r} attribute")
+    return value
+
+
+@dataclass
+class ReportOutput:
+    """The result of executing a report design."""
+
+    design: ReportDesign
+    elements: List[Any]  # RenderedChart | RenderedTable
+    parameters: Dict[str, Any]
+
+    def element(self, name: str) -> Any:
+        for element in self.elements:
+            if element.name == name:
+                return element
+        raise RenderError(
+            f"report output has no element {name!r}")
+
+
+class BirtRunner:
+    """Executes report designs against an embedded database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    def run(self, design: ReportDesign,
+            parameters: Optional[Dict[str, Any]] = None) -> ReportOutput:
+        values = self._resolve_parameters(design, parameters or {})
+        data: Dict[str, List[Dict[str, Any]]] = {}
+        for data_set in design.data_sets:
+            sql, params = self._bind(data_set.query, values)
+            data[data_set.name] = self.database.query(sql, params)
+        elements: List[Any] = []
+        for item in design.items:
+            builder = AdhocReportBuilder(data[item.data_set])
+            if item.kind == "table":
+                elements.append(builder.table(item.spec))
+            else:
+                elements.append(builder.chart(item.spec))
+        return ReportOutput(design, elements, values)
+
+    def _resolve_parameters(self, design: ReportDesign,
+                            given: Dict[str, Any]) -> Dict[str, Any]:
+        known = {parameter.name for parameter in design.parameters}
+        unknown = [name for name in given if name not in known]
+        if unknown:
+            raise RenderError(
+                f"report {design.name!r} has no parameter "
+                f"{unknown[0]!r}")
+        values: Dict[str, Any] = {}
+        for parameter in design.parameters:
+            if parameter.name in given:
+                values[parameter.name] = parameter.coerce(
+                    given[parameter.name])
+            elif parameter.default is not None:
+                values[parameter.name] = parameter.default
+            elif parameter.required:
+                raise RenderError(
+                    f"missing required parameter {parameter.name!r}")
+            else:
+                values[parameter.name] = None
+        return values
+
+    @staticmethod
+    def _bind(query: str, values: Dict[str, Any]) \
+            -> Tuple[str, Tuple[Any, ...]]:
+        """Replace ``:name`` placeholders with positional parameters."""
+        ordered: List[Any] = []
+
+        def substitute(match: "re.Match[str]") -> str:
+            name = match.group(1)
+            if name not in values:
+                raise RenderError(
+                    f"query references unknown parameter {name!r}")
+            ordered.append(values[name])
+            return "?"
+
+        sql = _NAMED_PARAM.sub(substitute, query)
+        return sql, tuple(ordered)

@@ -1,0 +1,157 @@
+"""Dashboard definitions: stored specs re-rendered from live data.
+
+A :class:`DashboardDefinition` records *how* to build a dashboard —
+which data set feeds each chart/table spec, laid out in rows — so the
+reporting service can persist it and re-render it on every access with
+fresh data (the "publish dashboards" behaviour of real BI suites).
+Definitions serialize to/from JSON-able dicts for storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.errors import ReportDefinitionError
+from repro.reporting.adhoc import AdhocReportBuilder
+from repro.reporting.model import ChartSpec, Dashboard, DataTableSpec
+
+#: dataset-name -> rows; how definitions fetch data at render time.
+DatasetResolver = Callable[[str], List[Dict[str, Any]]]
+
+
+@dataclass
+class ElementDefinition:
+    """One widget: a spec plus the data set feeding it."""
+
+    dataset: str
+    spec: Any  # ChartSpec | DataTableSpec
+
+    def to_dict(self) -> Dict[str, Any]:
+        if isinstance(self.spec, ChartSpec):
+            return {
+                "kind": "chart",
+                "dataset": self.dataset,
+                "name": self.spec.name,
+                "chart_kind": self.spec.kind,
+                "category": self.spec.category,
+                "value": self.spec.value,
+                "aggregator": self.spec.aggregator,
+            }
+        return {
+            "kind": "table",
+            "dataset": self.dataset,
+            "name": self.spec.name,
+            "columns": list(self.spec.columns),
+            "sort_by": self.spec.sort_by,
+            "descending": self.spec.descending,
+            "limit": self.spec.limit,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ElementDefinition":
+        kind = payload.get("kind")
+        if kind == "chart":
+            spec: Any = ChartSpec(
+                payload["name"], payload["chart_kind"],
+                payload["category"], payload["value"],
+                payload.get("aggregator", "sum"))
+        elif kind == "table":
+            spec = DataTableSpec(
+                payload["name"], list(payload["columns"]),
+                payload.get("sort_by"),
+                bool(payload.get("descending", False)),
+                payload.get("limit"))
+        else:
+            raise ReportDefinitionError(
+                f"unknown element kind {kind!r}")
+        return cls(payload["dataset"], spec)
+
+
+class DashboardDefinition:
+    """A named, persistable dashboard layout."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self._rows: List[List[ElementDefinition]] = []
+
+    def add_row(self, *elements: ElementDefinition) \
+            -> "DashboardDefinition":
+        if not elements:
+            raise ReportDefinitionError(
+                "a dashboard row needs at least one element")
+        self._rows.append(list(elements))
+        return self
+
+    def chart(self, dataset: str, name: str, kind: str,
+              category: str, value: str,
+              aggregator: str = "sum") -> ElementDefinition:
+        return ElementDefinition(
+            dataset, ChartSpec(name, kind, category, value, aggregator))
+
+    def table(self, dataset: str, name: str,
+              columns: Sequence[str], sort_by: str = None,
+              descending: bool = False,
+              limit: int = None) -> ElementDefinition:
+        return ElementDefinition(
+            dataset, DataTableSpec(name, list(columns), sort_by,
+                                   descending, limit))
+
+    @property
+    def rows(self) -> List[List[ElementDefinition]]:
+        return [list(row) for row in self._rows]
+
+    def datasets(self) -> List[str]:
+        """The distinct data sets this dashboard reads."""
+        seen: List[str] = []
+        for row in self._rows:
+            for element in row:
+                if element.dataset not in seen:
+                    seen.append(element.dataset)
+        return seen
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self, resolve: DatasetResolver) -> Dashboard:
+        """Materialize the dashboard from live data."""
+        if not self._rows:
+            raise ReportDefinitionError(
+                f"dashboard {self.name!r} has no rows")
+        builders = {
+            dataset: AdhocReportBuilder(resolve(dataset))
+            for dataset in self.datasets()
+        }
+        dashboard = Dashboard(self.name, self.description)
+        for row in self._rows:
+            rendered = []
+            for element in row:
+                builder = builders[element.dataset]
+                if isinstance(element.spec, ChartSpec):
+                    rendered.append(builder.chart(element.spec))
+                else:
+                    rendered.append(builder.table(element.spec))
+            dashboard.add_row(*rendered)
+        return dashboard
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "rows": [[element.to_dict() for element in row]
+                     for row in self._rows],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) \
+            -> "DashboardDefinition":
+        definition = cls(payload["name"],
+                         payload.get("description", ""))
+        for row in payload.get("rows", []):
+            definition.add_row(*[
+                ElementDefinition.from_dict(element)
+                for element in row
+            ])
+        return definition

@@ -1,0 +1,129 @@
+"""Report element specifications and their rendered forms.
+
+Specs describe *what* to show (a chart of measure Y by category X, a
+table of columns); rendered elements carry the materialized data.  A
+:class:`Dashboard` is a named grid of rendered elements — the artefact
+of the paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReportDefinitionError
+
+CHART_KINDS = ("bar", "line", "pie")
+
+
+@dataclass
+class ChartSpec:
+    """A chart definition: aggregate ``value`` by ``category``."""
+
+    name: str
+    kind: str
+    category: str
+    value: str
+    aggregator: str = "sum"
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHART_KINDS:
+            raise ReportDefinitionError(
+                f"chart {self.name!r}: kind must be one of "
+                f"{CHART_KINDS}, got {self.kind!r}")
+        if self.aggregator not in ("sum", "avg", "min", "max", "count"):
+            raise ReportDefinitionError(
+                f"chart {self.name!r}: bad aggregator "
+                f"{self.aggregator!r}")
+
+
+@dataclass
+class DataTableSpec:
+    """A tabular report definition."""
+
+    name: str
+    columns: List[str]
+    sort_by: Optional[str] = None
+    descending: bool = False
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ReportDefinitionError(
+                f"data table {self.name!r} needs at least one column")
+
+
+@dataclass
+class RenderedChart:
+    """A chart with its materialized (category, value) series."""
+
+    spec: ChartSpec
+    series: List[Tuple[Any, Any]]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def categories(self) -> List[Any]:
+        return [category for category, _value in self.series]
+
+    def values(self) -> List[Any]:
+        return [value for _category, value in self.series]
+
+
+@dataclass
+class RenderedTable:
+    """A data table with its materialized rows."""
+
+    spec: DataTableSpec
+    rows: List[Dict[str, Any]]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def column_values(self, column: str) -> List[Any]:
+        if column not in self.spec.columns:
+            raise ReportDefinitionError(
+                f"table {self.name!r} has no column {column!r}")
+        return [row.get(column) for row in self.rows]
+
+
+class Dashboard:
+    """A named collection of rendered report elements laid out in rows."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self._rows: List[List[Any]] = []
+
+    def add_row(self, *elements: Any) -> "Dashboard":
+        """Add one layout row of charts/tables."""
+        if not elements:
+            raise ReportDefinitionError(
+                "a dashboard row needs at least one element")
+        for element in elements:
+            if not isinstance(element, (RenderedChart, RenderedTable)):
+                raise ReportDefinitionError(
+                    f"dashboards hold rendered charts/tables, "
+                    f"got {type(element).__name__}")
+        self._rows.append(list(elements))
+        return self
+
+    @property
+    def rows(self) -> List[List[Any]]:
+        return [list(row) for row in self._rows]
+
+    def element_names(self) -> List[str]:
+        return [element.name for row in self._rows for element in row]
+
+    def element(self, name: str) -> Any:
+        for row in self._rows:
+            for element in row:
+                if element.name == name:
+                    return element
+        raise ReportDefinitionError(
+            f"dashboard {self.name!r} has no element {name!r}")
+
+    def __len__(self) -> int:
+        return sum(len(row) for row in self._rows)

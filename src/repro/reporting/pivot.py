@@ -1,0 +1,80 @@
+"""Pivot (crosstab) rendering of OLAP cell sets.
+
+Turns a two-axis cell set into the classic crosstab the analysis
+service shows during cube navigation: first axis as rows, second as
+columns, one measure in the cells, with row/column totals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReportDefinitionError
+from repro.olap.engine import CellSet
+from repro.reporting.model import DataTableSpec, RenderedTable
+
+_TOTAL_LABEL = "TOTAL"
+
+
+def pivot_cellset(cells: CellSet, measure: str,
+                  name: Optional[str] = None,
+                  totals: bool = True) -> RenderedTable:
+    """Crosstab a 2-axis cell set on ``measure``.
+
+    The first axis becomes the row header, the second axis's members
+    become columns.  With ``totals`` a TOTAL column and row are added
+    (sums; missing cells count as 0 only if any cell is present).
+    """
+    if measure not in cells.measures:
+        raise ReportDefinitionError(
+            f"cell set has no measure {measure!r}")
+    if len(cells.axes) != 2:
+        raise ReportDefinitionError(
+            f"pivot needs exactly 2 axes, cell set has "
+            f"{len(cells.axes)}")
+    row_axis, column_axis = cells.axis_columns()
+    row_members: List[Any] = []
+    column_members: List[Any] = []
+    values: Dict[tuple, Any] = {}
+    for record in cells.rows:
+        row_member = record[row_axis]
+        column_member = record[column_axis]
+        if row_member not in row_members:
+            row_members.append(row_member)
+        if column_member not in column_members:
+            column_members.append(column_member)
+        values[(row_member, column_member)] = record[measure]
+
+    header = [row_axis] + [str(member) for member in column_members]
+    if totals:
+        header.append(_TOTAL_LABEL)
+    rows: List[Dict[str, Any]] = []
+    column_sums: Dict[str, float] = {}
+    for row_member in row_members:
+        row: Dict[str, Any] = {row_axis: row_member}
+        row_total = 0.0
+        saw_value = False
+        for column_member in column_members:
+            value = values.get((row_member, column_member))
+            row[str(column_member)] = value
+            if isinstance(value, (int, float)):
+                row_total += value
+                saw_value = True
+                column_sums[str(column_member)] = \
+                    column_sums.get(str(column_member), 0.0) + value
+        if totals:
+            row[_TOTAL_LABEL] = row_total if saw_value else None
+        rows.append(row)
+    if totals and rows:
+        grand: Dict[str, Any] = {row_axis: _TOTAL_LABEL}
+        grand_total = 0.0
+        for column_member in column_members:
+            column_total = column_sums.get(str(column_member))
+            grand[str(column_member)] = column_total
+            if column_total is not None:
+                grand_total += column_total
+        grand[_TOTAL_LABEL] = grand_total
+        rows.append(grand)
+    spec = DataTableSpec(
+        name or f"pivot:{measure}", columns=header)
+    return RenderedTable(spec, rows)

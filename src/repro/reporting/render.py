@@ -1,0 +1,161 @@
+"""Renderers: dashboards and report elements to text and HTML.
+
+The text renderer draws ASCII bar charts and aligned tables for
+terminal delivery; the HTML renderer emits a self-contained document
+for browser delivery — the two channels the information delivery
+service routes to by default.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, List
+
+from repro.errors import RenderError
+from repro.reporting.model import Dashboard, RenderedChart, RenderedTable
+
+_BAR_WIDTH = 40
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def render_chart_text(chart: RenderedChart) -> str:
+    """An ASCII bar representation of a chart (any kind)."""
+    lines = [f"=== {chart.name} ({chart.spec.kind}) ==="]
+    numeric = [value for value in chart.values()
+               if isinstance(value, (int, float))]
+    peak = max((abs(value) for value in numeric), default=0)
+    label_width = max(
+        (len(_format_value(category))
+         for category in chart.categories()), default=0)
+    for category, value in chart.series:
+        label = _format_value(category).rjust(label_width)
+        if isinstance(value, (int, float)) and peak > 0:
+            bar = "#" * max(1, round(abs(value) / peak * _BAR_WIDTH))
+        else:
+            bar = ""
+        lines.append(f"{label} | {bar} {_format_value(value)}")
+    return "\n".join(lines)
+
+
+def render_table_text(table: RenderedTable) -> str:
+    """An aligned plain-text table."""
+    columns = table.spec.columns
+    widths = {column: len(column) for column in columns}
+    formatted_rows: List[List[str]] = []
+    for row in table.rows:
+        formatted = [_format_value(row.get(column)) for column in columns]
+        formatted_rows.append(formatted)
+        for column, text in zip(columns, formatted):
+            widths[column] = max(widths[column], len(text))
+    header = " | ".join(column.ljust(widths[column])
+                        for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = [f"=== {table.name} ===", header, separator]
+    for formatted in formatted_rows:
+        lines.append(" | ".join(
+            text.ljust(widths[column])
+            for column, text in zip(columns, formatted)))
+    return "\n".join(lines)
+
+
+def render_element_text(element: Any) -> str:
+    if isinstance(element, RenderedChart):
+        return render_chart_text(element)
+    if isinstance(element, RenderedTable):
+        return render_table_text(element)
+    raise RenderError(
+        f"cannot render a {type(element).__name__} as text")
+
+
+def render_dashboard_text(dashboard: Dashboard) -> str:
+    """The whole dashboard as plain text (row by row)."""
+    sections = [f"### Dashboard: {dashboard.name} ###"]
+    if dashboard.description:
+        sections.append(dashboard.description)
+    for row in dashboard.rows:
+        for element in row:
+            sections.append(render_element_text(element))
+    return "\n\n".join(sections)
+
+
+# -- HTML ---------------------------------------------------------------------
+
+
+def _chart_html(chart: RenderedChart) -> str:
+    rows = []
+    numeric = [value for value in chart.values()
+               if isinstance(value, (int, float))]
+    peak = max((abs(value) for value in numeric), default=0)
+    for category, value in chart.series:
+        if isinstance(value, (int, float)) and peak > 0:
+            width = max(1, round(abs(value) / peak * 100))
+        else:
+            width = 0
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(_format_value(category))}</td>"
+            f"<td><div class='bar' style='width:{width}%'></div></td>"
+            f"<td>{html.escape(_format_value(value))}</td>"
+            "</tr>")
+    return (
+        f"<div class='chart chart-{chart.spec.kind}'>"
+        f"<h3>{html.escape(chart.name)}</h3>"
+        f"<table>{''.join(rows)}</table></div>")
+
+
+def _table_html(table: RenderedTable) -> str:
+    header = "".join(
+        f"<th>{html.escape(column)}</th>"
+        for column in table.spec.columns)
+    body = []
+    for row in table.rows:
+        cells = "".join(
+            f"<td>{html.escape(_format_value(row.get(column)))}</td>"
+            for column in table.spec.columns)
+        body.append(f"<tr>{cells}</tr>")
+    return (
+        f"<div class='data-table'><h3>{html.escape(table.name)}</h3>"
+        f"<table><thead><tr>{header}</tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table></div>")
+
+
+_STYLE = (
+    "body{font-family:sans-serif}"
+    ".dashboard-row{display:flex;gap:1em}"
+    ".bar{background:#4a90d9;height:1em}"
+    "table{border-collapse:collapse}"
+    "td,th{padding:2px 8px;border:1px solid #ccc}"
+)
+
+
+def render_dashboard_html(dashboard: Dashboard) -> str:
+    """A self-contained HTML document for the dashboard."""
+    rows_html = []
+    for row in dashboard.rows:
+        cells = []
+        for element in row:
+            if isinstance(element, RenderedChart):
+                cells.append(_chart_html(element))
+            elif isinstance(element, RenderedTable):
+                cells.append(_table_html(element))
+            else:
+                raise RenderError(
+                    f"cannot render a {type(element).__name__} as HTML")
+        rows_html.append(
+            f"<div class='dashboard-row'>{''.join(cells)}</div>")
+    description = (
+        f"<p>{html.escape(dashboard.description)}</p>"
+        if dashboard.description else "")
+    return (
+        "<!DOCTYPE html><html><head>"
+        f"<title>{html.escape(dashboard.name)}</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        f"<h1>{html.escape(dashboard.name)}</h1>{description}"
+        f"{''.join(rows_html)}</body></html>")

@@ -1,0 +1,26 @@
+"""Business rules management (the Drools substitute).
+
+"The Business Rules Management (BRM) implements the decision logic"
+(paper §3.3): a SaaS platform shared by customers with different
+business processes needs a rules engine to orchestrate its services.
+This package provides:
+
+* :mod:`repro.rules.model` — facts, conditions and rules,
+* :mod:`repro.rules.engine` — a forward-chaining engine with an agenda
+  ordered by salience and refraction (no activation fires twice),
+* :mod:`repro.rules.dsl` — a small textual rule language compiled to
+  rule objects through a sandboxed expression evaluator.
+"""
+
+from repro.rules.dsl import parse_rules
+from repro.rules.engine import RuleEngine, WorkingMemory
+from repro.rules.model import Condition, Fact, Rule
+
+__all__ = [
+    "Condition",
+    "Fact",
+    "Rule",
+    "RuleEngine",
+    "WorkingMemory",
+    "parse_rules",
+]

@@ -1,0 +1,174 @@
+"""Forward-chaining inference with an agenda.
+
+The engine repeatedly computes *activations* (a rule plus a consistent
+set of fact bindings), orders them by salience, and fires them.
+Refraction is enforced: the same rule never fires twice on the same
+fact combination unless one of those facts was modified in between.
+Actions mutate working memory through an :class:`ActionContext`, which
+is what triggers further chaining.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RulesError
+from repro.rules.model import Condition, Fact, Rule
+
+_DEFAULT_CYCLE_LIMIT = 10_000
+
+
+class WorkingMemory:
+    """The set of facts the engine reasons over."""
+
+    def __init__(self) -> None:
+        self._facts: Dict[int, Fact] = {}
+        self.versions: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self):
+        return iter(list(self._facts.values()))
+
+    def insert(self, fact: Fact) -> Fact:
+        self._facts[fact.fact_id] = fact
+        self.versions[fact.fact_id] = 0
+        return fact
+
+    def retract(self, fact: Fact) -> None:
+        if fact.fact_id not in self._facts:
+            raise RulesError(f"fact {fact!r} is not in working memory")
+        del self._facts[fact.fact_id]
+        del self.versions[fact.fact_id]
+
+    def touch(self, fact: Fact) -> None:
+        """Mark a fact as modified so refraction allows re-firing."""
+        if fact.fact_id in self.versions:
+            self.versions[fact.fact_id] += 1
+
+    def contains(self, fact: Fact) -> bool:
+        return fact.fact_id in self._facts
+
+    def by_type(self, fact_type: str) -> List[Fact]:
+        return [fact for fact in self._facts.values()
+                if fact.fact_type == fact_type]
+
+    def facts(self) -> List[Fact]:
+        return list(self._facts.values())
+
+
+class ActionContext:
+    """What a rule action may do: read bindings, mutate memory, log."""
+
+    def __init__(self, engine: "RuleEngine",
+                 bindings: Dict[str, Fact]):
+        self._engine = engine
+        self.bindings = bindings
+        self.memory = engine.memory
+
+    def __getitem__(self, variable: str) -> Fact:
+        if variable not in self.bindings:
+            raise RulesError(f"no bound variable {variable!r}")
+        return self.bindings[variable]
+
+    def insert(self, fact: Fact) -> Fact:
+        return self.memory.insert(fact)
+
+    def retract(self, fact: Fact) -> None:
+        self.memory.retract(fact)
+
+    def modify(self, fact: Fact, **changes: Any) -> None:
+        """Update fact attributes; only real changes re-arm refraction."""
+        changed = False
+        for name, value in changes.items():
+            if name not in fact or fact.get(name) != value:
+                fact.set(name, value)
+                changed = True
+        if changed:
+            self.memory.touch(fact)
+
+    def log(self, message: str) -> None:
+        self._engine.log.append(message)
+
+
+class RuleEngine:
+    """Fires rules over a working memory until quiescence."""
+
+    def __init__(self, rules: Sequence[Rule],
+                 memory: Optional[WorkingMemory] = None,
+                 cycle_limit: int = _DEFAULT_CYCLE_LIMIT):
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise RulesError("duplicate rule names in the rule set")
+        self.rules = sorted(rules, key=lambda rule: -rule.salience)
+        self.memory = memory or WorkingMemory()
+        self.cycle_limit = cycle_limit
+        self.log: List[str] = []
+        self.fired: List[Tuple[str, Tuple[int, ...]]] = []
+        self._refraction: Set[Tuple[str, Tuple[Tuple[int, int], ...]]] = set()
+
+    # -- matching -----------------------------------------------------------------
+
+    def _activations(self) -> List[Tuple[Rule, Dict[str, Fact]]]:
+        activations: List[Tuple[Rule, Dict[str, Fact]]] = []
+        for rule in self.rules:
+            for bindings in self._match_rule(rule):
+                signature = (rule.name, tuple(sorted(
+                    (fact.fact_id, self.memory.versions[fact.fact_id])
+                    for fact in bindings.values())))
+                if signature in self._refraction:
+                    continue
+                activations.append((rule, bindings))
+        return activations
+
+    def _match_rule(self, rule: Rule) -> List[Dict[str, Fact]]:
+        partial: List[Dict[str, Fact]] = [{}]
+        for condition in rule.conditions:
+            extended: List[Dict[str, Fact]] = []
+            candidates = self.memory.by_type(condition.fact_type)
+            for bindings in partial:
+                used = {fact.fact_id for fact in bindings.values()}
+                for fact in candidates:
+                    if fact.fact_id in used:
+                        continue
+                    if condition.matches(fact, bindings):
+                        extended.append(
+                            {**bindings, condition.variable: fact})
+            partial = extended
+            if not partial:
+                break
+        return partial
+
+    # -- firing --------------------------------------------------------------------
+
+    def run(self, max_firings: Optional[int] = None) -> int:
+        """Fire until quiescence; returns the number of rule firings."""
+        firings = 0
+        cycles = 0
+        while True:
+            cycles += 1
+            if cycles > self.cycle_limit:
+                raise RulesError(
+                    f"rule engine exceeded {self.cycle_limit} cycles "
+                    f"(runaway rules?)")
+            activations = self._activations()
+            if not activations:
+                return firings
+            activations.sort(key=lambda pair: -pair[0].salience)
+            rule, bindings = activations[0]
+            signature = (rule.name, tuple(sorted(
+                (fact.fact_id, self.memory.versions[fact.fact_id])
+                for fact in bindings.values())))
+            self._refraction.add(signature)
+            # Facts may have been retracted by a previous firing in the
+            # same batch; re-validate before firing.
+            if all(self.memory.contains(fact)
+                   for fact in bindings.values()):
+                rule.action(ActionContext(self, bindings))
+                self.fired.append((rule.name, tuple(
+                    fact.fact_id for fact in bindings.values())))
+                firings += 1
+                if max_firings is not None and firings >= max_firings:
+                    return firings

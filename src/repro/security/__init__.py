@@ -1,0 +1,47 @@
+"""Enterprise security (the Spring Security substitute).
+
+The paper's administration service manages "authorities (privileges),
+roles, users, and groups" with an enterprise-grade security layer.
+This package implements that model:
+
+* :mod:`repro.security.model` — authorities, roles, groups, users
+  (persisted through the ORM),
+* :mod:`repro.security.authentication` — salted PBKDF2 password
+  hashing, login, session tokens with expiry,
+* :mod:`repro.security.authorization` — access decisions, the
+  ``@secured`` decorator and object-level ACLs.
+"""
+
+from repro.security.authentication import (
+    AuthenticationManager,
+    PasswordEncoder,
+    SecuritySession,
+)
+from repro.security.authorization import (
+    AccessDecisionManager,
+    AclRegistry,
+    secured,
+)
+from repro.security.model import (
+    AuthorityEntity,
+    GroupEntity,
+    Principal,
+    RoleEntity,
+    SecurityStore,
+    UserEntity,
+)
+
+__all__ = [
+    "AccessDecisionManager",
+    "AclRegistry",
+    "AuthenticationManager",
+    "AuthorityEntity",
+    "GroupEntity",
+    "PasswordEncoder",
+    "Principal",
+    "RoleEntity",
+    "SecurityStore",
+    "SecuritySession",
+    "UserEntity",
+    "secured",
+]

@@ -1,0 +1,102 @@
+"""Authorization: access decisions, the @secured decorator, ACLs."""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import AccessDeniedError, SecurityError
+from repro.security.model import Principal
+
+
+class AccessDecisionManager:
+    """Votes on whether a principal may perform an operation."""
+
+    def check_authority(self, principal: Principal,
+                        authority: str) -> None:
+        if not principal.has_authority(authority):
+            raise AccessDeniedError(
+                f"user {principal.username!r} lacks authority "
+                f"{authority!r}")
+
+    def check_any_authority(self, principal: Principal,
+                            *authorities: str) -> None:
+        if not any(principal.has_authority(authority)
+                   for authority in authorities):
+            raise AccessDeniedError(
+                f"user {principal.username!r} lacks all of "
+                f"{authorities!r}")
+
+    def check_tenant(self, principal: Principal, tenant: str) -> None:
+        """Cross-tenant access is denied outright (multi-tenant wall)."""
+        if principal.tenant is not None and principal.tenant != tenant:
+            raise AccessDeniedError(
+                f"user {principal.username!r} of tenant "
+                f"{principal.tenant!r} cannot access tenant {tenant!r}")
+
+
+def secured(authority: str):
+    """Method decorator enforcing an authority on the caller.
+
+    The wrapped callable must accept ``principal`` as its first
+    argument (after ``self`` for methods)::
+
+        @secured("REPORT_VIEW")
+        def run_report(self, principal, report_id): ...
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            principal = kwargs.get("principal")
+            if principal is None:
+                candidates = [argument for argument in args
+                              if isinstance(argument, Principal)]
+                if not candidates:
+                    raise SecurityError(
+                        f"{fn.__name__} requires a Principal argument")
+                principal = candidates[0]
+            AccessDecisionManager().check_authority(principal, authority)
+            return fn(*args, **kwargs)
+
+        wrapper.__secured_authority__ = authority
+        return wrapper
+
+    return decorate
+
+
+class AclRegistry:
+    """Object-level permissions: (object kind, object id) → grants."""
+
+    def __init__(self) -> None:
+        self._grants: Dict[Tuple[str, Any], Set[Tuple[str, str]]] = {}
+
+    def grant(self, kind: str, object_id: Any, username: str,
+              permission: str) -> None:
+        self._grants.setdefault((kind, object_id), set()) \
+            .add((username, permission))
+
+    def revoke(self, kind: str, object_id: Any, username: str,
+               permission: str) -> None:
+        bucket = self._grants.get((kind, object_id))
+        if bucket is not None:
+            bucket.discard((username, permission))
+
+    def is_granted(self, kind: str, object_id: Any, username: str,
+                   permission: str) -> bool:
+        bucket = self._grants.get((kind, object_id), set())
+        return (username, permission) in bucket
+
+    def check(self, kind: str, object_id: Any, principal: Principal,
+              permission: str) -> None:
+        if not self.is_granted(kind, object_id, principal.username,
+                               permission):
+            raise AccessDeniedError(
+                f"user {principal.username!r} lacks {permission!r} "
+                f"on {kind}:{object_id}")
+
+    def permissions_for(self, kind: str, object_id: Any,
+                        username: str) -> Set[str]:
+        return {permission for user, permission
+                in self._grants.get((kind, object_id), set())
+                if user == username}

@@ -1,0 +1,303 @@
+"""The security domain model and its persistent store.
+
+The model follows Spring Security's shape: *authorities* are atomic
+privileges; *roles* bundle authorities; *users* hold roles directly
+and inherit more through *groups*.  Everything is persisted through
+the ORM into the embedded engine, so the admin service's CRUD screens
+operate on real rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.engine.database import Database
+from repro.errors import SecurityError
+from repro.orm import Entity, FieldSpec, Repository, Session, create_schema, entity
+
+
+@entity(table="sec_authorities", fields=[
+    FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+    FieldSpec("name", "TEXT", nullable=False, unique=True),
+    FieldSpec("description", "TEXT"),
+])
+class AuthorityEntity(Entity):
+    """An atomic privilege such as ``REPORT_VIEW``."""
+
+
+@entity(table="sec_roles", fields=[
+    FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+    FieldSpec("name", "TEXT", nullable=False, unique=True),
+])
+class RoleEntity(Entity):
+    """A named bundle of authorities."""
+
+
+@entity(table="sec_role_authorities", fields=[
+    FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+    FieldSpec("role_id", "INTEGER", nullable=False),
+    FieldSpec("authority_id", "INTEGER", nullable=False),
+])
+class RoleAuthorityLink(Entity):
+    """role -> authority membership."""
+
+
+@entity(table="sec_groups", fields=[
+    FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+    FieldSpec("name", "TEXT", nullable=False, unique=True),
+])
+class GroupEntity(Entity):
+    """A named collection of users sharing roles."""
+
+
+@entity(table="sec_group_roles", fields=[
+    FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+    FieldSpec("group_id", "INTEGER", nullable=False),
+    FieldSpec("role_id", "INTEGER", nullable=False),
+])
+class GroupRoleLink(Entity):
+    """group -> role membership."""
+
+
+@entity(table="sec_users", fields=[
+    FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+    FieldSpec("username", "TEXT", nullable=False, unique=True),
+    FieldSpec("password_hash", "TEXT", nullable=False),
+    FieldSpec("enabled", "BOOLEAN", default=True),
+    FieldSpec("tenant", "TEXT"),
+])
+class UserEntity(Entity):
+    """An authenticatable account, optionally scoped to a tenant."""
+
+
+@entity(table="sec_user_roles", fields=[
+    FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+    FieldSpec("user_id", "INTEGER", nullable=False),
+    FieldSpec("role_id", "INTEGER", nullable=False),
+])
+class UserRoleLink(Entity):
+    """user -> role membership."""
+
+
+@entity(table="sec_user_groups", fields=[
+    FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+    FieldSpec("user_id", "INTEGER", nullable=False),
+    FieldSpec("group_id", "INTEGER", nullable=False),
+])
+class UserGroupLink(Entity):
+    """user -> group membership."""
+
+
+_ALL_ENTITIES = [
+    AuthorityEntity, RoleEntity, RoleAuthorityLink, GroupEntity,
+    GroupRoleLink, UserEntity, UserRoleLink, UserGroupLink,
+]
+
+
+@dataclass
+class Principal:
+    """The resolved security identity of an authenticated user."""
+
+    user_id: int
+    username: str
+    tenant: Optional[str]
+    roles: Set[str] = field(default_factory=set)
+    authorities: Set[str] = field(default_factory=set)
+
+    def has_authority(self, authority: str) -> bool:
+        return authority in self.authorities
+
+    def has_role(self, role: str) -> bool:
+        return role in self.roles
+
+
+class SecurityStore:
+    """CRUD over the security model plus principal resolution."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        create_schema(database, _ALL_ENTITIES, if_not_exists=True)
+        self.session = Session(database)
+
+    # -- authorities / roles / groups ------------------------------------------
+
+    def create_authority(self, name: str,
+                         description: str = "") -> AuthorityEntity:
+        authority = AuthorityEntity(name=name, description=description)
+        self.session.add(authority)
+        self.session.flush()
+        return authority
+
+    def create_role(self, name: str,
+                    authorities: List[str] = ()) -> RoleEntity:
+        role = RoleEntity(name=name)
+        self.session.add(role)
+        self.session.flush()
+        for authority_name in authorities:
+            self.grant_authority(name, authority_name)
+        return role
+
+    def grant_authority(self, role_name: str,
+                        authority_name: str) -> None:
+        role = self._require_one(RoleEntity, name=role_name)
+        authority = self._require_one(AuthorityEntity,
+                                      name=authority_name)
+        self.session.add(RoleAuthorityLink(
+            role_id=role.id, authority_id=authority.id))
+        self.session.flush()
+
+    def create_group(self, name: str,
+                     roles: List[str] = ()) -> GroupEntity:
+        group = GroupEntity(name=name)
+        self.session.add(group)
+        self.session.flush()
+        for role_name in roles:
+            role = self._require_one(RoleEntity, name=role_name)
+            self.session.add(GroupRoleLink(
+                group_id=group.id, role_id=role.id))
+        self.session.flush()
+        return group
+
+    # -- users ---------------------------------------------------------------------
+
+    def create_user(self, username: str, password_hash: str,
+                    tenant: Optional[str] = None,
+                    roles: List[str] = (),
+                    groups: List[str] = ()) -> UserEntity:
+        user = UserEntity(username=username,
+                          password_hash=password_hash,
+                          tenant=tenant)
+        self.session.add(user)
+        self.session.flush()
+        for role_name in roles:
+            self.assign_role(username, role_name)
+        for group_name in groups:
+            self.add_to_group(username, group_name)
+        return user
+
+    def assign_role(self, username: str, role_name: str) -> None:
+        user = self._require_one(UserEntity, username=username)
+        role = self._require_one(RoleEntity, name=role_name)
+        self.session.add(UserRoleLink(user_id=user.id, role_id=role.id))
+        self.session.flush()
+
+    def add_to_group(self, username: str, group_name: str) -> None:
+        user = self._require_one(UserEntity, username=username)
+        group = self._require_one(GroupEntity, name=group_name)
+        self.session.add(UserGroupLink(
+            user_id=user.id, group_id=group.id))
+        self.session.flush()
+
+    def revoke_role(self, username: str, role_name: str) -> None:
+        user = self._require_one(UserEntity, username=username)
+        role = self._require_one(RoleEntity, name=role_name)
+        links = self.session.find(UserRoleLink) \
+            .filter_by(user_id=user.id, role_id=role.id).list()
+        if not links:
+            raise SecurityError(
+                f"user {username!r} does not hold role {role_name!r}")
+        for link in links:
+            self.session.delete(link)
+        self.session.flush()
+
+    def remove_from_group(self, username: str,
+                          group_name: str) -> None:
+        user = self._require_one(UserEntity, username=username)
+        group = self._require_one(GroupEntity, name=group_name)
+        links = self.session.find(UserGroupLink) \
+            .filter_by(user_id=user.id, group_id=group.id).list()
+        if not links:
+            raise SecurityError(
+                f"user {username!r} is not in group {group_name!r}")
+        for link in links:
+            self.session.delete(link)
+        self.session.flush()
+
+    def change_password(self, username: str,
+                        password_hash: str) -> None:
+        user = self._require_one(UserEntity, username=username)
+        user.password_hash = password_hash
+        self.session.flush()
+
+    def delete_user(self, username: str) -> None:
+        """Remove an account and all its memberships."""
+        user = self._require_one(UserEntity, username=username)
+        for link in self.session.find(UserRoleLink) \
+                .filter_by(user_id=user.id).list():
+            self.session.delete(link)
+        for link in self.session.find(UserGroupLink) \
+                .filter_by(user_id=user.id).list():
+            self.session.delete(link)
+        self.session.delete(user)
+        self.session.flush()
+
+    def disable_user(self, username: str) -> None:
+        user = self._require_one(UserEntity, username=username)
+        user.enabled = False
+        self.session.flush()
+
+    def find_user(self, username: str) -> Optional[UserEntity]:
+        return self.session.find(UserEntity) \
+            .filter_by(username=username).first()
+
+    def _require_one(self, entity_class, **criteria):
+        found = self.session.find(entity_class) \
+            .filter_by(**criteria).first()
+        if found is None:
+            raise SecurityError(
+                f"no {entity_class.__name__} matching {criteria!r}")
+        return found
+
+    # -- principal resolution ---------------------------------------------------------
+
+    def resolve_principal(self, username: str) -> Principal:
+        """Compute the effective roles and authorities of a user."""
+        user = self._require_one(UserEntity, username=username)
+        role_ids: Set[int] = {
+            link.role_id
+            for link in self.session.find(UserRoleLink)
+            .filter_by(user_id=user.id).list()
+        }
+        for membership in self.session.find(UserGroupLink) \
+                .filter_by(user_id=user.id).list():
+            for link in self.session.find(GroupRoleLink) \
+                    .filter_by(group_id=membership.group_id).list():
+                role_ids.add(link.role_id)
+        roles: Set[str] = set()
+        authorities: Set[str] = set()
+        for role_id in role_ids:
+            role = self.session.get(RoleEntity, role_id)
+            if role is None:
+                continue
+            roles.add(role.name)
+            for link in self.session.find(RoleAuthorityLink) \
+                    .filter_by(role_id=role_id).list():
+                authority = self.session.get(
+                    AuthorityEntity, link.authority_id)
+                if authority is not None:
+                    authorities.add(authority.name)
+        return Principal(
+            user_id=user.id, username=user.username,
+            tenant=user.tenant, roles=roles, authorities=authorities)
+
+    # -- listings (for the admin UI) ---------------------------------------------------
+
+    def list_users(self) -> List[UserEntity]:
+        return self.session.find(UserEntity).order_by("username").list()
+
+    def list_roles(self) -> List[RoleEntity]:
+        return self.session.find(RoleEntity).order_by("name").list()
+
+    def list_groups(self) -> List[GroupEntity]:
+        return self.session.find(GroupEntity).order_by("name").list()
+
+    def list_authorities(self) -> List[AuthorityEntity]:
+        return self.session.find(AuthorityEntity) \
+            .order_by("name").list()
+
+    def search_users(self, pattern: str) -> List[UserEntity]:
+        """Substring search on usernames (the admin 'search features')."""
+        return self.session.find(UserEntity) \
+            .where("username LIKE ?", (f"%{pattern}%",)) \
+            .order_by("username").list()

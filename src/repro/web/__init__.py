@@ -1,0 +1,13 @@
+"""Web/service layer (the JSF + Tomcat substitute).
+
+The presentation layer of the paper's Fig. 4/5 stack: an HTTP-style
+request/response model, a router with path parameters, middleware
+(authentication filter and tenant resolver, mirroring Spring Security
+filters), and JSON responses — the surface the end-user access-tools
+layer talks to.
+"""
+
+from repro.web.app import WebApplication
+from repro.web.http import JsonResponse, Request, Response
+
+__all__ = ["JsonResponse", "Request", "Response", "WebApplication"]

@@ -1,0 +1,37 @@
+"""Synthetic workloads and cost models.
+
+The paper has no public datasets; these generators produce
+deterministic (seeded) stand-ins:
+
+* :mod:`repro.workloads.healthcare` — hospital admissions for the
+  Fig. 6 dashboard scenario,
+* :mod:`repro.workloads.retail` — retail sales star-schema data for
+  the MDDWS / OLAP scenarios,
+* :mod:`repro.workloads.tenants` — SaaS tenant populations and their
+  activity, for the multi-tenancy experiments,
+* :mod:`repro.workloads.tco` — on-premises vs SaaS cost models for
+  the paper's §2 TCO/ROI claims (experiment E8).
+"""
+
+from repro.workloads.healthcare import HealthcareWorkload
+from repro.workloads.retail import RetailWorkload
+from repro.workloads.tco import (
+    OnPremisesCostModel,
+    SaasCostModel,
+    UsageProfile,
+    crossover_month,
+    cumulative_costs,
+)
+from repro.workloads.tenants import TenantProfile, TenantWorkload
+
+__all__ = [
+    "HealthcareWorkload",
+    "OnPremisesCostModel",
+    "RetailWorkload",
+    "SaasCostModel",
+    "TenantProfile",
+    "TenantWorkload",
+    "UsageProfile",
+    "crossover_month",
+    "cumulative_costs",
+]

@@ -1,0 +1,85 @@
+"""Synthetic hospital-admissions workload (the Fig. 6 scenario).
+
+Deterministic under a seed: the same seed always yields the same
+admissions, so tests and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Dict, List
+
+from repro.engine.database import Database
+
+DEPARTMENTS = ("cardiology", "oncology", "pediatrics",
+               "emergency", "surgery", "maternity")
+AGE_GROUPS = ("0-17", "18-39", "40-64", "65+")
+SEVERITIES = ("low", "medium", "high")
+REGIONS = ("North", "South", "East", "West")
+
+# Plausible relative weights so the dashboard shows structure, not noise.
+_DEPT_WEIGHTS = (18, 12, 14, 30, 16, 10)
+_SEVERITY_WEIGHTS = (55, 32, 13)
+_BASE_COST = {"low": 900.0, "medium": 3200.0, "high": 11_000.0}
+
+
+class HealthcareWorkload:
+    """Generates admissions and loads them into the embedded engine."""
+
+    def __init__(self, seed: int = 7,
+                 start: datetime.date = datetime.date(2009, 1, 1),
+                 days: int = 365):
+        self.seed = seed
+        self.start = start
+        self.days = days
+
+    def admissions(self, count: int) -> List[Dict]:
+        """``count`` admission rows, deterministic per seed."""
+        rng = random.Random(self.seed)
+        rows: List[Dict] = []
+        for index in range(count):
+            department = rng.choices(DEPARTMENTS, _DEPT_WEIGHTS)[0]
+            severity = rng.choices(SEVERITIES, _SEVERITY_WEIGHTS)[0]
+            admitted = self.start + datetime.timedelta(
+                days=rng.randrange(self.days))
+            stay = max(1, round(rng.gauss(
+                {"low": 2, "medium": 5, "high": 12}[severity], 2)))
+            cost = round(_BASE_COST[severity]
+                         * rng.uniform(0.7, 1.5) + stay * 450.0, 2)
+            rows.append({
+                "admission_id": index + 1,
+                "department": department,
+                "region": rng.choice(REGIONS),
+                "age_group": rng.choices(
+                    AGE_GROUPS, (15, 30, 33, 22))[0],
+                "severity": severity,
+                "admitted": admitted,
+                "length_of_stay": stay,
+                "cost": cost,
+            })
+        return rows
+
+    def schema_ddl(self) -> str:
+        return (
+            "CREATE TABLE admissions ("
+            "admission_id INTEGER PRIMARY KEY, "
+            "department TEXT NOT NULL, "
+            "region TEXT NOT NULL, "
+            "age_group TEXT NOT NULL, "
+            "severity TEXT NOT NULL, "
+            "admitted DATE NOT NULL, "
+            "length_of_stay INTEGER NOT NULL, "
+            "cost REAL NOT NULL)")
+
+    def load(self, database: Database, count: int = 1000) -> int:
+        """Create and populate the admissions table; returns row count."""
+        database.execute(self.schema_ddl())
+        rows = self.admissions(count)
+        database.executemany(
+            "INSERT INTO admissions VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            [(row["admission_id"], row["department"], row["region"],
+              row["age_group"], row["severity"], row["admitted"],
+              row["length_of_stay"], row["cost"])
+             for row in rows])
+        return len(rows)

@@ -1,0 +1,143 @@
+"""Synthetic retail star-schema workload (MDDWS / OLAP scenarios)."""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Dict, List, Tuple
+
+from repro.engine.database import Database
+
+CATEGORIES = {
+    "Food": ("bread", "milk", "cheese", "coffee"),
+    "Electronics": ("phone", "laptop", "headphones"),
+    "Clothing": ("shirt", "jacket", "shoes"),
+}
+REGIONS = {
+    "North": ("Lille", "Amiens"),
+    "South": ("Nice", "Marseille"),
+    "West": ("Nantes", "Brest"),
+}
+_PRICES = {
+    "bread": 2.5, "milk": 1.2, "cheese": 8.0, "coffee": 6.5,
+    "phone": 600.0, "laptop": 1100.0, "headphones": 90.0,
+    "shirt": 25.0, "jacket": 120.0, "shoes": 80.0,
+}
+
+
+class RetailWorkload:
+    """Builds and populates the retail star schema."""
+
+    def __init__(self, seed: int = 11,
+                 start: datetime.date = datetime.date(2009, 1, 1),
+                 days: int = 730):
+        self.seed = seed
+        self.start = start
+        self.days = days
+
+    # -- star schema -----------------------------------------------------------
+
+    def create_star_schema(self, database: Database) -> None:
+        database.execute(
+            "CREATE TABLE dim_time (time_key INTEGER PRIMARY KEY, "
+            "year INTEGER, quarter TEXT, month TEXT, day DATE)")
+        database.execute(
+            "CREATE TABLE dim_product (product_key INTEGER PRIMARY KEY, "
+            "category TEXT, sku TEXT)")
+        database.execute(
+            "CREATE TABLE dim_store (store_key INTEGER PRIMARY KEY, "
+            "region TEXT, city TEXT)")
+        database.execute(
+            "CREATE TABLE fact_sales (time_key INTEGER NOT NULL, "
+            "product_key INTEGER NOT NULL, store_key INTEGER NOT NULL, "
+            "revenue REAL, quantity INTEGER)")
+
+    def _time_rows(self) -> List[Tuple]:
+        rows = []
+        for offset in range(self.days):
+            day = self.start + datetime.timedelta(days=offset)
+            quarter = f"Q{(day.month - 1) // 3 + 1}"
+            rows.append((offset + 1, day.year, quarter,
+                         f"{day.year}-{day.month:02d}", day))
+        return rows
+
+    def _product_rows(self) -> List[Tuple]:
+        rows = []
+        key = 1
+        for category, skus in CATEGORIES.items():
+            for sku in skus:
+                rows.append((key, category, sku))
+                key += 1
+        return rows
+
+    def _store_rows(self) -> List[Tuple]:
+        rows = []
+        key = 1
+        for region, cities in REGIONS.items():
+            for city in cities:
+                rows.append((key, region, city))
+                key += 1
+        return rows
+
+    def populate(self, database: Database,
+                 fact_rows: int = 5000) -> Dict[str, int]:
+        """Fill dimensions and generate ``fact_rows`` sales facts."""
+        rng = random.Random(self.seed)
+        time_rows = self._time_rows()
+        product_rows = self._product_rows()
+        store_rows = self._store_rows()
+        database.executemany(
+            "INSERT INTO dim_time VALUES (?, ?, ?, ?, ?)", time_rows)
+        database.executemany(
+            "INSERT INTO dim_product VALUES (?, ?, ?)", product_rows)
+        database.executemany(
+            "INSERT INTO dim_store VALUES (?, ?, ?)", store_rows)
+
+        facts = []
+        for _ in range(fact_rows):
+            product = rng.choice(product_rows)
+            quantity = rng.randint(1, 8)
+            unit_price = _PRICES[product[2]] * rng.uniform(0.9, 1.1)
+            facts.append((
+                rng.randint(1, len(time_rows)),
+                product[0],
+                rng.randint(1, len(store_rows)),
+                round(unit_price * quantity, 2),
+                quantity,
+            ))
+        database.executemany(
+            "INSERT INTO fact_sales VALUES (?, ?, ?, ?, ?)", facts)
+        return {
+            "dim_time": len(time_rows),
+            "dim_product": len(product_rows),
+            "dim_store": len(store_rows),
+            "fact_sales": len(facts),
+        }
+
+    def build(self, database: Database,
+              fact_rows: int = 5000) -> Dict[str, int]:
+        """Create and populate in one call."""
+        self.create_star_schema(database)
+        return self.populate(database, fact_rows)
+
+    def cube_definition(self) -> Dict:
+        """A cube definition matching the star schema (for the AS)."""
+        return {
+            "name": "RetailSales",
+            "fact_table": "fact_sales",
+            "measures": [
+                {"name": "revenue", "column": "revenue",
+                 "aggregator": "sum"},
+                {"name": "quantity", "column": "quantity",
+                 "aggregator": "sum"},
+            ],
+            "dimensions": [
+                {"name": "Time", "table": "dim_time",
+                 "key": "time_key",
+                 "levels": ["year", "quarter", "month"]},
+                {"name": "Product", "table": "dim_product",
+                 "key": "product_key", "levels": ["category", "sku"]},
+                {"name": "Store", "table": "dim_store",
+                 "key": "store_key", "levels": ["region", "city"]},
+            ],
+        }

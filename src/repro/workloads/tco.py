@@ -1,0 +1,137 @@
+"""Total-cost-of-ownership models: on-premises vs SaaS (experiment E8).
+
+The paper's Section 2 claims SaaS BI lowers TCO because (i) licensing
+is usage-aligned instead of CPU/server-aligned, (ii) no hardware or IT
+overhead, (iii) economies of scale.  These models quantify both
+deployment styles over a horizon of months so the claim becomes a
+measurable crossover analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class UsageProfile:
+    """How a customer's BI usage evolves."""
+
+    initial_users: int
+    user_growth_per_year: float = 0.0  # fractional, e.g. 0.2 = +20 %/yr
+
+    def users_at_month(self, month: int) -> int:
+        grown = self.initial_users \
+            * (1.0 + self.user_growth_per_year) ** (month / 12.0)
+        return max(1, round(grown))
+
+
+@dataclass
+class OnPremisesCostModel:
+    """Traditional licensing: big upfront costs, step-wise scaling.
+
+    Servers are sized in user blocks: every ``users_per_server`` users
+    force another server (hardware + per-CPU licence) — the paper's
+    point that costs scale with infrastructure, not usage.
+    """
+
+    license_per_cpu: float = 25_000.0
+    cpus_per_server: int = 4
+    hardware_per_server: float = 12_000.0
+    users_per_server: int = 50
+    annual_maintenance_rate: float = 0.20  # of licence base
+    it_staff_monthly: float = 6_000.0
+    training_upfront: float = 8_000.0
+
+    def servers_needed(self, users: int) -> int:
+        return max(1, -(-users // self.users_per_server))  # ceil div
+
+    def monthly_costs(self, profile: UsageProfile,
+                      months: int) -> List[float]:
+        costs: List[float] = []
+        owned_servers = 0
+        license_base = 0.0
+        for month in range(months):
+            cost = 0.0
+            if month == 0:
+                cost += self.training_upfront
+            needed = self.servers_needed(profile.users_at_month(month))
+            if needed > owned_servers:
+                added = needed - owned_servers
+                cost += added * self.hardware_per_server
+                added_license = (added * self.cpus_per_server
+                                 * self.license_per_cpu)
+                cost += added_license
+                license_base += added_license
+                owned_servers = needed
+            cost += self.it_staff_monthly
+            cost += license_base * self.annual_maintenance_rate / 12.0
+            costs.append(cost)
+        return costs
+
+
+@dataclass
+class SaasCostModel:
+    """Subscription pricing: costs directly aligned with usage."""
+
+    price_per_user_month: float = 75.0
+    onboarding_fee: float = 2_000.0
+    usage_fee_per_1000_queries: float = 5.0
+    monthly_queries_per_user: int = 60
+
+    def monthly_costs(self, profile: UsageProfile,
+                      months: int) -> List[float]:
+        costs: List[float] = []
+        for month in range(months):
+            users = profile.users_at_month(month)
+            cost = users * self.price_per_user_month
+            cost += (users * self.monthly_queries_per_user / 1000.0
+                     * self.usage_fee_per_1000_queries)
+            if month == 0:
+                cost += self.onboarding_fee
+            costs.append(cost)
+        return costs
+
+
+def cumulative_costs(monthly: List[float]) -> List[float]:
+    """Running total of a monthly cost series."""
+    total = 0.0
+    out: List[float] = []
+    for cost in monthly:
+        total += cost
+        out.append(total)
+    return out
+
+
+def crossover_month(on_premises: List[float],
+                    saas: List[float]) -> Optional[int]:
+    """First month (0-based) where cumulative on-prem cost exceeds SaaS
+    and stays higher for the rest of the horizon; None if never."""
+    cumulative_op = cumulative_costs(on_premises)
+    cumulative_saas = cumulative_costs(saas)
+    for month in range(len(cumulative_op)):
+        if all(op > s for op, s in zip(cumulative_op[month:],
+                                       cumulative_saas[month:])):
+            return month
+    return None
+
+
+def tco_summary(profile: UsageProfile, months: int = 36,
+                on_premises: Optional[OnPremisesCostModel] = None,
+                saas: Optional[SaasCostModel] = None) -> Dict:
+    """The E8 comparison for one usage profile."""
+    on_premises = on_premises or OnPremisesCostModel()
+    saas = saas or SaasCostModel()
+    op_monthly = on_premises.monthly_costs(profile, months)
+    saas_monthly = saas.monthly_costs(profile, months)
+    op_total = sum(op_monthly)
+    saas_total = sum(saas_monthly)
+    return {
+        "months": months,
+        "initial_users": profile.initial_users,
+        "on_premises_total": round(op_total, 2),
+        "saas_total": round(saas_total, 2),
+        "saas_savings": round(op_total - saas_total, 2),
+        "saas_cheaper": saas_total < op_total,
+        "crossover_month": crossover_month(op_monthly, saas_monthly),
+    }

@@ -1,0 +1,66 @@
+"""Synthetic SaaS tenant populations (multi-tenancy experiments)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+PLANS = ("starter", "team", "enterprise")
+_PLAN_USERS = {"starter": (2, 8), "team": (8, 40),
+               "enterprise": (40, 200)}
+_PLAN_WEIGHTS = (55, 32, 13)
+SECTORS = ("healthcare", "retail", "finance", "logistics", "public")
+
+
+@dataclass
+class TenantProfile:
+    """One synthetic customer of the platform."""
+
+    name: str
+    plan: str
+    sector: str
+    user_count: int
+    monthly_queries: int
+    monthly_etl_rows: int
+
+
+class TenantWorkload:
+    """Generates deterministic tenant populations and activity."""
+
+    def __init__(self, seed: int = 23):
+        self.seed = seed
+
+    def tenants(self, count: int) -> List[TenantProfile]:
+        rng = random.Random(self.seed)
+        profiles: List[TenantProfile] = []
+        for index in range(count):
+            plan = rng.choices(PLANS, _PLAN_WEIGHTS)[0]
+            low, high = _PLAN_USERS[plan]
+            users = rng.randint(low, high)
+            profiles.append(TenantProfile(
+                name=f"tenant-{index + 1:03d}",
+                plan=plan,
+                sector=rng.choice(SECTORS),
+                user_count=users,
+                monthly_queries=users * rng.randint(30, 120),
+                monthly_etl_rows=users * rng.randint(500, 3000),
+            ))
+        return profiles
+
+    def activity_events(self, profile: TenantProfile,
+                        months: int = 1) -> List[Dict]:
+        """Usage events (queries, reports, etl runs) for one tenant."""
+        rng = random.Random(f"{self.seed}:{profile.name}")
+        events: List[Dict] = []
+        for month in range(months):
+            for _ in range(profile.monthly_queries // 30):
+                events.append({
+                    "tenant": profile.name,
+                    "month": month,
+                    "kind": rng.choices(
+                        ("query", "report", "etl_run", "dashboard"),
+                        (50, 25, 15, 10))[0],
+                    "units": rng.randint(1, 5),
+                })
+        return events

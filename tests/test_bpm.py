@@ -1,0 +1,120 @@
+"""Tests for the BPM process engine and its rules integration."""
+
+import pytest
+
+from repro.bpm import (
+    ExclusiveGateway,
+    ProcessDefinition,
+    ProcessEngine,
+    ServiceTask,
+    RuleTask,
+)
+from repro.errors import BpmError
+from repro.rules import Condition, Fact, Rule
+
+
+def bump(variables):
+    variables["n"] = variables.get("n", 0) + 1
+
+
+class TestDefinitionValidation:
+    def test_empty_process_rejected(self):
+        with pytest.raises(BpmError):
+            ProcessDefinition("p", [], "start")
+
+    def test_unknown_start_rejected(self):
+        with pytest.raises(BpmError):
+            ProcessDefinition("p", [ServiceTask("a", bump)], "ghost")
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(BpmError):
+            ProcessDefinition("p", [
+                ServiceTask("a", bump), ServiceTask("a", bump)], "a")
+
+    def test_dangling_successor_rejected(self):
+        with pytest.raises(BpmError):
+            ProcessDefinition("p", [
+                ServiceTask("a", bump, next_node="ghost")], "a")
+
+    def test_gateway_needs_branches(self):
+        with pytest.raises(BpmError):
+            ExclusiveGateway("g", [])
+
+
+class TestExecution:
+    def test_linear_process(self):
+        definition = ProcessDefinition("lin", [
+            ServiceTask("one", bump, next_node="two"),
+            ServiceTask("two", bump),
+        ], "one")
+        instance = ProcessEngine().start(definition)
+        assert instance.completed
+        assert instance.variables["n"] == 2
+        assert instance.history == ["one", "two"]
+
+    def test_gateway_branching(self):
+        definition = ProcessDefinition("branch", [
+            ExclusiveGateway("check", [
+                (lambda v: v["amount"] > 100, "premium"),
+            ], default="standard"),
+            ServiceTask("premium",
+                        lambda v: v.update(path="premium")),
+            ServiceTask("standard",
+                        lambda v: v.update(path="standard")),
+        ], "check")
+        engine = ProcessEngine()
+        high = engine.start(definition, {"amount": 500})
+        low = engine.start(definition, {"amount": 10})
+        assert high.variables["path"] == "premium"
+        assert low.variables["path"] == "standard"
+
+    def test_gateway_without_match_or_default_fails(self):
+        definition = ProcessDefinition("nobranch", [
+            ExclusiveGateway("check", [
+                (lambda v: False, "never"),
+            ]),
+            ServiceTask("never", bump),
+        ], "check")
+        with pytest.raises(BpmError):
+            ProcessEngine().start(definition)
+
+    def test_cycle_guard(self):
+        definition = ProcessDefinition("loop", [
+            ServiceTask("a", bump, next_node="a"),
+        ], "a")
+        with pytest.raises(BpmError):
+            ProcessEngine(max_steps=10).start(definition)
+
+    def test_engine_records_completed_instances(self):
+        definition = ProcessDefinition("p", [ServiceTask("a", bump)], "a")
+        engine = ProcessEngine()
+        engine.start(definition)
+        engine.start(definition)
+        assert len(engine.completed_instances) == 2
+
+
+class TestRuleTask:
+    def test_rules_decide_then_process_continues(self):
+        discount_rule = Rule(
+            "discount",
+            [Condition("o", "Order", lambda f, b: f["total"] > 100)],
+            lambda ctx: ctx.insert(Fact("Discount", percent=10)))
+
+        definition = ProcessDefinition("order", [
+            RuleTask(
+                "decide",
+                [discount_rule],
+                publish=lambda v: [Fact("Order", total=v["total"])],
+                harvest=lambda memory, v: v.update(
+                    discount=(memory.by_type("Discount")[0]["percent"]
+                              if memory.by_type("Discount") else 0)),
+                next_node="apply"),
+            ServiceTask("apply", lambda v: v.update(
+                final=v["total"] * (100 - v["discount"]) / 100)),
+        ], "decide")
+
+        engine = ProcessEngine()
+        big = engine.start(definition, {"total": 200})
+        small = engine.start(definition, {"total": 50})
+        assert big.variables["final"] == 180.0
+        assert small.variables["final"] == 50.0

@@ -1,0 +1,142 @@
+"""Targeted tests for less-travelled branches across modules."""
+
+import pytest
+
+from repro.cwm import RelationalBuilder, cwm_metamodel
+from repro.errors import MdaError, XmiError
+from repro.mda.codegen import generate_code
+from repro.mda.viewpoints import PsmModel
+from repro.mof import ModelExtent, read_xmi
+
+
+class TestCodegenEdgeCases:
+    def test_cyclic_foreign_keys_detected(self):
+        psm = PsmModel("cyclic")
+        relational = RelationalBuilder(psm.extent)
+        schema = relational.schema("s")
+        first = relational.table(schema, "a")
+        second = relational.table(schema, "b")
+        a_key = relational.column(first, "id", "INTEGER",
+                                  nullable=False)
+        b_key = relational.column(second, "id", "INTEGER",
+                                  nullable=False)
+        a_fk = relational.column(first, "b_id", "INTEGER")
+        b_fk = relational.column(second, "a_id", "INTEGER")
+        a_pk = relational.primary_key(first, "pk_a", [a_key])
+        b_pk = relational.primary_key(second, "pk_b", [b_key])
+        relational.foreign_key(first, "fk_ab", [a_fk], b_pk)
+        relational.foreign_key(second, "fk_ba", [b_fk], a_pk)
+        with pytest.raises(MdaError):
+            generate_code(psm)
+
+    def test_table_without_columns_rejected(self):
+        psm = PsmModel("empty")
+        relational = RelationalBuilder(psm.extent)
+        schema = relational.schema("s")
+        relational.table(schema, "bare")
+        with pytest.raises(MdaError):
+            generate_code(psm)
+
+    def test_index_elements_emit_ddl(self):
+        psm = PsmModel("indexed")
+        relational = RelationalBuilder(psm.extent)
+        schema = relational.schema("s")
+        table = relational.table(schema, "t")
+        column = relational.column(table, "x", "INTEGER")
+        relational.index(table, "ix_t_x", [column], unique=True)
+        artifacts = generate_code(psm)
+        assert any("CREATE UNIQUE INDEX ix_t_x" in line
+                   for line in artifacts.ddl)
+
+
+class TestXmiEdgeCases:
+    def test_dangling_reference_rejected(self):
+        metamodel = cwm_metamodel()
+        document = (
+            '<xmi version="2.1" metamodel="CWM" extent="e">'
+            '<Package xmi.id="p1" name="p">'
+            '<reference name="ownedElement" idref="ghost"/>'
+            '</Package></xmi>')
+        with pytest.raises(XmiError):
+            read_xmi(document, metamodel)
+
+    def test_element_without_id_rejected(self):
+        metamodel = cwm_metamodel()
+        document = ('<xmi version="2.1" metamodel="CWM" extent="e">'
+                    '<Package name="p"/></xmi>')
+        with pytest.raises(XmiError):
+            read_xmi(document, metamodel)
+
+
+class TestEngineEdgeCases:
+    def test_having_without_group_by(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        assert db.query(
+            "SELECT SUM(x) AS s FROM t HAVING SUM(x) > 10") == []
+        assert db.query(
+            "SELECT SUM(x) AS s FROM t HAVING SUM(x) > 1") == \
+            [{"s": 3}]
+
+    def test_order_by_aggregate(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (g TEXT, x INTEGER)")
+        db.executemany("INSERT INTO t VALUES (?, ?)",
+                       [("a", 1), ("a", 2), ("b", 10)])
+        rows = db.query(
+            "SELECT g FROM t GROUP BY g ORDER BY SUM(x) DESC")
+        assert [row["g"] for row in rows] == ["b", "a"]
+
+    def test_case_insensitive_table_and_column_names(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.execute("CREATE TABLE Mixed (Col INTEGER)")
+        db.execute("INSERT INTO mixed (col) VALUES (1)")
+        assert db.query_value("SELECT COL FROM MIXED") == 1
+
+    def test_scalar_functions_in_where(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (name TEXT)")
+        db.execute("INSERT INTO t VALUES ('Ada'), ('bob')")
+        rows = db.query(
+            "SELECT name FROM t WHERE UPPER(name) = 'ADA'")
+        assert rows == [{"name": "Ada"}]
+
+    def test_coalesce_and_nullif(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.execute("INSERT INTO t VALUES (NULL), (5)")
+        rows = db.query(
+            "SELECT COALESCE(x, 0) AS v, NULLIF(x, 5) AS n FROM t "
+            "ORDER BY v")
+        assert rows == [{"v": 0, "n": None}, {"v": 5, "n": None}]
+
+
+class TestDeliveryEdgeCases:
+    def test_structured_payload_is_json_serializable(self):
+        import json
+
+        from repro.core.delivery_service import (
+            Channel,
+            InformationDeliveryService,
+        )
+        from repro.reporting import AdhocReportBuilder, Dashboard
+
+        builder = AdhocReportBuilder(
+            [{"g": "a", "v": 1.5}, {"g": "b", "v": None}])
+        dashboard = Dashboard("d")
+        dashboard.add_row(builder.bar_chart("c", "g", "v"),
+                          builder.data_table("t", ["g", "v"]))
+        payload = InformationDeliveryService().deliver_dashboard(
+            dashboard, Channel.WEB_SERVICE)
+        assert json.dumps(payload)  # round-trippable

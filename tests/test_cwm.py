@@ -1,0 +1,231 @@
+"""Tests for the CWM metamodel packages and their builders."""
+
+import pytest
+
+from repro.cwm import (
+    BusinessBuilder,
+    OlapBuilder,
+    RelationalBuilder,
+    TransformationBuilder,
+    WarehouseProcessBuilder,
+    cwm_metamodel,
+)
+from repro.errors import ModelConstraintError
+from repro.mof import ModelExtent, read_xmi, write_xmi
+
+
+@pytest.fixture(scope="module")
+def metamodel():
+    return cwm_metamodel()
+
+
+@pytest.fixture
+def extent(metamodel):
+    return ModelExtent(metamodel, "warehouse")
+
+
+class TestMetamodelAssembly:
+    def test_all_packages_present(self, metamodel):
+        for name in ("Package", "Table", "Column", "Cube", "Dimension",
+                     "Transformation", "WarehouseProcess", "Term"):
+            assert name in metamodel
+
+    def test_inheritance_reaches_foundation(self, metamodel):
+        assert metamodel.is_kind_of("Table", "Classifier")
+        assert metamodel.is_kind_of("Column", "Feature")
+        assert metamodel.is_kind_of("Cube", "ModelElement")
+
+    def test_metamodel_is_versioned(self, metamodel):
+        assert metamodel.name == "CWM"
+        assert metamodel.version == "1.1"
+
+
+class TestRelationalBuilder:
+    def test_star_schema_construction(self, extent):
+        builder = RelationalBuilder(extent)
+        catalog = builder.catalog("dw")
+        schema = builder.schema("sales", catalog)
+        fact = builder.table(schema, "fact_sales")
+        amount = builder.column(fact, "amount", "REAL", nullable=False)
+        product_id = builder.column(fact, "product_id", "INTEGER")
+        product = builder.table(schema, "dim_product")
+        product_key = builder.column(product, "id", "INTEGER",
+                                     nullable=False)
+        primary = builder.primary_key(product, "pk_product", [product_key])
+        builder.foreign_key(fact, "fk_product", [product_id], primary)
+
+        assert builder.tables_of(schema) == [fact, product]
+        assert builder.columns_of(fact) == [amount, product_id]
+        assert builder.primary_key_of(product) is primary
+        assert builder.primary_key_of(fact) is None
+        foreign = builder.foreign_keys_of(fact)[0]
+        assert foreign.ref("uniqueKey") is primary
+        assert extent.validate() == []
+
+    def test_key_over_foreign_column_rejected(self, extent):
+        builder = RelationalBuilder(extent)
+        schema = builder.schema("s")
+        first = builder.table(schema, "a")
+        second = builder.table(schema, "b")
+        column = builder.column(first, "x", "INTEGER")
+        with pytest.raises(ModelConstraintError):
+            builder.primary_key(second, "pk", [column])
+
+    def test_index_construction(self, extent):
+        builder = RelationalBuilder(extent)
+        schema = builder.schema("s")
+        table = builder.table(schema, "t")
+        column = builder.column(table, "x", "INTEGER")
+        index = builder.index(table, "ix", [column], unique=True)
+        assert index.get("isUnique") is True
+        assert index.ref("spannedClass") is table
+
+
+class TestOlapBuilder:
+    def test_cube_with_dimensions_and_measures(self, extent):
+        relational = RelationalBuilder(extent)
+        schema = relational.schema("s")
+        fact = relational.table(schema, "fact")
+        amount = relational.column(fact, "amount", "REAL")
+
+        olap = OlapBuilder(extent)
+        olap_schema = olap.olap_schema("sales-olap")
+        cube = olap.cube(olap_schema, "Sales", fact_table=fact)
+        time = olap.dimension(olap_schema, "Time", is_time=True)
+        olap.hierarchy(time, "calendar", ["year", "quarter", "month"])
+        geo = olap.dimension(olap_schema, "Geography")
+        olap.associate(cube, time)
+        olap.associate(cube, geo)
+        olap.measure(cube, "revenue", aggregator="sum", column=amount)
+
+        assert [d.name for d in olap.dimensions_of(cube)] == \
+            ["Time", "Geography"]
+        measures = olap.measures_of(cube)
+        assert measures[0].get("aggregator") == "sum"
+        levels = olap.levels_of(time)
+        assert [level.name for level in levels] == \
+            ["year", "quarter", "month"]
+        assert cube.ref("factTable") is fact
+        assert extent.validate() == []
+
+    def test_time_dimension_flag(self, extent):
+        olap = OlapBuilder(extent)
+        schema = olap.olap_schema("s")
+        time = olap.dimension(schema, "Time", is_time=True)
+        other = olap.dimension(schema, "Product")
+        assert time.get("isTime") is True
+        assert other.get("isTime") is False
+
+
+class TestTransformationBuilder:
+    def test_activity_with_ordered_steps(self, extent):
+        builder = TransformationBuilder(extent)
+        activity = builder.activity("nightly-load")
+        extract = builder.task("extract")
+        load = builder.task("load")
+        first = builder.step(activity, "step-extract", extract)
+        second = builder.step(activity, "step-load", load, after=[first])
+        assert second.refs("precedence") == [first]
+        assert activity.refs("step") == [first, second]
+
+    def test_classifier_and_feature_maps(self, extent):
+        relational = RelationalBuilder(extent)
+        schema = relational.schema("s")
+        source = relational.table(schema, "src")
+        target = relational.table(schema, "dst")
+        source_col = relational.column(source, "a", "TEXT")
+        target_col = relational.column(target, "b", "TEXT")
+
+        builder = TransformationBuilder(extent)
+        cmap = builder.classifier_map("src->dst", source, target)
+        fmap = builder.feature_map(cmap, "a->b", source_col, target_col,
+                                   function="UPPER")
+        assert cmap.refs("featureMap") == [fmap]
+        assert fmap.get("function") == "UPPER"
+        assert extent.validate() == []
+
+    def test_transformation_source_target(self, extent):
+        relational = RelationalBuilder(extent)
+        schema = relational.schema("s")
+        source = relational.table(schema, "src")
+        target = relational.table(schema, "dst")
+        builder = TransformationBuilder(extent)
+        transformation = builder.transformation(
+            "t", sources=[source], targets=[target], function="copy")
+        assert transformation.refs("source") == [source]
+        assert transformation.get("function") == "copy"
+
+
+class TestWarehouseProcessBuilder:
+    def test_scheduled_process(self, extent):
+        transformation = TransformationBuilder(extent)
+        activity = transformation.activity("nightly")
+        builder = WarehouseProcessBuilder(extent)
+        process = builder.process("load-dw", activity)
+        event = builder.schedule(process, "daily", start_time="02:00")
+        assert event.get("frequency") == "daily"
+        assert process.refs("event") == [event]
+
+    def test_cascade_event(self, extent):
+        builder = WarehouseProcessBuilder(extent)
+        upstream = builder.process("stage")
+        downstream = builder.process("aggregate")
+        event = builder.cascade(downstream, triggered_by=upstream)
+        assert event.ref("triggeringProcess") is upstream
+
+    def test_executions_are_numbered(self, extent):
+        builder = WarehouseProcessBuilder(extent)
+        process = builder.process("p")
+        first = builder.execution(process)
+        second = builder.execution(process, status="running")
+        assert first.name.endswith("run-1")
+        assert second.name.endswith("run-2")
+        assert second.get("status") == "running"
+
+
+class TestBusinessBuilder:
+    def test_glossary_terms_map_to_technical_elements(self, extent):
+        relational = RelationalBuilder(extent)
+        schema = relational.schema("s")
+        table = relational.table(schema, "fact_admissions")
+
+        business = BusinessBuilder(extent)
+        glossary = business.glossary("healthcare")
+        taxonomy = business.taxonomy("care")
+        concept = business.concept(taxonomy, "patient-flow")
+        term = business.term(glossary, "Admission",
+                             definition="A patient entering care",
+                             concept=concept)
+        business.relate(term, table)
+
+        assert business.terms_of(glossary) == [term]
+        assert term.refs("relatedElement") == [table]
+        assert term.ref("concept") is concept
+
+    def test_concept_hierarchy(self, extent):
+        business = BusinessBuilder(extent)
+        taxonomy = business.taxonomy("t")
+        broad = business.concept(taxonomy, "care")
+        narrow = business.concept(taxonomy, "acute-care", broader=broad)
+        assert broad.refs("narrower") == [narrow]
+
+
+class TestCwmXmiInterchange:
+    def test_full_warehouse_model_roundtrips(self, extent, metamodel):
+        relational = RelationalBuilder(extent)
+        schema = relational.schema("sales")
+        fact = relational.table(schema, "fact_sales")
+        amount = relational.column(fact, "amount", "REAL", nullable=False)
+        olap = OlapBuilder(extent)
+        olap_schema = olap.olap_schema("olap")
+        cube = olap.cube(olap_schema, "Sales", fact_table=fact)
+        olap.measure(cube, "revenue", column=amount)
+
+        document = write_xmi(extent)
+        restored = read_xmi(document, metamodel)
+
+        cube_again = restored.find_by_name("Cube", "Sales")
+        assert cube_again.ref("factTable").name == "fact_sales"
+        measure = [feature for feature in cube_again.refs("feature")
+                   if feature.class_name == "Measure"][0]
+        assert measure.ref("column").get("sqlType") == "REAL"

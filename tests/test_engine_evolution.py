@@ -1,0 +1,128 @@
+"""Tests for ALTER TABLE and index-accelerated scans."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import CatalogError, ConstraintViolation, SqlSyntaxError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT)")
+    database.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+    return database
+
+
+class TestAlterTable:
+    def test_add_column_with_default_backfills(self, db):
+        db.execute("ALTER TABLE t ADD COLUMN score REAL DEFAULT 1.5")
+        rows = db.query("SELECT score FROM t")
+        assert [row["score"] for row in rows] == [1.5, 1.5]
+
+    def test_add_nullable_column_backfills_null(self, db):
+        db.execute("ALTER TABLE t ADD flag BOOLEAN")
+        assert db.query("SELECT flag FROM t")[0]["flag"] is None
+
+    def test_new_column_usable_in_dml(self, db):
+        db.execute("ALTER TABLE t ADD COLUMN score REAL DEFAULT 0.0")
+        db.execute("UPDATE t SET score = 9.0 WHERE id = 1")
+        db.execute("INSERT INTO t (id, name, score) VALUES (3, 'c', 5.0)")
+        assert db.query_value(
+            "SELECT SUM(score) FROM t") == 14.0
+
+    def test_add_not_null_without_default_rejected_when_rows_exist(
+            self, db):
+        with pytest.raises(ConstraintViolation):
+            db.execute("ALTER TABLE t ADD COLUMN req TEXT NOT NULL")
+
+    def test_add_not_null_with_default_allowed(self, db):
+        db.execute(
+            "ALTER TABLE t ADD COLUMN req TEXT NOT NULL DEFAULT 'x'")
+        with pytest.raises(ConstraintViolation):
+            db.execute(
+                "INSERT INTO t (id, name, req) VALUES (9, 'z', NULL)")
+
+    def test_add_unique_column_builds_index(self, db):
+        db.execute("ALTER TABLE t ADD COLUMN code TEXT UNIQUE")
+        db.execute("UPDATE t SET code = 'c1' WHERE id = 1")
+        with pytest.raises(ConstraintViolation):
+            db.execute("UPDATE t SET code = 'c1' WHERE id = 2")
+
+    def test_duplicate_column_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("ALTER TABLE t ADD COLUMN name TEXT")
+
+    def test_primary_key_addition_rejected_at_parse(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("ALTER TABLE t ADD COLUMN k INTEGER PRIMARY KEY")
+
+    def test_alter_missing_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("ALTER TABLE ghost ADD COLUMN x INTEGER")
+
+
+class TestIndexScan:
+    @pytest.fixture
+    def big(self):
+        database = Database()
+        database.execute(
+            "CREATE TABLE big (id INTEGER PRIMARY KEY, bucket INTEGER, "
+            "payload TEXT)")
+        database.executemany(
+            "INSERT INTO big VALUES (?, ?, ?)",
+            [(index, index % 50, f"p{index}") for index in range(500)])
+        return database
+
+    def test_pk_index_point_lookup(self, big):
+        row = big.query("SELECT payload FROM big WHERE id = 123")
+        assert row == [{"payload": "p123"}]
+
+    def test_secondary_index_matches_full_scan(self, big):
+        expected = big.query(
+            "SELECT id FROM big WHERE bucket = 7 ORDER BY id")
+        big.execute("CREATE INDEX big_bucket ON big (bucket)")
+        indexed = big.query(
+            "SELECT id FROM big WHERE bucket = 7 ORDER BY id")
+        assert indexed == expected
+
+    def test_index_with_extra_conjuncts_still_filters(self, big):
+        big.execute("CREATE INDEX big_bucket ON big (bucket)")
+        rows = big.query(
+            "SELECT id FROM big WHERE bucket = 7 AND id < 100 "
+            "ORDER BY id")
+        assert [row["id"] for row in rows] == [7, 57]
+
+    def test_parameterized_index_lookup(self, big):
+        rows = big.query("SELECT payload FROM big WHERE id = ?", (42,))
+        assert rows == [{"payload": "p42"}]
+
+    def test_qualified_column_uses_index(self, big):
+        rows = big.query("SELECT b.payload FROM big b WHERE b.id = 7")
+        assert rows == [{"payload": "p7"}]
+
+    def test_null_equality_never_uses_index_and_matches_nothing(
+            self, big):
+        big.execute("INSERT INTO big (id, bucket) VALUES (1000, NULL)")
+        assert big.query("SELECT id FROM big WHERE bucket = NULL") == []
+
+    def test_index_lookup_respects_updates(self, big):
+        big.execute("CREATE INDEX big_bucket ON big (bucket)")
+        big.execute("UPDATE big SET bucket = 99 WHERE id = 7")
+        rows = big.query("SELECT id FROM big WHERE bucket = 99")
+        assert [row["id"] for row in rows] == [7]
+        remaining = big.query(
+            "SELECT id FROM big WHERE bucket = 7 ORDER BY id")
+        assert 7 not in [row["id"] for row in remaining]
+
+    def test_index_lookup_respects_deletes(self, big):
+        big.execute("DELETE FROM big WHERE id = 123")
+        assert big.query("SELECT id FROM big WHERE id = 123") == []
+
+    def test_index_scan_inside_transaction_rollback(self, big):
+        big.begin()
+        big.execute("DELETE FROM big WHERE id = 5")
+        big.rollback()
+        assert big.query("SELECT id FROM big WHERE id = 5") == \
+            [{"id": 5}]

@@ -1,0 +1,242 @@
+"""Unit tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.engine.parser import (
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    InsertStatement,
+    Join,
+    SelectStatement,
+    TableRef,
+    TransactionStatement,
+    UpdateStatement,
+    parse_sql,
+    tokenize,
+)
+from repro.engine.expressions import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Parameter,
+    Star,
+)
+from repro.engine.types import SqlType
+from repro.errors import SqlSyntaxError
+
+
+class TestTokenizer:
+    def test_keywords_are_upcased(self):
+        tokens = tokenize("select Name")
+        assert tokens[0].kind == "keyword"
+        assert tokens[0].text == "SELECT"
+        assert tokens[1].kind == "name"
+        assert tokens[1].text == "Name"
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "'it''s'"
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing comment")
+        kinds = [token.kind for token in tokens]
+        assert "comment" not in kinds
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @x")
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <> b <= c || d")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<>", "<=", "||"]
+
+
+class TestSelectParsing:
+    def test_minimal_select(self):
+        statement = parse_sql("SELECT 1")
+        assert isinstance(statement, SelectStatement)
+        assert statement.from_clause is None
+        assert statement.items[0].expression == Literal(1)
+
+    def test_select_star(self):
+        statement = parse_sql("SELECT * FROM t")
+        assert isinstance(statement.items[0].expression, Star)
+        assert statement.from_clause == TableRef("t", "t")
+
+    def test_qualified_star(self):
+        statement = parse_sql("SELECT a.* FROM t a")
+        assert statement.items[0].alias == "a.*"
+
+    def test_alias_with_and_without_as(self):
+        statement = parse_sql("SELECT x AS one, y two FROM t")
+        assert statement.items[0].alias == "one"
+        assert statement.items[1].alias == "two"
+
+    def test_where_clause_structure(self):
+        statement = parse_sql("SELECT x FROM t WHERE a = 1 AND b > 2")
+        where = statement.where
+        assert isinstance(where, BinaryOp)
+        assert where.op == "AND"
+
+    def test_group_by_having(self):
+        statement = parse_sql(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 1")
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+
+    def test_order_limit_offset(self):
+        statement = parse_sql(
+            "SELECT x FROM t ORDER BY x DESC, y LIMIT 10 OFFSET 5")
+        assert statement.order_by[0][1] is False
+        assert statement.order_by[1][1] is True
+        assert statement.limit == Literal(10)
+        assert statement.offset == Literal(5)
+
+    def test_distinct_flag(self):
+        assert parse_sql("SELECT DISTINCT x FROM t").distinct
+
+    def test_join_chain_builds_left_deep_tree(self):
+        statement = parse_sql(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y")
+        outer = statement.from_clause
+        assert isinstance(outer, Join)
+        assert outer.kind == "LEFT"
+        inner = outer.left
+        assert isinstance(inner, Join)
+        assert inner.kind == "INNER"
+
+    def test_cross_join(self):
+        statement = parse_sql("SELECT * FROM a CROSS JOIN b")
+        assert statement.from_clause.kind == "CROSS"
+        assert statement.from_clause.condition is None
+
+    def test_aggregate_distinct(self):
+        statement = parse_sql("SELECT COUNT(DISTINCT x) FROM t")
+        aggregate = statement.items[0].expression
+        assert isinstance(aggregate, AggregateCall)
+        assert aggregate.distinct
+
+    def test_count_star(self):
+        statement = parse_sql("SELECT COUNT(*) FROM t")
+        aggregate = statement.items[0].expression
+        assert isinstance(aggregate.argument, Star)
+
+    def test_parameters_are_numbered_in_order(self):
+        statement = parse_sql("SELECT ? , ? FROM t WHERE x = ?")
+        first = statement.items[0].expression
+        second = statement.items[1].expression
+        assert isinstance(first, Parameter) and first.index == 0
+        assert isinstance(second, Parameter) and second.index == 1
+        assert statement.where.right.index == 2
+
+    def test_case_expression(self):
+        statement = parse_sql(
+            "SELECT CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END FROM t")
+        case = statement.items[0].expression
+        assert isinstance(case, CaseExpr)
+        assert len(case.branches) == 1
+        assert case.default == Literal("neg")
+
+    def test_predicates(self):
+        statement = parse_sql(
+            "SELECT * FROM t WHERE a IN (1, 2) AND b IS NOT NULL "
+            "AND c BETWEEN 1 AND 9 AND d LIKE 'x%' AND e NOT IN (3)")
+        text = repr(statement.where)
+        assert "InList" in text and "IsNull" in text
+        assert "Between" in text and "Like" in text
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT 1 FROM t THEN")
+
+    def test_empty_case_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT CASE END FROM t")
+
+
+class TestDmlParsing:
+    def test_insert_multi_row(self):
+        statement = parse_sql(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, InsertStatement)
+        assert statement.columns == ["a", "b"]
+        assert len(statement.rows) == 2
+
+    def test_insert_without_column_list(self):
+        statement = parse_sql("INSERT INTO t VALUES (1)")
+        assert statement.columns == []
+
+    def test_update(self):
+        statement = parse_sql("UPDATE t SET a = 1, b = b + 1 WHERE id = ?")
+        assert isinstance(statement, UpdateStatement)
+        assert statement.assignments[0][0] == "a"
+        assert isinstance(statement.where, BinaryOp)
+
+    def test_delete_without_where(self):
+        statement = parse_sql("DELETE FROM t")
+        assert isinstance(statement, DeleteStatement)
+        assert statement.where is None
+
+
+class TestDdlParsing:
+    def test_create_table_with_constraints(self):
+        statement = parse_sql(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, "
+            "name VARCHAR(40) NOT NULL, score REAL DEFAULT 0.5, "
+            "tag TEXT UNIQUE)")
+        assert isinstance(statement, CreateTableStatement)
+        columns = {column.name: column for column in statement.columns}
+        assert columns["id"].primary_key
+        assert not columns["name"].nullable
+        assert columns["score"].default == 0.5
+        assert columns["tag"].unique
+
+    def test_create_table_if_not_exists(self):
+        statement = parse_sql("CREATE TABLE IF NOT EXISTS t (x INTEGER)")
+        assert statement.if_not_exists
+
+    def test_negative_default(self):
+        statement = parse_sql("CREATE TABLE t (x INTEGER DEFAULT -1)")
+        assert statement.columns[0].default == -1
+
+    def test_type_aliases_resolve(self):
+        statement = parse_sql("CREATE TABLE t (a BIGINT, b DATETIME)")
+        assert statement.columns[0].type is SqlType.INTEGER
+        assert statement.columns[1].type is SqlType.TIMESTAMP
+
+    def test_drop_table(self):
+        statement = parse_sql("DROP TABLE IF EXISTS t")
+        assert isinstance(statement, DropTableStatement)
+        assert statement.if_exists
+
+    def test_create_unique_index(self):
+        statement = parse_sql("CREATE UNIQUE INDEX idx ON t (a, b)")
+        assert isinstance(statement, CreateIndexStatement)
+        assert statement.unique
+        assert statement.columns == ["a", "b"]
+
+    def test_create_unique_table_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("CREATE UNIQUE TABLE t (x INTEGER)")
+
+
+class TestTransactionParsing:
+    @pytest.mark.parametrize("sql,action", [
+        ("BEGIN", "BEGIN"),
+        ("COMMIT", "COMMIT"),
+        ("ROLLBACK", "ROLLBACK"),
+    ])
+    def test_transaction_statements(self, sql, action):
+        statement = parse_sql(sql)
+        assert isinstance(statement, TransactionStatement)
+        assert statement.action == action

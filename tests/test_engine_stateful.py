@@ -1,0 +1,121 @@
+"""Model-based stateful testing of the engine (hypothesis).
+
+A random interleaving of inserts, updates, deletes, transactions and
+rollbacks runs against both the SQL engine and a plain-Python oracle
+(a list of dicts).  After every step the full table contents must
+match the oracle — the strongest correctness net over the substrate
+everything else stands on.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.engine import Database
+
+keys = st.integers(min_value=0, max_value=20)
+values = st.integers(min_value=-100, max_value=100)
+tags = st.sampled_from(["a", "b", "c"])
+
+
+class EngineModel(RuleBasedStateMachine):
+    """The engine must stay equivalent to a list-of-dicts oracle."""
+
+    def __init__(self):
+        super().__init__()
+        self.db = Database()
+        self.db.execute(
+            "CREATE TABLE t (k INTEGER, v INTEGER, tag TEXT)")
+        self.oracle = []          # committed + pending rows
+        self.snapshot = None      # oracle at BEGIN, for rollback
+
+    # -- mutations -----------------------------------------------------------
+
+    @rule(k=keys, v=values, tag=tags)
+    def insert(self, k, v, tag):
+        self.db.execute("INSERT INTO t VALUES (?, ?, ?)", (k, v, tag))
+        self.oracle.append({"k": k, "v": v, "tag": tag})
+
+    @rule(k=keys, v=values)
+    def update_by_key(self, k, v):
+        self.db.execute("UPDATE t SET v = ? WHERE k = ?", (v, k))
+        for row in self.oracle:
+            if row["k"] == k:
+                row["v"] = v
+
+    @rule(tag=tags, delta=values)
+    def update_arithmetic(self, tag, delta):
+        self.db.execute(
+            "UPDATE t SET v = v + ? WHERE tag = ?", (delta, tag))
+        for row in self.oracle:
+            if row["tag"] == tag:
+                row["v"] += delta
+
+    @rule(k=keys)
+    def delete_by_key(self, k):
+        self.db.execute("DELETE FROM t WHERE k = ?", (k,))
+        self.oracle = [row for row in self.oracle if row["k"] != k]
+
+    @rule(threshold=values)
+    def delete_below(self, threshold):
+        self.db.execute("DELETE FROM t WHERE v < ?", (threshold,))
+        self.oracle = [row for row in self.oracle
+                       if row["v"] >= threshold]
+
+    # -- transactions -----------------------------------------------------------
+
+    @precondition(lambda self: self.snapshot is None)
+    @rule()
+    def begin(self):
+        self.db.begin()
+        self.snapshot = [dict(row) for row in self.oracle]
+
+    @precondition(lambda self: self.snapshot is not None)
+    @rule()
+    def commit(self):
+        self.db.commit()
+        self.snapshot = None
+
+    @precondition(lambda self: self.snapshot is not None)
+    @rule()
+    def rollback(self):
+        self.db.rollback()
+        self.oracle = self.snapshot
+        self.snapshot = None
+
+    # -- invariants ----------------------------------------------------------------
+
+    @invariant()
+    def table_matches_oracle(self):
+        engine_rows = sorted(
+            self.db.query("SELECT k, v, tag FROM t"),
+            key=lambda row: (row["k"], row["v"], row["tag"]))
+        oracle_rows = sorted(
+            ({"k": r["k"], "v": r["v"], "tag": r["tag"]}
+             for r in self.oracle),
+            key=lambda row: (row["k"], row["v"], row["tag"]))
+        assert engine_rows == oracle_rows
+
+    @invariant()
+    def aggregates_match_oracle(self):
+        count = self.db.query_value("SELECT COUNT(*) FROM t")
+        assert count == len(self.oracle)
+        total = self.db.query_value("SELECT SUM(v) FROM t")
+        expected = sum(row["v"] for row in self.oracle) \
+            if self.oracle else None
+        assert total == expected
+
+    def teardown(self):
+        if self.snapshot is not None:
+            self.db.rollback()
+
+
+EngineModel.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None)
+TestEngineStateful = EngineModel.TestCase

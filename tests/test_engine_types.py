@@ -1,0 +1,116 @@
+"""Unit tests for SQL value types and coercion."""
+
+import datetime
+
+import pytest
+
+from repro.engine.types import SqlType, coerce_value, is_comparable, sort_key
+from repro.errors import TypeMismatch
+
+
+class TestTypeResolution:
+    def test_resolves_canonical_names(self):
+        assert SqlType.from_sql("INTEGER") is SqlType.INTEGER
+        assert SqlType.from_sql("TEXT") is SqlType.TEXT
+
+    def test_resolves_aliases(self):
+        assert SqlType.from_sql("int") is SqlType.INTEGER
+        assert SqlType.from_sql("VARCHAR") is SqlType.TEXT
+        assert SqlType.from_sql("double") is SqlType.REAL
+        assert SqlType.from_sql("bool") is SqlType.BOOLEAN
+        assert SqlType.from_sql("datetime") is SqlType.TIMESTAMP
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatch):
+            SqlType.from_sql("BLOBFISH")
+
+
+class TestCoercion:
+    def test_none_passes_through_every_type(self):
+        for sql_type in SqlType:
+            assert coerce_value(None, sql_type) is None
+
+    def test_integer_accepts_int(self):
+        assert coerce_value(7, SqlType.INTEGER) == 7
+
+    def test_integer_accepts_integral_float(self):
+        assert coerce_value(7.0, SqlType.INTEGER) == 7
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatch):
+            coerce_value(7.5, SqlType.INTEGER)
+
+    def test_integer_rejects_text(self):
+        with pytest.raises(TypeMismatch):
+            coerce_value("7", SqlType.INTEGER)
+
+    def test_real_widens_int(self):
+        value = coerce_value(3, SqlType.REAL)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_real_rejects_bool(self):
+        with pytest.raises(TypeMismatch):
+            coerce_value(True, SqlType.REAL)
+
+    def test_text_only_accepts_str(self):
+        assert coerce_value("x", SqlType.TEXT) == "x"
+        with pytest.raises(TypeMismatch):
+            coerce_value(1, SqlType.TEXT)
+
+    def test_boolean_accepts_zero_one(self):
+        assert coerce_value(1, SqlType.BOOLEAN) is True
+        assert coerce_value(0, SqlType.BOOLEAN) is False
+
+    def test_boolean_rejects_other_ints(self):
+        with pytest.raises(TypeMismatch):
+            coerce_value(2, SqlType.BOOLEAN)
+
+    def test_date_parses_iso_string(self):
+        assert coerce_value("2020-01-31", SqlType.DATE) == \
+            datetime.date(2020, 1, 31)
+
+    def test_date_rejects_bad_string(self):
+        with pytest.raises(TypeMismatch):
+            coerce_value("not-a-date", SqlType.DATE)
+
+    def test_date_truncates_datetime(self):
+        stamp = datetime.datetime(2020, 5, 4, 12, 30)
+        assert coerce_value(stamp, SqlType.DATE) == datetime.date(2020, 5, 4)
+
+    def test_timestamp_parses_iso_string(self):
+        assert coerce_value("2020-01-31T10:00:00", SqlType.TIMESTAMP) == \
+            datetime.datetime(2020, 1, 31, 10)
+
+    def test_timestamp_widens_date(self):
+        assert coerce_value(datetime.date(2020, 1, 2), SqlType.TIMESTAMP) == \
+            datetime.datetime(2020, 1, 2)
+
+
+class TestComparability:
+    def test_numbers_are_comparable(self):
+        assert is_comparable(1, 2.5)
+
+    def test_null_is_never_comparable(self):
+        assert not is_comparable(None, 1)
+        assert not is_comparable("a", None)
+
+    def test_mixed_types_are_not_comparable(self):
+        assert not is_comparable("a", 1)
+
+    def test_bools_compare_only_with_bools(self):
+        assert is_comparable(True, False)
+        assert not is_comparable(True, 1)
+
+
+class TestSortKey:
+    def test_nulls_sort_first(self):
+        values = [3, None, 1]
+        assert sorted(values, key=sort_key) == [None, 1, 3]
+
+    def test_dates_order_chronologically(self):
+        dates = [datetime.date(2021, 1, 1), datetime.date(2020, 6, 1)]
+        assert sorted(dates, key=sort_key)[0] == datetime.date(2020, 6, 1)
+
+    def test_mixed_numeric_orders_by_value(self):
+        assert sorted([2, 1.5, 3], key=sort_key) == [1.5, 2, 3]

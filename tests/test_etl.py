@@ -1,0 +1,436 @@
+"""Tests for the ETL substrate: sources, operators, jobs, scheduling."""
+
+import datetime
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import (
+    EtlError,
+    JobExecutionError,
+    JobValidationError,
+    SchedulerError,
+)
+from repro.etl import (
+    Aggregate,
+    CallableSource,
+    CsvSource,
+    Deduplicate,
+    Derive,
+    EtlJob,
+    Filter,
+    JobGraph,
+    JobRunner,
+    Load,
+    Lookup,
+    Project,
+    Rename,
+    RowError,
+    RowsSource,
+    Schedule,
+    Scheduler,
+    Sort,
+    SurrogateKey,
+    TableSource,
+    TypeCast,
+    Validate,
+)
+
+
+def run_ops(rows, *operators):
+    """Push rows through operators without a job wrapper."""
+    stream = iter([dict(row) for row in rows])
+    for operator in operators:
+        stream = operator.process(stream)
+    return list(stream)
+
+
+class TestSources:
+    def test_rows_source_is_reiterable_and_isolated(self):
+        source = RowsSource([{"a": 1}])
+        first = list(source.rows())
+        first[0]["a"] = 999
+        assert list(source.rows()) == [{"a": 1}]
+
+    def test_table_source_reads_table(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        assert len(list(TableSource(db, "t").rows())) == 2
+
+    def test_table_source_accepts_query(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (2), (3)")
+        source = TableSource(db, query="SELECT x FROM t WHERE x > ?",
+                             params=(1,))
+        assert len(list(source.rows())) == 2
+
+    def test_table_source_requires_exactly_one_input(self):
+        db = Database()
+        with pytest.raises(EtlError):
+            TableSource(db)
+        with pytest.raises(EtlError):
+            TableSource(db, table="t", query="SELECT 1")
+
+    def test_csv_source(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("name,age\nada,36\nbob,41\n")
+        rows = list(CsvSource(path).rows())
+        assert rows == [{"name": "ada", "age": "36"},
+                        {"name": "bob", "age": "41"}]
+
+    def test_csv_source_missing_file(self, tmp_path):
+        with pytest.raises(EtlError):
+            list(CsvSource(tmp_path / "ghost.csv").rows())
+
+    def test_callable_source(self):
+        source = CallableSource(lambda: ({"n": i} for i in range(3)))
+        assert len(list(source.rows())) == 3
+        assert len(list(source.rows())) == 3  # re-iterable
+
+
+class TestOperators:
+    def test_project_keeps_listed_columns(self):
+        rows = run_ops([{"a": 1, "b": 2}], Project(["a"]))
+        assert rows == [{"a": 1}]
+
+    def test_project_missing_column_raises_by_default(self):
+        with pytest.raises(RowError):
+            run_ops([{"a": 1}], Project(["z"]))
+
+    def test_project_requires_columns(self):
+        with pytest.raises(EtlError):
+            Project([])
+
+    def test_rename(self):
+        rows = run_ops([{"old": 1}], Rename({"old": "new"}))
+        assert rows == [{"new": 1}]
+
+    def test_filter(self):
+        rows = run_ops([{"x": 1}, {"x": 5}],
+                       Filter(lambda row: row["x"] > 2, "x>2"))
+        assert rows == [{"x": 5}]
+
+    def test_derive(self):
+        rows = run_ops([{"x": 2}], Derive("y", lambda row: row["x"] * 10))
+        assert rows == [{"x": 2, "y": 20}]
+
+    def test_typecast_converts_values(self):
+        rows = run_ops(
+            [{"n": "3", "f": "2.5", "b": "yes", "d": "2020-01-02"}],
+            TypeCast({"n": "int", "f": "float", "b": "bool", "d": "date"}))
+        assert rows == [{"n": 3, "f": 2.5, "b": True,
+                         "d": datetime.date(2020, 1, 2)}]
+
+    def test_typecast_empty_becomes_null(self):
+        rows = run_ops([{"n": ""}], TypeCast({"n": "int"}))
+        assert rows == [{"n": None}]
+
+    def test_typecast_bad_value_raises(self):
+        with pytest.raises(RowError):
+            run_ops([{"n": "abc"}], TypeCast({"n": "int"}))
+
+    def test_typecast_unknown_type_rejected_at_build(self):
+        with pytest.raises(EtlError):
+            TypeCast({"n": "complex"})
+
+    def test_lookup_enriches(self):
+        rows = run_ops(
+            [{"code": "fr"}, {"code": "xx"}],
+            Lookup("code", {"fr": {"country": "France"}},
+                   default={"country": "unknown"}))
+        assert rows[0]["country"] == "France"
+        assert rows[1]["country"] == "unknown"
+
+    def test_lookup_required_raises_on_miss(self):
+        with pytest.raises(RowError):
+            run_ops([{"code": "xx"}],
+                    Lookup("code", {"fr": {}}, required=True))
+
+    def test_deduplicate(self):
+        rows = run_ops(
+            [{"k": 1, "v": "a"}, {"k": 1, "v": "b"}, {"k": 2, "v": "c"}],
+            Deduplicate(["k"]))
+        assert [row["v"] for row in rows] == ["a", "c"]
+
+    def test_sort_multi_key_with_descending(self):
+        rows = run_ops(
+            [{"a": 1, "b": 2}, {"a": 1, "b": 9}, {"a": 0, "b": 5}],
+            Sort(["a", "-b"]))
+        assert rows == [{"a": 0, "b": 5}, {"a": 1, "b": 9},
+                        {"a": 1, "b": 2}]
+
+    def test_sort_nones_last(self):
+        rows = run_ops([{"a": None}, {"a": 1}], Sort(["a"]))
+        assert rows == [{"a": 1}, {"a": None}]
+
+    def test_surrogate_key(self):
+        rows = run_ops([{"v": "a"}, {"v": "b"}],
+                       SurrogateKey("id", start=100))
+        assert [row["id"] for row in rows] == [100, 101]
+
+    def test_aggregate_group_sums(self):
+        rows = run_ops(
+            [{"g": "x", "v": 1}, {"g": "x", "v": 2}, {"g": "y", "v": 5}],
+            Aggregate(["g"], {"total": ("sum", "v"),
+                              "n": ("count", "v"),
+                              "mean": ("avg", "v")}))
+        by_group = {row["g"]: row for row in rows}
+        assert by_group["x"]["total"] == 3
+        assert by_group["x"]["n"] == 2
+        assert by_group["y"]["mean"] == 5
+
+    def test_aggregate_unknown_function_rejected(self):
+        with pytest.raises(EtlError):
+            Aggregate(["g"], {"out": ("median", "v")})
+
+    def test_validate_passes_good_rows(self):
+        rows = run_ops([{"x": 5}],
+                       Validate({"positive": lambda row: row["x"] > 0}))
+        assert rows == [{"x": 5}]
+
+    def test_validate_raises_on_bad_row(self):
+        with pytest.raises(RowError):
+            run_ops([{"x": -1}],
+                    Validate({"positive": lambda row: row["x"] > 0}))
+
+
+class TestJobs:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.execute(
+            "CREATE TABLE target (id INTEGER, name TEXT, amount REAL)")
+        return database
+
+    def test_probe_job_returns_rows(self):
+        job = EtlJob("probe", RowsSource([{"x": 1}, {"x": 2}]),
+                     [Filter(lambda row: row["x"] > 1)])
+        result = JobRunner().run(job)
+        assert result.rows_read == 2
+        assert result.output == [{"x": 2}]
+
+    def test_load_appends_rows(self, db):
+        job = EtlJob(
+            "load", RowsSource([{"id": 1, "name": "a", "amount": 2.0}]),
+            load=Load(db, "target"))
+        result = JobRunner().run(job)
+        assert result.rows_written == 1
+        assert db.query_value("SELECT COUNT(*) FROM target") == 1
+
+    def test_load_replace_mode(self, db):
+        db.execute("INSERT INTO target VALUES (9, 'old', 0.0)")
+        job = EtlJob("reload", RowsSource([{"id": 1, "name": "new"}]),
+                     load=Load(db, "target", mode="replace"))
+        JobRunner().run(job)
+        assert db.query("SELECT id FROM target") == [{"id": 1}]
+
+    def test_load_ignores_extra_columns(self, db):
+        job = EtlJob("load", RowsSource([{"id": 1, "junk": "x"}]),
+                     load=Load(db, "target"))
+        JobRunner().run(job)
+        assert db.query_value("SELECT id FROM target") == 1
+
+    def test_load_into_missing_table_fails(self, db):
+        job = EtlJob("bad", RowsSource([{"id": 1}]),
+                     load=Load(db, "ghost"))
+        with pytest.raises(JobExecutionError):
+            JobRunner().run(job)
+
+    def test_invalid_load_mode_rejected(self, db):
+        with pytest.raises(JobValidationError):
+            Load(db, "target", mode="merge")
+
+    def test_fail_policy_aborts_and_rolls_back(self, db):
+        rows = [{"id": 1, "amount": "10"},
+                {"id": 2, "amount": "oops"},
+                {"id": 3, "amount": "30"}]
+        job = EtlJob("cast", RowsSource(rows),
+                     [TypeCast({"amount": "float"})],
+                     load=Load(db, "target"))
+        with pytest.raises(JobExecutionError):
+            JobRunner(error_policy="fail").run(job)
+        assert db.query_value("SELECT COUNT(*) FROM target") == 0
+
+    def test_skip_policy_counts_rejects(self, db):
+        rows = [{"id": 1, "amount": "10"},
+                {"id": 2, "amount": "oops"},
+                {"id": 3, "amount": "30"}]
+        job = EtlJob("cast", RowsSource(rows),
+                     [TypeCast({"amount": "float"})],
+                     load=Load(db, "target"))
+        result = JobRunner(error_policy="skip").run(job)
+        assert result.rows_read == 3
+        assert result.rows_written == 2
+        assert result.rows_rejected == 1
+        assert "oops" in result.errors[0]
+
+    def test_bad_error_policy_rejected(self):
+        with pytest.raises(JobValidationError):
+            JobRunner(error_policy="yolo")
+
+    def test_job_validates_operator_types(self):
+        with pytest.raises(JobValidationError):
+            EtlJob("bad", RowsSource([]), ["not-an-operator"])
+
+    def test_job_describe_lists_steps(self, db):
+        job = EtlJob("j", RowsSource([], name="mem"),
+                     [Filter(lambda row: True, "all")],
+                     load=Load(db, "target"))
+        assert job.describe() == [
+            "extract(mem)", "filter(all)", "load(target, append)"]
+
+    def test_runner_keeps_history(self):
+        runner = JobRunner()
+        runner.run(EtlJob("a", RowsSource([{"x": 1}])))
+        runner.run(EtlJob("b", RowsSource([])))
+        assert [result.job for result in runner.history] == ["a", "b"]
+
+
+class TestJobGraph:
+    def _job(self, name):
+        return EtlJob(name, RowsSource([{"n": 1}]))
+
+    def test_execution_order_respects_dependencies(self):
+        graph = JobGraph()
+        graph.add(self._job("load_fact"), depends_on=["load_dim"])
+        graph.add(self._job("load_dim"))
+        order = graph.execution_order()
+        assert order.index("load_dim") < order.index("load_fact")
+
+    def test_cycle_detected(self):
+        graph = JobGraph()
+        graph.add(self._job("a"), depends_on=["b"])
+        graph.add(self._job("b"), depends_on=["a"])
+        with pytest.raises(JobValidationError):
+            graph.execution_order()
+
+    def test_unknown_dependency_detected(self):
+        graph = JobGraph()
+        graph.add(self._job("a"), depends_on=["ghost"])
+        with pytest.raises(JobValidationError):
+            graph.execution_order()
+
+    def test_duplicate_job_rejected(self):
+        graph = JobGraph()
+        graph.add(self._job("a"))
+        with pytest.raises(JobValidationError):
+            graph.add(self._job("a"))
+
+    def test_run_all(self):
+        graph = JobGraph()
+        graph.add(self._job("a"))
+        graph.add(self._job("b"), depends_on=["a"])
+        results = graph.run_all(JobRunner())
+        assert set(results) == {"a", "b"}
+
+
+class TestScheduler:
+    def _job(self, name="tick"):
+        return EtlJob(name, RowsSource([{"n": 1}]))
+
+    def test_schedule_validation(self):
+        with pytest.raises(SchedulerError):
+            Schedule()
+        with pytest.raises(SchedulerError):
+            Schedule(every_minutes=5, daily_at="02:00")
+        with pytest.raises(SchedulerError):
+            Schedule(every_minutes=0)
+        with pytest.raises(SchedulerError):
+            Schedule(daily_at="25:00")
+        with pytest.raises(SchedulerError):
+            Schedule(daily_at="2am")
+
+    def test_interval_schedule_runs_repeatedly(self):
+        scheduler = Scheduler()
+        scheduler.add(self._job(), Schedule(every_minutes=10))
+        executed = scheduler.advance(35)
+        assert len(executed) == 3
+        assert [record.minute for record in executed] == [10, 20, 30]
+
+    def test_daily_schedule(self):
+        scheduler = Scheduler()
+        scheduler.add(self._job(), Schedule(daily_at="02:00"))
+        executed = scheduler.advance(3 * 24 * 60)
+        assert len(executed) == 3
+        assert executed[0].minute == 2 * 60
+
+    def test_duplicate_job_rejected(self):
+        scheduler = Scheduler()
+        scheduler.add(self._job(), Schedule(every_minutes=5))
+        with pytest.raises(SchedulerError):
+            scheduler.add(self._job(), Schedule(every_minutes=5))
+
+    def test_remove(self):
+        scheduler = Scheduler()
+        scheduler.add(self._job(), Schedule(every_minutes=5))
+        scheduler.remove("tick")
+        assert scheduler.scheduled_jobs() == []
+        with pytest.raises(SchedulerError):
+            scheduler.remove("tick")
+
+    def test_negative_advance_rejected(self):
+        scheduler = Scheduler()
+        with pytest.raises(SchedulerError):
+            scheduler.advance(-1)
+
+    def test_fairness_across_owners(self):
+        scheduler = Scheduler()
+        for tenant in ("t1", "t2", "t3"):
+            scheduler.add(self._job(f"{tenant}-job"),
+                          Schedule(every_minutes=10), owner=tenant)
+        scheduler.advance(100)
+        counts = scheduler.runs_by_owner()
+        assert counts == {"t1": 10, "t2": 10, "t3": 10}
+
+    def test_round_robin_rotates_first_position(self):
+        scheduler = Scheduler()
+        scheduler.add(self._job("a-job"), Schedule(every_minutes=10),
+                      owner="a")
+        scheduler.add(self._job("b-job"), Schedule(every_minutes=10),
+                      owner="b")
+        scheduler.advance(20)
+        first_tick = [record.owner for record in scheduler.log
+                      if record.minute == 10]
+        second_tick = [record.owner for record in scheduler.log
+                       if record.minute == 20]
+        assert first_tick != second_tick  # rotation happened
+
+
+class TestTimeDimensionRows:
+    def test_calendar_attributes(self):
+        from repro.etl import time_dimension_rows
+
+        rows = list(time_dimension_rows(
+            datetime.date(2009, 12, 30), days=4))
+        assert [row["time_key"] for row in rows] == [1, 2, 3, 4]
+        assert rows[0]["year"] == 2009
+        assert rows[0]["quarter"] == "Q4"
+        assert rows[2]["year"] == 2010  # crosses the year boundary
+        assert rows[2]["month"] == "2010-01"
+        assert rows[0]["weekday"] == "wednesday"
+
+    def test_loadable_through_a_job(self):
+        from repro.etl import CallableSource, time_dimension_rows
+
+        db = Database()
+        db.execute(
+            "CREATE TABLE dim_time (time_key INTEGER PRIMARY KEY, "
+            "year INTEGER, quarter TEXT, month TEXT, day DATE, "
+            "weekday TEXT)")
+        job = EtlJob(
+            "seed-time",
+            CallableSource(lambda: time_dimension_rows(
+                datetime.date(2009, 1, 1), days=31)),
+            load=Load(db, "dim_time"))
+        result = JobRunner().run(job)
+        assert result.rows_written == 31
+        assert db.query_value(
+            "SELECT COUNT(DISTINCT weekday) FROM dim_time") == 7
+
+    def test_days_must_be_positive(self):
+        from repro.etl import time_dimension_rows
+
+        with pytest.raises(EtlError):
+            list(time_dimension_rows(datetime.date(2009, 1, 1), 0))

@@ -1,0 +1,151 @@
+"""Tests for SCD Type-2 dimension loading."""
+
+import datetime
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import JobExecutionError, JobValidationError
+from repro.etl import EtlJob, JobRunner, RowsSource
+from repro.etl.scd import ScdType2Load
+
+
+def day(offset):
+    return datetime.date(2009, 1, 1) + datetime.timedelta(days=offset)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE dim_customer ("
+        "row_key INTEGER PRIMARY KEY, "
+        "customer_id INTEGER NOT NULL, "
+        "name TEXT, city TEXT, "
+        "valid_from DATE, valid_to DATE, is_current BOOLEAN)")
+    return database
+
+
+def load(db, rows, effective):
+    job = EtlJob("scd", RowsSource(rows),
+                 load=ScdType2Load(db, "dim_customer",
+                                   natural_key=["customer_id"],
+                                   tracked=["name", "city"],
+                                   effective_date=effective))
+    return JobRunner().run(job)
+
+
+class TestScdValidation:
+    def test_requires_key_and_tracked(self, db):
+        with pytest.raises(JobValidationError):
+            ScdType2Load(db, "dim_customer", [], ["name"], day(0))
+        with pytest.raises(JobValidationError):
+            ScdType2Load(db, "dim_customer", ["customer_id"], [],
+                         day(0))
+
+    def test_key_tracked_overlap_rejected(self, db):
+        with pytest.raises(JobValidationError):
+            ScdType2Load(db, "dim_customer", ["name"],
+                         ["name", "city"], day(0))
+
+    def test_contract_checked(self, db):
+        db.execute("CREATE TABLE bad (customer_id INTEGER)")
+        job = EtlJob("scd", RowsSource([{"customer_id": 1}]),
+                     load=ScdType2Load(db, "bad", ["customer_id"],
+                                       ["customer_id2"], day(0)))
+        with pytest.raises(JobExecutionError):
+            JobRunner().run(job)
+
+    def test_row_without_natural_key_rejected(self, db):
+        with pytest.raises(JobExecutionError):
+            load(db, [{"name": "ada"}], day(0))
+
+
+class TestScdSemantics:
+    def test_initial_load_creates_current_versions(self, db):
+        result = load(db, [
+            {"customer_id": 1, "name": "ada", "city": "Paris"},
+            {"customer_id": 2, "name": "bob", "city": "Lyon"},
+        ], day(0))
+        assert result.rows_written == 2
+        rows = db.query("SELECT * FROM dim_customer ORDER BY row_key")
+        assert all(row["is_current"] for row in rows)
+        assert all(row["valid_to"] is None for row in rows)
+        assert rows[0]["valid_from"] == day(0)
+
+    def test_unchanged_row_writes_nothing(self, db):
+        load(db, [{"customer_id": 1, "name": "ada", "city": "Paris"}],
+             day(0))
+        result = load(
+            db, [{"customer_id": 1, "name": "ada", "city": "Paris"}],
+            day(30))
+        assert result.rows_written == 0
+        assert db.query_value(
+            "SELECT COUNT(*) FROM dim_customer") == 1
+
+    def test_change_closes_old_and_opens_new_version(self, db):
+        load(db, [{"customer_id": 1, "name": "ada", "city": "Paris"}],
+             day(0))
+        load(db, [{"customer_id": 1, "name": "ada", "city": "Nice"}],
+             day(90))
+        history = db.query(
+            "SELECT city, valid_from, valid_to, is_current "
+            "FROM dim_customer WHERE customer_id = 1 "
+            "ORDER BY valid_from")
+        assert len(history) == 2
+        old, new = history
+        assert old["city"] == "Paris"
+        assert old["valid_to"] == day(90)
+        assert old["is_current"] is False
+        assert new["city"] == "Nice"
+        assert new["valid_to"] is None
+        assert new["is_current"] is True
+
+    def test_full_history_across_three_changes(self, db):
+        for offset, city in ((0, "Paris"), (10, "Lyon"), (20, "Nice")):
+            load(db, [{"customer_id": 1, "name": "ada",
+                       "city": city}], day(offset))
+        versions = db.query(
+            "SELECT city FROM dim_customer WHERE customer_id = 1 "
+            "ORDER BY valid_from")
+        assert [row["city"] for row in versions] == \
+            ["Paris", "Lyon", "Nice"]
+        current = db.query(
+            "SELECT city FROM dim_customer "
+            "WHERE customer_id = 1 AND is_current = TRUE")
+        assert current == [{"city": "Nice"}]
+
+    def test_surrogate_keys_are_dense_and_unique(self, db):
+        load(db, [{"customer_id": 1, "name": "a", "city": "X"},
+                  {"customer_id": 2, "name": "b", "city": "Y"}],
+             day(0))
+        load(db, [{"customer_id": 1, "name": "a", "city": "Z"}],
+             day(5))
+        keys = db.execute(
+            "SELECT row_key FROM dim_customer ORDER BY row_key") \
+            .column("row_key")
+        assert keys == [1, 2, 3]
+
+    def test_point_in_time_query(self, db):
+        """The whole point of SCD2: as-of queries over history."""
+        load(db, [{"customer_id": 1, "name": "ada", "city": "Paris"}],
+             day(0))
+        load(db, [{"customer_id": 1, "name": "ada", "city": "Nice"}],
+             day(100))
+        as_of = day(50)
+        row = db.query(
+            "SELECT city FROM dim_customer WHERE customer_id = 1 "
+            "AND valid_from <= ? AND (valid_to IS NULL "
+            "OR valid_to > ?)", (as_of, as_of))
+        assert row == [{"city": "Paris"}]
+
+    def test_changes_only_affect_their_own_key(self, db):
+        load(db, [{"customer_id": 1, "name": "a", "city": "X"},
+                  {"customer_id": 2, "name": "b", "city": "Y"}],
+             day(0))
+        load(db, [{"customer_id": 1, "name": "a", "city": "Z"}],
+             day(5))
+        other = db.query(
+            "SELECT is_current FROM dim_customer "
+            "WHERE customer_id = 2")
+        assert other == [{"is_current": True}]

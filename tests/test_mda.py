@@ -1,0 +1,367 @@
+"""Tests for the MDA viewpoints, QVT engine, transformations and 2TUP."""
+
+import pytest
+
+from repro.cwm import OlapBuilder, RelationalBuilder
+from repro.errors import MdaError, ProcessError, TransformationError
+from repro.mda import (
+    DISCIPLINES,
+    BusinessRequirement,
+    CimModel,
+    DimensionSpec,
+    DwProject,
+    Iteration,
+    MeasureSpec,
+    PimModel,
+    QvtTransformation,
+    Rule,
+    TechnicalRequirement,
+    TwoTrackProcess,
+    cim_to_pim,
+    generate_code,
+    pim_to_psm,
+)
+from repro.mda.transformations import _snake
+
+
+@pytest.fixture
+def cim():
+    return CimModel("retail", [
+        BusinessRequirement(
+            subject="Sales",
+            goal="track revenue by product and time",
+            measures=[MeasureSpec("revenue", "sum"),
+                      MeasureSpec("quantity", "sum")],
+            dimensions=[
+                DimensionSpec("Time", ["year", "quarter", "month"],
+                              is_time=True),
+                DimensionSpec("Product", ["category", "sku"]),
+                DimensionSpec("Store", ["region", "city"]),
+            ]),
+        BusinessRequirement(
+            subject="Inventory",
+            measures=[MeasureSpec("stock_level", "avg")],
+            dimensions=[
+                DimensionSpec("Time", ["year", "quarter", "month"],
+                              is_time=True),
+                DimensionSpec("Product", ["category", "sku"]),
+            ]),
+    ])
+
+
+class TestViewpoints:
+    def test_cim_requires_requirements(self):
+        with pytest.raises(MdaError):
+            CimModel("empty", [])
+
+    def test_requirement_requires_measures_and_dimensions(self):
+        with pytest.raises(MdaError):
+            BusinessRequirement("x", [], [DimensionSpec("d")])
+        with pytest.raises(MdaError):
+            BusinessRequirement("x", [MeasureSpec("m")], [])
+
+    def test_bad_aggregator_rejected(self):
+        with pytest.raises(MdaError):
+            MeasureSpec("m", "geometric-mean")
+
+    def test_dimension_defaults_one_level(self):
+        spec = DimensionSpec("Customer")
+        assert spec.levels == ["customer"]
+
+    def test_snake_case_helper(self):
+        assert _snake("Sales Region") == "sales_region"
+        assert _snake("  Weird--Name!! ") == "weird_name"
+
+
+class TestCimToPim:
+    def test_each_requirement_becomes_a_cube(self, cim):
+        pim, traces = cim_to_pim(cim)
+        assert {cube.name for cube in pim.cubes()} == \
+            {"Sales", "Inventory"}
+        assert any(trace["rule"] == "requirement-to-cube"
+                   for trace in traces)
+
+    def test_shared_dimensions_are_deduplicated(self, cim):
+        pim, _ = cim_to_pim(cim)
+        names = [dimension.name for dimension in pim.dimensions()]
+        assert sorted(names) == ["Product", "Store", "Time"]
+
+    def test_hierarchy_levels_preserved_in_order(self, cim):
+        pim, _ = cim_to_pim(cim)
+        olap = OlapBuilder(pim.extent)
+        time = pim.extent.find_by_name("Dimension", "Time")
+        assert [level.name for level in olap.levels_of(time)] == \
+            ["year", "quarter", "month"]
+
+    def test_measures_carry_aggregators(self, cim):
+        pim, _ = cim_to_pim(cim)
+        olap = OlapBuilder(pim.extent)
+        inventory = pim.extent.find_by_name("Cube", "Inventory")
+        measures = olap.measures_of(inventory)
+        assert measures[0].get("aggregator") == "avg"
+
+    def test_pim_is_valid(self, cim):
+        pim, _ = cim_to_pim(cim)
+        assert pim.validate() == []
+
+
+class TestPimToPsm:
+    def test_star_schema_shape(self, cim):
+        pim, _ = cim_to_pim(cim)
+        psm, _ = pim_to_psm(pim, cim.technical)
+        table_names = {table.name for table in psm.tables()}
+        assert table_names == {
+            "dim_time", "dim_product", "dim_store",
+            "fact_sales", "fact_inventory",
+        }
+
+    def test_fact_table_has_fk_per_dimension_and_measure_columns(self, cim):
+        pim, _ = cim_to_pim(pim_or_cim(cim))
+        psm, _ = pim_to_psm(pim, cim.technical)
+        relational = RelationalBuilder(psm.extent)
+        fact = psm.extent.find_by_name("Table", "fact_sales")
+        columns = {column.name for column in relational.columns_of(fact)}
+        assert columns == {
+            "time_key", "product_key", "store_key",
+            "revenue", "quantity",
+        }
+        assert len(relational.foreign_keys_of(fact)) == 3
+
+    def test_dimension_tables_have_surrogate_key_and_levels(self, cim):
+        pim, _ = cim_to_pim(cim)
+        psm, _ = pim_to_psm(pim, cim.technical)
+        relational = RelationalBuilder(psm.extent)
+        dim_time = psm.extent.find_by_name("Table", "dim_time")
+        columns = [column.name
+                   for column in relational.columns_of(dim_time)]
+        assert columns == ["time_key", "year", "quarter", "month"]
+        assert relational.primary_key_of(dim_time) is not None
+
+    def test_no_surrogate_keys_when_tcim_says_so(self, cim):
+        technical = TechnicalRequirement(surrogate_keys=False)
+        pim, _ = cim_to_pim(cim)
+        psm, _ = pim_to_psm(pim, technical)
+        relational = RelationalBuilder(psm.extent)
+        dim_time = psm.extent.find_by_name("Table", "dim_time")
+        assert relational.primary_key_of(dim_time) is None
+
+    def test_history_tracking_adds_validity_columns(self, cim):
+        technical = TechnicalRequirement(history_tracking=True)
+        pim, _ = cim_to_pim(cim)
+        psm, _ = pim_to_psm(pim, technical)
+        relational = RelationalBuilder(psm.extent)
+        dim_time = psm.extent.find_by_name("Table", "dim_time")
+        columns = {column.name
+                   for column in relational.columns_of(dim_time)}
+        assert {"valid_from", "valid_to"} <= columns
+
+    def test_traces_resolve_dimensions_to_tables(self, cim):
+        pim, _ = cim_to_pim(cim)
+        psm, context = pim_to_psm(pim)
+        time = pim.extent.find_by_name("Dimension", "Time")
+        table = context.resolve(time, "Table")
+        assert table.name == "dim_time"
+
+    def test_psm_is_valid(self, cim):
+        pim, _ = cim_to_pim(cim)
+        psm, _ = pim_to_psm(pim)
+        assert psm.validate() == []
+
+
+def pim_or_cim(cim):
+    """Tiny helper so a test reads naturally above."""
+    return cim
+
+
+class TestQvtEngine:
+    def test_transformation_requires_rules(self):
+        with pytest.raises(TransformationError):
+            QvtTransformation("empty", [])
+
+    def test_guard_filters_elements(self, cim):
+        pim, _ = cim_to_pim(cim)
+        target = PimModel("target")
+        copies = []
+
+        def copy_cube(element, context):
+            copied = target.extent.create("Package", name=element.name)
+            copies.append(copied)
+            return copied
+
+        transformation = QvtTransformation("t", [
+            Rule("only-sales", "Cube", copy_cube,
+                 guard=lambda element: element.name == "Sales"),
+        ])
+        context = transformation.run(pim.extent, target.extent)
+        assert [element.name for element in copies] == ["Sales"]
+        assert len(context.traces) == 1
+
+    def test_unresolved_trace_raises(self, cim):
+        pim, _ = cim_to_pim(cim)
+        psm, context = pim_to_psm(pim)
+        stray = pim.extent.create("Package", name="unmapped")
+        with pytest.raises(TransformationError):
+            context.resolve(stray)
+        assert context.try_resolve(stray) is None
+
+    def test_rules_returning_none_leave_no_trace(self, cim):
+        pim, _ = cim_to_pim(cim)
+        target = PimModel("target")
+        transformation = QvtTransformation("noop", [
+            Rule("skip", "Cube", lambda element, context: None),
+        ])
+        context = transformation.run(pim.extent, target.extent)
+        assert context.traces == []
+
+
+class TestCodegen:
+    def test_ddl_orders_dimensions_before_facts(self, cim):
+        pim, _ = cim_to_pim(cim)
+        psm, _ = pim_to_psm(pim)
+        artifacts = generate_code(psm, pim)
+        create_order = [line.split()[2] for line in artifacts.ddl
+                        if line.startswith("CREATE TABLE")]
+        fact_position = create_order.index("fact_sales")
+        for dim in ("dim_time", "dim_product", "dim_store"):
+            assert create_order.index(dim) < fact_position
+
+    def test_ddl_is_executable_on_the_engine(self, cim):
+        from repro.engine import Database
+
+        pim, _ = cim_to_pim(cim)
+        psm, _ = pim_to_psm(pim)
+        artifacts = generate_code(psm, pim)
+        db = Database()
+        for statement in artifacts.ddl:
+            db.execute(statement)
+        assert "fact_sales" in db.table_names()
+        assert "dim_product" in db.table_names()
+
+    def test_etl_jobs_have_completion_points(self, cim):
+        pim, _ = cim_to_pim(cim)
+        psm, _ = pim_to_psm(pim)
+        artifacts = generate_code(psm)
+        assert len(artifacts.etl_jobs) == 5
+        assert all(job["source"] is None for job in artifacts.etl_jobs)
+        assert len(artifacts.completion_points) == 5
+
+    def test_cube_definitions_only_with_pim(self, cim):
+        pim, _ = cim_to_pim(cim)
+        psm, _ = pim_to_psm(pim)
+        without = generate_code(psm)
+        with_pim = generate_code(psm, pim)
+        assert without.cube_definitions == []
+        sales = [cube for cube in with_pim.cube_definitions
+                 if cube["name"] == "Sales"][0]
+        assert sales["fact_table"] == "fact_sales"
+        assert {d["name"] for d in sales["dimensions"]} == \
+            {"Time", "Product", "Store"}
+
+
+class TestTwoTrackProcess:
+    def test_realization_blocked_until_both_branches_done(self):
+        iteration = Iteration(1, "warehouse")
+        iteration.complete("preliminary-study")
+        iteration.complete("business-requirements")
+        iteration.complete("analysis")
+        with pytest.raises(ProcessError):
+            iteration.complete("preliminary-design")
+        iteration.complete("technical-requirements")
+        iteration.complete("generic-design")
+        iteration.complete("preliminary-design")
+
+    def test_branch_internal_ordering(self):
+        iteration = Iteration(1, "warehouse")
+        with pytest.raises(ProcessError):
+            iteration.complete("analysis")
+        iteration.complete("preliminary-study")
+        with pytest.raises(ProcessError):
+            iteration.complete("analysis")
+
+    def test_branches_may_interleave(self):
+        iteration = Iteration(1, "warehouse")
+        iteration.complete("preliminary-study")
+        iteration.complete("technical-requirements")
+        iteration.complete("business-requirements")
+        iteration.complete("generic-design")
+        iteration.complete("analysis")
+        assert iteration.can_complete("preliminary-design")
+
+    def test_double_completion_rejected(self):
+        iteration = Iteration(1, "warehouse")
+        iteration.complete("preliminary-study")
+        with pytest.raises(ProcessError):
+            iteration.complete("preliminary-study")
+
+    def test_unknown_discipline_rejected(self):
+        iteration = Iteration(1, "warehouse")
+        with pytest.raises(ProcessError):
+            iteration.complete("vibing")
+
+    def test_full_iteration_completes(self):
+        iteration = Iteration(1, "warehouse")
+        for discipline in DISCIPLINES:
+            iteration.complete(discipline.name, deliverable=discipline.name)
+        assert iteration.is_complete
+        assert iteration.progress() == 1.0
+        assert iteration.deliverable("coding") == "coding"
+
+    def test_process_tracks_layer_completion(self):
+        process = TwoTrackProcess("p", ["staging", "warehouse"])
+        iteration = process.start_iteration("staging")
+        assert not process.layer_complete("staging")
+        for discipline in DISCIPLINES:
+            iteration.complete(discipline.name)
+        assert process.layer_complete("staging")
+        assert not process.is_complete
+
+    def test_unknown_layer_rejected(self):
+        process = TwoTrackProcess("p", ["staging"])
+        with pytest.raises(ProcessError):
+            process.start_iteration("moon-base")
+
+    def test_discipline_matrix_shape(self):
+        process = TwoTrackProcess("p", ["staging"])
+        iteration = process.start_iteration("staging")
+        iteration.complete("preliminary-study")
+        matrix = process.discipline_matrix()
+        assert matrix[0]["layer"] == "staging"
+        assert matrix[0]["disciplines"]["preliminary-study"] is True
+        assert matrix[0]["disciplines"]["coding"] is False
+
+
+class TestDwProject:
+    def test_risk_lifecycle(self):
+        project = DwProject("retail-dw")
+        project.add_risk("source data quality", "high",
+                         "profile sources early")
+        project.add_risk("scope creep", "medium")
+        assert len(project.open_risks()) == 2
+        assert len(project.open_risks("high")) == 1
+        project.close_risk("scope creep")
+        assert len(project.open_risks()) == 1
+        with pytest.raises(ProcessError):
+            project.close_risk("scope creep")
+
+    def test_invalid_severity_rejected(self):
+        project = DwProject("p")
+        with pytest.raises(ProcessError):
+            project.add_risk("x", "catastrophic")
+
+    def test_artifact_registry(self):
+        project = DwProject("p")
+        project.register_artifact("pim", object())
+        with pytest.raises(ProcessError):
+            project.register_artifact("pim", object())
+        assert project.artifact("pim") is not None
+        with pytest.raises(ProcessError):
+            project.artifact("missing")
+
+    def test_status_summary(self):
+        project = DwProject("p", layers=["warehouse"])
+        iteration = project.process.start_iteration("warehouse")
+        for discipline in DISCIPLINES:
+            iteration.complete(discipline.name)
+        status = project.status()
+        assert status["complete"] is True
+        assert status["layers"]["warehouse"] is True

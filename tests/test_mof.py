@@ -1,0 +1,284 @@
+"""Unit tests for the MOF kernel, registry, constraints and XMI."""
+
+import pytest
+
+from repro.errors import MetamodelError, ModelConstraintError, XmiError
+from repro.mof import (
+    Constraint,
+    ConstraintChecker,
+    MetaAttribute,
+    MetaClass,
+    MetaReference,
+    Metamodel,
+    MetamodelRegistry,
+    ModelExtent,
+    read_xmi,
+    write_xmi,
+)
+
+
+@pytest.fixture
+def metamodel():
+    return Metamodel("Zoo", [
+        MetaClass("Named", abstract=True, attributes=[
+            MetaAttribute("name", "string", required=True),
+        ]),
+        MetaClass("Animal", superclass="Named", attributes=[
+            MetaAttribute("legs", "integer", default=4),
+            MetaAttribute("weight", "float"),
+            MetaAttribute("tame", "boolean", default=False),
+        ]),
+        MetaClass("Bird", superclass="Animal"),
+        MetaClass("Enclosure", superclass="Named", references=[
+            MetaReference("resident", "Animal", many=True, composite=True),
+            MetaReference("keeper", "Keeper"),
+        ]),
+        MetaClass("Keeper", superclass="Named"),
+    ])
+
+
+@pytest.fixture
+def extent(metamodel):
+    return ModelExtent(metamodel, "zoo-1")
+
+
+class TestMetamodelDefinition:
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(MetamodelError):
+            Metamodel("M", [MetaClass("A"), MetaClass("A")])
+
+    def test_unknown_superclass_rejected(self):
+        with pytest.raises(MetamodelError):
+            Metamodel("M", [MetaClass("A", superclass="Ghost")])
+
+    def test_unknown_reference_target_rejected(self):
+        with pytest.raises(MetamodelError):
+            Metamodel("M", [MetaClass("A", references=[
+                MetaReference("r", "Ghost")])])
+
+    def test_inheritance_cycle_rejected(self):
+        with pytest.raises(MetamodelError):
+            Metamodel("M", [
+                MetaClass("A", superclass="B"),
+                MetaClass("B", superclass="A"),
+            ])
+
+    def test_bad_attribute_type_rejected(self):
+        with pytest.raises(MetamodelError):
+            MetaAttribute("x", "quaternion")
+
+    def test_attribute_inheritance(self, metamodel):
+        attributes = metamodel.all_attributes("Bird")
+        assert set(attributes) == {"name", "legs", "weight", "tame"}
+
+    def test_is_kind_of_walks_lineage(self, metamodel):
+        assert metamodel.is_kind_of("Bird", "Named")
+        assert not metamodel.is_kind_of("Keeper", "Animal")
+
+
+class TestReflectiveInstances:
+    def test_create_with_defaults(self, extent):
+        animal = extent.create("Animal", name="rex")
+        assert animal.get("legs") == 4
+        assert animal.get("tame") is False
+
+    def test_abstract_class_cannot_be_instantiated(self, extent):
+        with pytest.raises(ModelConstraintError):
+            extent.create("Named", name="x")
+
+    def test_unknown_class_raises(self, extent):
+        with pytest.raises(MetamodelError):
+            extent.create("Ghost")
+
+    def test_attribute_type_checked(self, extent):
+        animal = extent.create("Animal", name="rex")
+        with pytest.raises(ModelConstraintError):
+            animal.set("legs", "four")
+
+    def test_unknown_attribute_raises(self, extent):
+        animal = extent.create("Animal", name="rex")
+        with pytest.raises(MetamodelError):
+            animal.set("wings", 2)
+
+    def test_float_attribute_accepts_int(self, extent):
+        animal = extent.create("Animal", name="rex")
+        animal.set("weight", 10)
+        assert animal.get("weight") == 10
+
+    def test_link_enforces_target_class(self, extent):
+        enclosure = extent.create("Enclosure", name="cage")
+        keeper = extent.create("Keeper", name="joe")
+        with pytest.raises(ModelConstraintError):
+            enclosure.link("resident", keeper)
+
+    def test_link_accepts_subclass_instances(self, extent):
+        enclosure = extent.create("Enclosure", name="aviary")
+        bird = extent.create("Bird", name="tweety")
+        enclosure.link("resident", bird)
+        assert enclosure.refs("resident") == [bird]
+
+    def test_single_valued_reference_replaces(self, extent):
+        enclosure = extent.create("Enclosure", name="cage")
+        joe = extent.create("Keeper", name="joe")
+        ann = extent.create("Keeper", name="ann")
+        enclosure.link("keeper", joe)
+        enclosure.link("keeper", ann)
+        assert enclosure.ref("keeper") is ann
+
+    def test_unlink(self, extent):
+        enclosure = extent.create("Enclosure", name="cage")
+        rex = extent.create("Animal", name="rex")
+        enclosure.link("resident", rex)
+        enclosure.unlink("resident", rex)
+        assert enclosure.refs("resident") == []
+
+    def test_duplicate_element_id_rejected(self, extent):
+        extent.create("Animal", element_id="a1", name="rex")
+        with pytest.raises(ModelConstraintError):
+            extent.create("Animal", element_id="a1", name="dup")
+
+    def test_delete_removes_incoming_links(self, extent):
+        enclosure = extent.create("Enclosure", name="cage")
+        rex = extent.create("Animal", name="rex")
+        enclosure.link("resident", rex)
+        extent.delete(rex)
+        assert enclosure.refs("resident") == []
+        assert len(extent) == 1
+
+
+class TestExtentQueries:
+    def test_instances_of_includes_subclasses(self, extent):
+        extent.create("Animal", name="rex")
+        extent.create("Bird", name="tweety")
+        assert len(extent.instances_of("Animal")) == 2
+        assert len(extent.instances_of("Animal", exact=True)) == 1
+
+    def test_find_by_name(self, extent):
+        extent.create("Animal", name="rex")
+        assert extent.find_by_name("Animal", "rex") is not None
+        assert extent.find_by_name("Animal", "ghost") is None
+
+    def test_element_lookup_by_id(self, extent):
+        animal = extent.create("Animal", element_id="a1", name="rex")
+        assert extent.element("a1") is animal
+        with pytest.raises(ModelConstraintError):
+            extent.element("missing")
+
+
+class TestValidation:
+    def test_missing_required_attribute_reported(self, extent):
+        animal = extent.create("Animal")
+        problems = extent.validate()
+        assert any("name" in problem for problem in problems)
+
+    def test_two_composite_owners_reported(self, extent):
+        first = extent.create("Enclosure", name="e1")
+        second = extent.create("Enclosure", name="e2")
+        rex = extent.create("Animal", name="rex")
+        first.link("resident", rex)
+        second.link("resident", rex)
+        problems = extent.validate()
+        assert any("composite" in problem for problem in problems)
+
+    def test_valid_extent_has_no_problems(self, extent):
+        enclosure = extent.create("Enclosure", name="cage")
+        rex = extent.create("Animal", name="rex")
+        enclosure.link("resident", rex)
+        assert extent.validate() == []
+        extent.check_valid()
+
+    def test_check_valid_raises(self, extent):
+        extent.create("Animal")
+        with pytest.raises(ModelConstraintError):
+            extent.check_valid()
+
+
+class TestRegistry:
+    def test_install_and_create_extent(self, metamodel):
+        registry = MetamodelRegistry()
+        registry.install(metamodel)
+        extent = registry.create_extent("Zoo", "z1")
+        assert extent.metamodel is metamodel
+        assert registry.names() == ["Zoo"]
+
+    def test_double_install_rejected(self, metamodel):
+        registry = MetamodelRegistry()
+        registry.install(metamodel)
+        with pytest.raises(MetamodelError):
+            registry.install(metamodel)
+
+    def test_unknown_metamodel_raises(self):
+        registry = MetamodelRegistry()
+        with pytest.raises(MetamodelError):
+            registry.get("Ghost")
+
+    def test_uninstall(self, metamodel):
+        registry = MetamodelRegistry()
+        registry.install(metamodel)
+        registry.uninstall("Zoo")
+        assert registry.names() == []
+        with pytest.raises(MetamodelError):
+            registry.uninstall("Zoo")
+
+
+class TestConstraints:
+    def test_violations_are_reported_per_element(self, extent):
+        extent.create("Animal", name="rex", legs=4)
+        extent.create("Animal", name="wobbler", legs=3)
+        checker = ConstraintChecker([
+            Constraint("even-legs", "Animal",
+                       lambda animal: animal.get("legs") % 2 == 0,
+                       "animals must have an even number of legs"),
+        ])
+        violations = checker.check(extent)
+        assert len(violations) == 1
+        assert "even-legs" in str(violations[0])
+
+    def test_constraint_covers_subclasses(self, extent):
+        extent.create("Bird", name="tweety", legs=3)
+        checker = ConstraintChecker().add(
+            Constraint("even-legs", "Animal",
+                       lambda animal: animal.get("legs") % 2 == 0,
+                       "bad legs"))
+        assert not checker.is_satisfied(extent)
+
+
+class TestXmi:
+    def test_roundtrip_preserves_everything(self, extent, metamodel):
+        enclosure = extent.create("Enclosure", name="cage")
+        rex = extent.create("Animal", name="rex", weight=12.5, tame=True)
+        keeper = extent.create("Keeper", name="joe")
+        enclosure.link("resident", rex)
+        enclosure.link("keeper", keeper)
+
+        document = write_xmi(extent)
+        restored = read_xmi(document, metamodel)
+
+        assert len(restored) == 3
+        cage = restored.find_by_name("Enclosure", "cage")
+        assert cage.ref("keeper").get("name") == "joe"
+        resident = cage.refs("resident")[0]
+        assert resident.get("weight") == 12.5
+        assert resident.get("tame") is True
+        assert resident.get("legs") == 4
+
+    def test_wrong_metamodel_rejected(self, extent):
+        other = Metamodel("Other", [MetaClass("X")])
+        document = write_xmi(extent)
+        with pytest.raises(XmiError):
+            read_xmi(document, other)
+
+    def test_malformed_document_rejected(self, metamodel):
+        with pytest.raises(XmiError):
+            read_xmi("<not-closed", metamodel)
+
+    def test_non_xmi_root_rejected(self, metamodel):
+        with pytest.raises(XmiError):
+            read_xmi("<zoo/>", metamodel)
+
+    def test_unknown_attribute_in_document_rejected(self, metamodel):
+        document = (
+            '<xmi version="2.1" metamodel="Zoo" extent="e">'
+            '<Animal xmi.id="a1" name="rex" wings="2"/></xmi>')
+        with pytest.raises(XmiError):
+            read_xmi(document, metamodel)

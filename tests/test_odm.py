@@ -1,0 +1,218 @@
+"""Tests for the ODM package and semantic schema integration."""
+
+import pytest
+
+from repro.cwm import (
+    OdmBuilder,
+    RelationalBuilder,
+    SemanticMatcher,
+    cwm_metamodel,
+)
+from repro.mof import ModelExtent, read_xmi, write_xmi
+
+
+@pytest.fixture(scope="module")
+def metamodel():
+    return cwm_metamodel()
+
+
+@pytest.fixture
+def extent(metamodel):
+    return ModelExtent(metamodel, "semantic")
+
+
+@pytest.fixture
+def odm(extent):
+    return OdmBuilder(extent)
+
+
+class TestOntologyConstruction:
+    def test_class_with_synonyms(self, odm):
+        ontology = odm.ontology("commerce")
+        revenue = odm.ont_class(ontology, "Revenue",
+                                synonyms=["turnover", "sales_amount"])
+        vocabulary = odm.vocabulary_of(revenue)
+        assert {"revenue", "turnover", "sales_amount"} <= vocabulary
+
+    def test_subclass_hierarchy(self, odm):
+        ontology = odm.ontology("commerce")
+        amount = odm.ont_class(ontology, "Amount")
+        revenue = odm.ont_class(ontology, "Revenue")
+        odm.subclass(revenue, amount)
+        assert revenue.refs("subClassOf") == [amount]
+
+    def test_equivalence_is_symmetric_and_merges_vocabulary(self, odm):
+        ontology = odm.ontology("commerce")
+        customer = odm.ont_class(ontology, "Customer",
+                                 synonyms=["client"])
+        patient = odm.ont_class(ontology, "Patient",
+                                synonyms=["case"])
+        odm.equivalent(customer, patient)
+        assert "case" in odm.vocabulary_of(customer)
+        assert "client" in odm.vocabulary_of(patient)
+
+    def test_properties_and_individuals(self, odm, extent):
+        ontology = odm.ontology("commerce")
+        order = odm.ont_class(ontology, "Order")
+        customer = odm.ont_class(ontology, "Customer")
+        odm.datatype_property(order, "total", "float")
+        odm.object_property(order, "placedBy", customer)
+        odm.individual(customer, "acme-gmbh")
+        assert extent.validate() == []
+
+    def test_ontology_roundtrips_through_xmi(self, odm, extent,
+                                             metamodel):
+        ontology = odm.ontology("commerce")
+        odm.ont_class(ontology, "Revenue", synonyms=["turnover"])
+        restored = read_xmi(write_xmi(extent), metamodel)
+        revenue = restored.find_by_name("OntClass", "Revenue")
+        again = OdmBuilder(restored)
+        assert "turnover" in again.vocabulary_of(revenue)
+
+
+class TestSemanticMatcher:
+    @pytest.fixture
+    def tables(self, extent):
+        relational = RelationalBuilder(extent)
+        schema = relational.schema("integration")
+        source = relational.table(schema, "src_orders")
+        relational.column(source, "turnover", "REAL")
+        relational.column(source, "client", "TEXT")
+        relational.column(source, "order_date", "DATE")
+        relational.column(source, "mystery", "TEXT")
+        target = relational.table(schema, "dw_sales")
+        relational.column(target, "revenue", "REAL")
+        relational.column(target, "customer", "TEXT")
+        relational.column(target, "order_date", "DATE")
+        return source, target
+
+    @pytest.fixture
+    def matcher(self, odm, tables):
+        ontology = odm.ontology("commerce")
+        odm.ont_class(ontology, "Revenue",
+                      synonyms=["turnover", "sales_amount"])
+        odm.ont_class(ontology, "Customer",
+                      synonyms=["client", "buyer"])
+        return SemanticMatcher(odm)
+
+    def test_exact_name_match(self, matcher, tables):
+        source, target = tables
+        matches = matcher.match_tables(source, target)
+        exact = [m for m in matches if m.reason == "exact-name"]
+        assert [(m.source_column, m.target_column) for m in exact] == \
+            [("order_date", "order_date")]
+        assert exact[0].confidence == 1.0
+
+    def test_synonym_match_crosses_spellings(self, matcher, tables):
+        source, target = tables
+        matches = {m.source_column: m
+                   for m in matcher.match_tables(source, target)}
+        assert matches["turnover"].target_column == "revenue"
+        assert matches["turnover"].reason == "ontology-synonym"
+        assert matches["turnover"].concept == "Revenue"
+        assert matches["client"].target_column == "customer"
+
+    def test_unmatched_columns_reported(self, matcher, tables):
+        source, target = tables
+        sources, targets = matcher.unmatched_columns(source, target)
+        assert sources == ["mystery"]
+        assert targets == []
+
+    def test_equivalence_match(self, odm, extent):
+        relational = RelationalBuilder(extent)
+        schema = relational.schema("s")
+        source = relational.table(schema, "a")
+        relational.column(source, "patient", "TEXT")
+        target = relational.table(schema, "b")
+        relational.column(target, "customer", "TEXT")
+
+        ontology = odm.ontology("bridge")
+        patient = odm.ont_class(ontology, "Patient")
+        customer = odm.ont_class(ontology, "Customer")
+        odm.equivalent(patient, customer)
+        matcher = SemanticMatcher(odm)
+        matches = matcher.match_tables(source, target)
+        assert matches[0].source_column == "patient"
+        assert matches[0].target_column == "customer"
+        assert matches[0].reason in ("ontology-synonym",
+                                     "ontology-equivalence")
+
+    def test_no_ontology_means_only_exact_matches(self, odm, tables):
+        source, target = tables
+        matcher = SemanticMatcher(odm)  # empty ontology
+        matches = matcher.match_tables(source, target)
+        assert all(m.reason == "exact-name" for m in matches)
+        assert len(matches) == 1
+
+    def test_matches_sorted_by_confidence(self, matcher, tables):
+        source, target = tables
+        matches = matcher.match_tables(source, target)
+        confidences = [match.confidence for match in matches]
+        assert confidences == sorted(confidences, reverse=True)
+
+
+class TestMdsSemanticIntegration:
+    """The ODM extension wired through the metadata service."""
+
+    @pytest.fixture
+    def platform(self):
+        from repro import Database, OdbisPlatform
+
+        platform = OdbisPlatform()
+        context = platform.provisioning.provision("acme", "Acme")
+        context.warehouse_db.execute(
+            "CREATE TABLE dw_sales (revenue REAL, customer TEXT)")
+        staging = Database("staging")
+        staging.execute(
+            "CREATE TABLE src (turnover REAL, client TEXT, junk TEXT)")
+        platform.resources.register_database("acme", "staging", staging)
+        platform.metadata.create_datasource(
+            "acme", "staging", "repro://staging")
+        return platform
+
+    def test_mapping_via_tenant_ontology(self, platform):
+        odm = platform.metadata.ontology("acme")
+        ontology = odm.ontology("commerce")
+        odm.ont_class(ontology, "Revenue", synonyms=["turnover"])
+        odm.ont_class(ontology, "Customer", synonyms=["client"])
+        matches = platform.metadata.suggest_column_mapping(
+            "acme", "staging", "src", "warehouse", "dw_sales")
+        mapping = {m.source_column: m.target_column for m in matches}
+        assert mapping == {"turnover": "revenue",
+                           "client": "customer"}
+
+    def test_ontology_and_glossary_share_one_extent(self, platform):
+        odm = platform.metadata.ontology("acme")
+        glossary_builder = platform.metadata.glossary("acme")
+        assert odm.extent is glossary_builder.extent
+
+    def test_empty_ontology_gives_no_semantic_matches(self, platform):
+        matches = platform.metadata.suggest_column_mapping(
+            "acme", "staging", "src", "warehouse", "dw_sales")
+        assert matches == []
+
+    def test_reflection_preserves_column_types(self, platform):
+        from repro.cwm import cwm_metamodel
+        from repro.cwm.relational import (
+            RelationalBuilder,
+            reflect_physical_table,
+        )
+        from repro.mof import ModelExtent
+
+        extent = ModelExtent(cwm_metamodel(), "r")
+        warehouse = platform.tenants.context("acme").warehouse_db
+        table = reflect_physical_table(extent, warehouse, "dw_sales")
+        columns = {column.name: column.get("sqlType")
+                   for column in RelationalBuilder.columns_of(table)}
+        assert columns == {"revenue": "REAL", "customer": "TEXT"}
+
+    def test_reflection_is_idempotent(self, platform):
+        from repro.cwm import cwm_metamodel
+        from repro.cwm.relational import reflect_physical_table
+        from repro.mof import ModelExtent
+
+        extent = ModelExtent(cwm_metamodel(), "r")
+        warehouse = platform.tenants.context("acme").warehouse_db
+        first = reflect_physical_table(extent, warehouse, "dw_sales")
+        second = reflect_physical_table(extent, warehouse, "dw_sales")
+        assert first is second

@@ -1,0 +1,338 @@
+"""Unit and integration tests for the ORM persistence layer."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import (
+    ConstraintViolation,
+    EntityNotFound,
+    MappingError,
+    OrmError,
+    StaleSessionError,
+)
+from repro.orm import (
+    Entity,
+    FieldSpec,
+    Repository,
+    Session,
+    create_schema,
+    entity,
+    mapping_of,
+)
+
+
+@entity(table="users", fields=[
+    FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+    FieldSpec("username", "TEXT", nullable=False, unique=True),
+    FieldSpec("email", "TEXT"),
+    FieldSpec("active", "BOOLEAN", default=True),
+])
+class User(Entity):
+    pass
+
+
+@entity(table="projects", fields=[
+    FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+    FieldSpec("name", "TEXT", nullable=False),
+    FieldSpec("owner_id", "INTEGER"),
+])
+class Project(Entity):
+    pass
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    create_schema(database, [User, Project])
+    return database
+
+
+@pytest.fixture
+def session(db):
+    return Session(db)
+
+
+class TestMapping:
+    def test_ddl_generation(self):
+        ddl = mapping_of(User).ddl()
+        assert ddl.startswith("CREATE TABLE users")
+        assert "id INTEGER PRIMARY KEY" in ddl
+        assert "username TEXT NOT NULL UNIQUE" in ddl
+        assert "active BOOLEAN DEFAULT TRUE" in ddl
+
+    def test_unmapped_class_raises(self):
+        class Plain:
+            pass
+
+        with pytest.raises(MappingError):
+            mapping_of(Plain)
+
+    def test_entity_requires_single_primary_key(self):
+        with pytest.raises(MappingError):
+            @entity(table="bad", fields=[FieldSpec("a", "INTEGER")])
+            class NoKey(Entity):
+                pass
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(MappingError):
+            @entity(table="bad", fields=[
+                FieldSpec("id", "INTEGER", primary_key=True),
+                FieldSpec("id", "INTEGER"),
+            ])
+            class Duplicated(Entity):
+                pass
+
+    def test_generated_non_key_rejected(self):
+        with pytest.raises(MappingError):
+            FieldSpec("x", "INTEGER", generated=True)
+
+    def test_constructor_rejects_unknown_fields(self):
+        with pytest.raises(MappingError):
+            User(username="a", shoe_size=42)
+
+    def test_constructor_applies_defaults(self):
+        user = User(username="ada")
+        assert user.active is True
+        assert user.email is None
+
+    def test_create_schema_if_not_exists(self, db):
+        create_schema(db, [User], if_not_exists=True)  # no error
+
+    def test_repr_shows_identity(self):
+        user = User(username="ada")
+        user.id = 7
+        assert "id=7" in repr(user)
+
+
+class TestSessionBasics:
+    def test_insert_assigns_generated_key(self, session):
+        user = session.add(User(username="ada"))
+        session.flush()
+        assert user.id == 1
+        second = session.add(User(username="bob"))
+        session.flush()
+        assert second.id == 2
+
+    def test_get_returns_loaded_instance(self, session):
+        user = session.add(User(username="ada", email="a@x"))
+        session.flush()
+        found = session.get(User, user.id)
+        assert found.username == "ada"
+        assert found.email == "a@x"
+
+    def test_get_missing_returns_none(self, session):
+        assert session.get(User, 999) is None
+
+    def test_require_raises_when_missing(self, session):
+        with pytest.raises(EntityNotFound):
+            session.require(User, 999)
+
+    def test_identity_map_returns_same_object(self, session):
+        user = session.add(User(username="ada"))
+        session.flush()
+        assert session.get(User, user.id) is user
+
+    def test_two_sessions_have_distinct_identity_maps(self, db):
+        first = Session(db)
+        user = first.add(User(username="ada"))
+        first.flush()
+        second = Session(db)
+        other = second.get(User, user.id)
+        assert other is not user
+        assert other.username == user.username
+
+    def test_closed_session_raises(self, session):
+        session.close()
+        with pytest.raises(StaleSessionError):
+            session.get(User, 1)
+
+    def test_add_loaded_instance_raises(self, session):
+        user = session.add(User(username="ada"))
+        session.flush()
+        with pytest.raises(OrmError):
+            session.add(user)
+
+    def test_add_is_idempotent_before_flush(self, session):
+        user = User(username="ada")
+        session.add(user)
+        session.add(user)
+        session.flush()
+        assert session.database.query_value(
+            "SELECT COUNT(*) FROM users") == 1
+
+
+class TestDirtyTracking:
+    def test_update_on_flush(self, session, db):
+        user = session.add(User(username="ada"))
+        session.flush()
+        user.email = "ada@lovelace.org"
+        session.flush()
+        assert db.query_value(
+            "SELECT email FROM users WHERE id = ?", (user.id,)) == \
+            "ada@lovelace.org"
+
+    def test_clean_instances_issue_no_updates(self, session, db):
+        user = session.add(User(username="ada"))
+        session.flush()
+        statements_before = db.statistics["statements"]
+        session.flush()
+        # Only MAX()-key probes and no UPDATE should have run; in fact a
+        # flush with no dirty state runs zero statements.
+        assert db.statistics["statements"] == statements_before
+
+    def test_rollback_reverts_in_memory_changes(self, session):
+        user = session.add(User(username="ada"))
+        session.flush()
+        user.email = "changed@x"
+        session.rollback()
+        assert user.email is None
+
+    def test_rollback_discards_pending_new(self, session, db):
+        session.add(User(username="ghost"))
+        session.rollback()
+        session.flush()
+        assert db.query_value("SELECT COUNT(*) FROM users") == 0
+
+
+class TestDelete:
+    def test_delete_removes_row(self, session, db):
+        user = session.add(User(username="ada"))
+        session.flush()
+        session.delete(user)
+        session.flush()
+        assert db.query_value("SELECT COUNT(*) FROM users") == 0
+
+    def test_delete_unloaded_instance_raises(self, session):
+        with pytest.raises(OrmError):
+            session.delete(User(username="never-saved"))
+
+    def test_delete_pending_new_just_unregisters(self, session, db):
+        user = User(username="ada")
+        session.add(user)
+        session.delete(user)
+        session.flush()
+        assert db.query_value("SELECT COUNT(*) FROM users") == 0
+
+    def test_deleted_entity_not_in_identity_map(self, session):
+        user = session.add(User(username="ada"))
+        session.flush()
+        key = user.id
+        session.delete(user)
+        session.flush()
+        assert session.get(User, key) is None
+
+
+class TestFlushTransactionality:
+    def test_failed_flush_rolls_back_everything(self, session, db):
+        session.add(User(username="ada"))
+        session.add(User(username="ada"))  # duplicate username
+        with pytest.raises(ConstraintViolation):
+            session.flush()
+        assert db.query_value("SELECT COUNT(*) FROM users") == 0
+
+    def test_context_manager_commits(self, db):
+        with Session(db) as session:
+            session.add(User(username="ada"))
+        assert db.query_value("SELECT COUNT(*) FROM users") == 1
+
+    def test_context_manager_rolls_back_on_error(self, db):
+        with pytest.raises(RuntimeError):
+            with Session(db) as session:
+                session.add(User(username="ada"))
+                raise RuntimeError("boom")
+        assert db.query_value("SELECT COUNT(*) FROM users") == 0
+
+
+class TestCriteriaQuery:
+    @pytest.fixture
+    def populated(self, session):
+        session.add_all([
+            User(username="ada", email="a@x", active=True),
+            User(username="bob", email="b@x", active=False),
+            User(username="cy", email=None, active=True),
+        ])
+        session.flush()
+        return session
+
+    def test_filter_by_equality(self, populated):
+        users = populated.find(User).filter_by(active=True).list()
+        assert {user.username for user in users} == {"ada", "cy"}
+
+    def test_filter_by_none_becomes_is_null(self, populated):
+        users = populated.find(User).filter_by(email=None).list()
+        assert [user.username for user in users] == ["cy"]
+
+    def test_filter_by_unknown_field_raises(self, populated):
+        with pytest.raises(OrmError):
+            populated.find(User).filter_by(nope=1)
+
+    def test_raw_where_with_params(self, populated):
+        users = populated.find(User) \
+            .where("username LIKE ?", ("%b%",)).list()
+        assert [user.username for user in users] == ["bob"]
+
+    def test_order_by_descending(self, populated):
+        users = populated.find(User).order_by("-username").list()
+        assert [user.username for user in users] == ["cy", "bob", "ada"]
+
+    def test_order_by_unknown_field_raises(self, populated):
+        with pytest.raises(OrmError):
+            populated.find(User).order_by("nope")
+
+    def test_limit_offset(self, populated):
+        users = populated.find(User).order_by("username") \
+            .limit(1).offset(1).list()
+        assert [user.username for user in users] == ["bob"]
+
+    def test_first_returns_none_on_empty(self, populated):
+        assert populated.find(User).filter_by(username="zz").first() is None
+
+    def test_one_raises_on_many(self, populated):
+        with pytest.raises(OrmError):
+            populated.find(User).filter_by(active=True).one()
+
+    def test_count_and_exists(self, populated):
+        query = populated.find(User).filter_by(active=True)
+        assert query.count() == 2
+        assert query.exists()
+        assert not populated.find(User).filter_by(username="zz").exists()
+
+    def test_queried_instances_enter_identity_map(self, populated):
+        ada_by_query = populated.find(User).filter_by(username="ada").one()
+        ada_by_get = populated.get(User, ada_by_query.id)
+        assert ada_by_query is ada_by_get
+
+
+class TestRepository:
+    def test_save_and_find(self, session):
+        repo = Repository(session, User)
+        user = repo.save(User(username="ada"))
+        assert repo.find_by_id(user.id).username == "ada"
+
+    def test_save_flushes_updates(self, session, db):
+        repo = Repository(session, User)
+        user = repo.save(User(username="ada"))
+        user.email = "new@x"
+        repo.save(user)
+        assert db.query_value(
+            "SELECT email FROM users WHERE id = ?", (user.id,)) == "new@x"
+
+    def test_find_by_and_count(self, session):
+        repo = Repository(session, User)
+        repo.save(User(username="ada", active=True))
+        repo.save(User(username="bob", active=False))
+        assert len(repo.find_by(active=True)) == 1
+        assert repo.count() == 2
+
+    def test_delete_by_id(self, session):
+        repo = Repository(session, User)
+        user = repo.save(User(username="ada"))
+        assert repo.delete_by_id(user.id)
+        assert not repo.delete_by_id(999)
+        assert repo.count() == 0
+
+    def test_find_all(self, session):
+        repo = Repository(session, Project)
+        repo.save(Project(name="alpha"))
+        repo.save(Project(name="beta"))
+        assert {p.name for p in repo.find_all()} == {"alpha", "beta"}

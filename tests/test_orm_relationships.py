@@ -1,0 +1,147 @@
+"""Tests for ORM many-to-one associations."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import MappingError
+from repro.orm import (
+    Entity,
+    FieldSpec,
+    ReferenceSpec,
+    Session,
+    create_schema,
+    entity,
+)
+
+
+@entity(table="rel_customers", fields=[
+    FieldSpec("id", "INTEGER", primary_key=True, generated=True),
+    FieldSpec("name", "TEXT", nullable=False),
+])
+class Customer(Entity):
+    pass
+
+
+@entity(table="rel_orders",
+        fields=[
+            FieldSpec("id", "INTEGER", primary_key=True,
+                      generated=True),
+            FieldSpec("item", "TEXT"),
+            FieldSpec("customer_id", "INTEGER"),
+        ],
+        references=[ReferenceSpec("customer", Customer,
+                                  "customer_id")])
+class Order(Entity):
+    pass
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    create_schema(database, [Customer, Order])
+    return database
+
+
+@pytest.fixture
+def session(db):
+    return Session(db)
+
+
+class TestMappingValidation:
+    def test_reference_column_must_exist(self):
+        with pytest.raises(MappingError):
+            @entity(table="bad",
+                    fields=[FieldSpec("id", "INTEGER",
+                                      primary_key=True)],
+                    references=[ReferenceSpec("x", Customer, "ghost")])
+            class Bad(Entity):
+                pass
+
+    def test_reference_name_cannot_clash_with_field(self):
+        with pytest.raises(MappingError):
+            @entity(table="bad",
+                    fields=[FieldSpec("id", "INTEGER",
+                                      primary_key=True),
+                            FieldSpec("customer", "TEXT")],
+                    references=[ReferenceSpec("customer", Customer,
+                                              "id")])
+            class Bad(Entity):
+                pass
+
+
+class TestAssociations:
+    def test_assignment_before_key_generation(self, session, db):
+        ada = session.add(Customer(name="ada"))
+        order = session.add(Order(item="book"))
+        order.customer = ada  # ada.id is still None here
+        session.commit()
+        assert db.query_value(
+            "SELECT customer_id FROM rel_orders") == ada.id
+
+    def test_lazy_load_in_fresh_session(self, session, db):
+        ada = session.add(Customer(name="ada"))
+        order = session.add(Order(item="book"))
+        order.customer = ada
+        session.commit()
+
+        other = Session(db)
+        loaded = other.find(Order).filter_by(item="book").one()
+        assert loaded.customer.name == "ada"
+
+    def test_lazy_load_uses_identity_map(self, session, db):
+        ada = session.add(Customer(name="ada"))
+        order = session.add(Order(item="book"))
+        order.customer = ada
+        session.commit()
+
+        other = Session(db)
+        loaded = other.find(Order).filter_by(item="book").one()
+        assert loaded.customer is other.get(Customer, ada.id)
+
+    def test_null_foreign_key_loads_none(self, session):
+        order = session.add(Order(item="loose"))
+        session.commit()
+        assert order.customer is None
+
+    def test_clearing_association(self, session, db):
+        ada = session.add(Customer(name="ada"))
+        order = session.add(Order(item="book"))
+        order.customer = ada
+        session.commit()
+        order.customer = None
+        session.commit()
+        assert db.query_value(
+            "SELECT customer_id FROM rel_orders") is None
+
+    def test_reassignment_updates_fk(self, session, db):
+        ada = session.add(Customer(name="ada"))
+        bob = session.add(Customer(name="bob"))
+        order = session.add(Order(item="book"))
+        order.customer = ada
+        session.commit()
+        order.customer = bob
+        session.commit()
+        assert db.query_value(
+            "SELECT customer_id FROM rel_orders") == bob.id
+
+    def test_wrong_target_type_rejected(self, session):
+        order = Order(item="book")
+        with pytest.raises(MappingError):
+            order.customer = Order(item="not-a-customer")
+
+    def test_detached_instance_cannot_lazy_load(self, db):
+        with Session(db) as setup:
+            ada = setup.add(Customer(name="ada"))
+            order = setup.add(Order(item="book"))
+            order.customer = ada
+        detached = Order(item="detached")
+        detached.customer_id = 1
+        with pytest.raises(MappingError):
+            detached.customer
+
+    def test_getter_prefers_assigned_object_before_flush(self, session):
+        ada = session.add(Customer(name="ada"))
+        order = session.add(Order(item="book"))
+        order.customer = ada
+        # Not flushed yet — ada has no key, but access works.
+        assert order.customer is ada

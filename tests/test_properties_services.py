@@ -1,0 +1,121 @@
+"""Property-based tests for SCD2 history and security resolution."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database
+from repro.etl import EtlJob, JobRunner, RowsSource
+from repro.etl.scd import ScdType2Load
+from repro.security import AuthenticationManager, SecurityStore
+
+cities = st.sampled_from(["paris", "lyon", "nice", "lille"])
+
+
+class TestScd2Properties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(cities, min_size=1, max_size=12))
+    def test_history_tracks_every_change_exactly_once(self, updates):
+        """For one natural key fed a sequence of city values:
+
+        * versions created == number of value *changes* (+1 initial),
+        * exactly one current version, holding the last value,
+        * validity intervals chain without gaps or overlaps.
+        """
+        db = Database()
+        db.execute(
+            "CREATE TABLE d (row_key INTEGER PRIMARY KEY, "
+            "nk INTEGER, city TEXT, valid_from DATE, valid_to DATE, "
+            "is_current BOOLEAN)")
+        changes = 0
+        previous = None
+        for offset, city in enumerate(updates):
+            job = EtlJob(
+                "scd", RowsSource([{"nk": 1, "city": city}]),
+                load=ScdType2Load(
+                    db, "d", ["nk"], ["city"],
+                    datetime.date(2009, 1, 1)
+                    + datetime.timedelta(days=offset)))
+            JobRunner().run(job)
+            if city != previous:
+                changes += 1
+                previous = city
+
+        versions = db.query(
+            "SELECT city, valid_from, valid_to, is_current FROM d "
+            "WHERE nk = 1 ORDER BY valid_from")
+        assert len(versions) == changes
+        current = [v for v in versions if v["is_current"]]
+        assert len(current) == 1
+        assert current[0]["city"] == updates[-1]
+        assert current[0]["valid_to"] is None
+        # Interval chaining: each closed version ends where the next
+        # begins.
+        for older, newer in zip(versions, versions[1:]):
+            assert older["valid_to"] == newer["valid_from"]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.dictionaries(st.integers(min_value=1, max_value=6),
+                           cities, min_size=1, max_size=6))
+    def test_keys_are_independent(self, assignment):
+        db = Database()
+        db.execute(
+            "CREATE TABLE d (row_key INTEGER PRIMARY KEY, "
+            "nk INTEGER, city TEXT, valid_from DATE, valid_to DATE, "
+            "is_current BOOLEAN)")
+        rows = [{"nk": key, "city": city}
+                for key, city in assignment.items()]
+        job = EtlJob("scd", RowsSource(rows),
+                     load=ScdType2Load(db, "d", ["nk"], ["city"],
+                                       datetime.date(2009, 1, 1)))
+        JobRunner().run(job)
+        for key, city in assignment.items():
+            row = db.query(
+                "SELECT city FROM d WHERE nk = ? AND "
+                "is_current = TRUE", (key,))
+            assert row == [{"city": city}]
+
+
+role_names = st.sampled_from(["r1", "r2", "r3"])
+
+
+class TestSecurityProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(direct=st.sets(role_names, max_size=3),
+           via_group=st.sets(role_names, max_size=3))
+    def test_effective_authorities_are_exact_union(self, direct,
+                                                   via_group):
+        """A principal's authorities are exactly the union of the
+        authorities of its direct roles and its groups' roles."""
+        store = SecurityStore(Database())
+        authority_map = {"r1": {"A1"}, "r2": {"A2", "A3"},
+                         "r3": {"A3", "A4"}}
+        for authority in ("A1", "A2", "A3", "A4"):
+            store.create_authority(authority)
+        for role, authorities in authority_map.items():
+            store.create_role(role, sorted(authorities))
+        store.create_group("g", roles=sorted(via_group))
+        store.create_user("u", "hash", roles=sorted(direct),
+                          groups=["g"])
+
+        principal = store.resolve_principal("u")
+        expected_roles = set(direct) | set(via_group)
+        expected_authorities = set()
+        for role in expected_roles:
+            expected_authorities |= authority_map[role]
+        assert principal.roles == expected_roles
+        assert principal.authorities == expected_authorities
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.text(alphabet="abcdefgh", min_size=1, max_size=12))
+    def test_authentication_roundtrip_for_any_password(self, password):
+        store = SecurityStore(Database())
+        manager = AuthenticationManager(store)
+        manager.encoder.iterations = 10  # keep the property fast
+        manager.register_user("u", password)
+        session = manager.authenticate("u", password)
+        assert manager.validate(session.token).username == "u"
+        with pytest.raises(Exception):
+            manager.authenticate("u", password + "x")

@@ -1,0 +1,296 @@
+"""Tests for the reporting substrate: ad-hoc, BIRT-style, rendering."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import RenderError, ReportDefinitionError
+from repro.reporting import (
+    AdhocReportBuilder,
+    BirtRunner,
+    ChartSpec,
+    Dashboard,
+    DataTableSpec,
+    parse_report_design,
+    render_dashboard_html,
+    render_dashboard_text,
+)
+from repro.reporting.render import render_chart_text, render_table_text
+
+ROWS = [
+    {"region": "North", "revenue": 100.0, "patients": 10},
+    {"region": "North", "revenue": 50.0, "patients": 5},
+    {"region": "South", "revenue": 200.0, "patients": 20},
+    {"region": "East", "revenue": None, "patients": 3},
+]
+
+
+@pytest.fixture
+def builder():
+    return AdhocReportBuilder(ROWS)
+
+
+class TestChartSpecs:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ReportDefinitionError):
+            ChartSpec("c", "scatter3d", "x", "y")
+
+    def test_bad_aggregator_rejected(self):
+        with pytest.raises(ReportDefinitionError):
+            ChartSpec("c", "bar", "x", "y", "median")
+
+    def test_table_needs_columns(self):
+        with pytest.raises(ReportDefinitionError):
+            DataTableSpec("t", [])
+
+
+class TestAdhocCharts:
+    def test_bar_chart_sums_by_category(self, builder):
+        chart = builder.bar_chart("rev", "region", "revenue")
+        assert dict(chart.series) == \
+            {"North": 150.0, "South": 200.0, "East": None}
+
+    def test_avg_aggregator(self, builder):
+        chart = builder.chart(
+            ChartSpec("avg", "line", "region", "revenue", "avg"))
+        assert dict(chart.series)["North"] == 75.0
+
+    def test_count_counts_non_null(self, builder):
+        chart = builder.chart(
+            ChartSpec("n", "pie", "region", "revenue", "count"))
+        assert dict(chart.series) == {"North": 2, "South": 1, "East": 0}
+
+    def test_category_order_is_first_appearance(self, builder):
+        chart = builder.bar_chart("rev", "region", "revenue")
+        assert chart.categories() == ["North", "South", "East"]
+
+    def test_missing_category_column_raises(self, builder):
+        with pytest.raises(ReportDefinitionError):
+            builder.bar_chart("bad", "ghost", "revenue")
+
+
+class TestAdhocTables:
+    def test_table_projects_columns(self, builder):
+        table = builder.data_table("t", ["region", "patients"])
+        assert list(table.rows[0]) == ["region", "patients"]
+        assert len(table.rows) == 4
+
+    def test_sort_and_limit(self, builder):
+        table = builder.data_table(
+            "top", ["region", "revenue"],
+            sort_by="revenue", descending=True, limit=2)
+        assert [row["region"] for row in table.rows] == ["South", "North"]
+
+    def test_sort_puts_none_last(self, builder):
+        table = builder.data_table("t", ["region", "revenue"],
+                                   sort_by="revenue")
+        assert table.rows[-1]["region"] == "East"
+
+    def test_sort_by_must_be_projected(self, builder):
+        with pytest.raises(ReportDefinitionError):
+            builder.data_table("t", ["region"], sort_by="revenue")
+
+    def test_missing_column_raises(self, builder):
+        with pytest.raises(ReportDefinitionError):
+            builder.data_table("t", ["ghost"])
+
+    def test_column_values_accessor(self, builder):
+        table = builder.data_table("t", ["region"])
+        assert table.column_values("region").count("North") == 2
+        with pytest.raises(ReportDefinitionError):
+            table.column_values("ghost")
+
+
+class TestDashboard:
+    def test_dashboard_layout(self, builder):
+        dashboard = Dashboard("hc", "healthcare overview")
+        chart = builder.bar_chart("rev", "region", "revenue")
+        table = builder.data_table("detail", ["region", "patients"])
+        dashboard.add_row(chart)
+        dashboard.add_row(table, chart)
+        assert len(dashboard) == 3
+        assert dashboard.element_names() == ["rev", "detail", "rev"]
+        assert dashboard.element("detail") is table
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(ReportDefinitionError):
+            Dashboard("d").add_row()
+
+    def test_non_rendered_element_rejected(self):
+        with pytest.raises(ReportDefinitionError):
+            Dashboard("d").add_row("just a string")
+
+    def test_unknown_element_lookup(self, builder):
+        dashboard = Dashboard("d")
+        dashboard.add_row(builder.bar_chart("c", "region", "revenue"))
+        with pytest.raises(ReportDefinitionError):
+            dashboard.element("ghost")
+
+
+class TestTextRendering:
+    def test_chart_text_has_bars(self, builder):
+        chart = builder.bar_chart("rev", "region", "revenue")
+        text = render_chart_text(chart)
+        assert "rev (bar)" in text
+        assert "#" in text
+        north = [line for line in text.splitlines()
+                 if line.strip().startswith("North")][0]
+        south = [line for line in text.splitlines()
+                 if line.strip().startswith("South")][0]
+        assert south.count("#") > north.count("#")
+
+    def test_table_text_is_aligned(self, builder):
+        table = builder.data_table("t", ["region", "patients"])
+        text = render_table_text(table)
+        lines = text.splitlines()
+        assert "region" in lines[1]
+        assert len({len(line) for line in lines[1:3]}) == 1
+
+    def test_dashboard_text_contains_all_elements(self, builder):
+        dashboard = Dashboard("hc", "desc")
+        dashboard.add_row(builder.bar_chart("rev", "region", "revenue"))
+        dashboard.add_row(builder.data_table("detail", ["region"]))
+        text = render_dashboard_text(dashboard)
+        assert "Dashboard: hc" in text
+        assert "rev (bar)" in text
+        assert "detail" in text
+
+
+class TestHtmlRendering:
+    def test_html_document_structure(self, builder):
+        dashboard = Dashboard("hc")
+        dashboard.add_row(builder.bar_chart("rev", "region", "revenue"),
+                          builder.data_table("detail", ["region"]))
+        document = render_dashboard_html(dashboard)
+        assert document.startswith("<!DOCTYPE html>")
+        assert "<h1>hc</h1>" in document
+        assert "dashboard-row" in document
+        assert "class='bar'" in document
+
+    def test_html_escapes_content(self):
+        rows = [{"label": "<script>", "v": 1}]
+        builder = AdhocReportBuilder(rows)
+        dashboard = Dashboard("x<y")
+        dashboard.add_row(builder.data_table("t", ["label"]))
+        document = render_dashboard_html(dashboard)
+        assert "<script>" not in document
+        assert "&lt;script&gt;" in document
+
+
+@pytest.fixture
+def report_db():
+    db = Database()
+    db.execute("CREATE TABLE sales (year INTEGER, region TEXT, "
+               "revenue REAL)")
+    db.executemany(
+        "INSERT INTO sales VALUES (?, ?, ?)",
+        [(2020, "North", 100.0), (2020, "South", 200.0),
+         (2021, "North", 150.0)])
+    return db
+
+
+DESIGN = """
+<report name="regional-sales">
+  <parameter name="year" type="int" default="2020"/>
+  <data-set name="sales"
+            query="SELECT region, revenue FROM sales WHERE year = :year"/>
+  <table name="by-region" data-set="sales" columns="region,revenue"
+         sort-by="revenue" descending="true"/>
+  <chart name="rev-chart" kind="bar" data-set="sales"
+         category="region" value="revenue"/>
+</report>
+"""
+
+
+class TestBirtDesignParsing:
+    def test_parses_all_sections(self):
+        design = parse_report_design(DESIGN)
+        assert design.name == "regional-sales"
+        assert design.parameter("year").default == 2020
+        assert design.data_set("sales").query.startswith("SELECT")
+        assert [item.kind for item in design.items] == ["table", "chart"]
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ReportDefinitionError):
+            parse_report_design("<report")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ReportDefinitionError):
+            parse_report_design("<dashboard name='x'/>")
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(ReportDefinitionError):
+            parse_report_design(
+                "<report name='r'><widget name='w'/></report>")
+
+    def test_item_with_unknown_dataset_rejected(self):
+        with pytest.raises(ReportDefinitionError):
+            parse_report_design(
+                "<report name='r'>"
+                "<table name='t' data-set='ghost' columns='a'/>"
+                "</report>")
+
+    def test_report_without_items_rejected(self):
+        with pytest.raises(ReportDefinitionError):
+            parse_report_design(
+                "<report name='r'>"
+                "<data-set name='d' query='SELECT 1'/></report>")
+
+    def test_bad_parameter_type_rejected(self):
+        with pytest.raises(ReportDefinitionError):
+            parse_report_design(
+                "<report name='r'>"
+                "<parameter name='p' type='uuid'/>"
+                "<data-set name='d' query='SELECT 1'/>"
+                "<table name='t' data-set='d' columns='a'/></report>")
+
+
+class TestBirtRunner:
+    def test_run_with_default_parameter(self, report_db):
+        design = parse_report_design(DESIGN)
+        output = BirtRunner(report_db).run(design)
+        table = output.element("by-region")
+        assert [row["region"] for row in table.rows] == ["South", "North"]
+        chart = output.element("rev-chart")
+        assert dict(chart.series)["South"] == 200.0
+
+    def test_run_with_explicit_parameter(self, report_db):
+        design = parse_report_design(DESIGN)
+        output = BirtRunner(report_db).run(design, {"year": 2021})
+        table = output.element("by-region")
+        assert len(table.rows) == 1
+        assert output.parameters["year"] == 2021
+
+    def test_parameter_string_coercion(self, report_db):
+        design = parse_report_design(DESIGN)
+        output = BirtRunner(report_db).run(design, {"year": "2021"})
+        assert output.parameters["year"] == 2021
+
+    def test_unknown_parameter_rejected(self, report_db):
+        design = parse_report_design(DESIGN)
+        with pytest.raises(RenderError):
+            BirtRunner(report_db).run(design, {"month": 5})
+
+    def test_missing_required_parameter(self, report_db):
+        design = parse_report_design(
+            "<report name='r'>"
+            "<parameter name='p' type='int' required='true'/>"
+            "<data-set name='d' query='SELECT ? AS x'/>"
+            "<table name='t' data-set='d' columns='x'/></report>"
+            .replace("?", ":p"))
+        with pytest.raises(RenderError):
+            BirtRunner(report_db).run(design)
+
+    def test_query_with_unknown_placeholder_rejected(self, report_db):
+        design = parse_report_design(
+            "<report name='r'>"
+            "<data-set name='d' "
+            "query='SELECT * FROM sales WHERE year = :ghost'/>"
+            "<table name='t' data-set='d' columns='region'/></report>")
+        with pytest.raises(RenderError):
+            BirtRunner(report_db).run(design)
+
+    def test_unknown_output_element(self, report_db):
+        design = parse_report_design(DESIGN)
+        output = BirtRunner(report_db).run(design)
+        with pytest.raises(RenderError):
+            output.element("ghost")

@@ -1,0 +1,128 @@
+"""Tests for pivot (crosstab) rendering and MDX member enumeration."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import MdxSyntaxError, ReportDefinitionError
+from repro.olap import (
+    CubeDimension,
+    CubeSchema,
+    Measure,
+    OlapEngine,
+    parse_mdx,
+)
+from repro.reporting import pivot_cellset
+from repro.reporting.render import render_table_text
+
+
+@pytest.fixture
+def engine():
+    db = Database()
+    db.execute(
+        "CREATE TABLE dim_t (t_key INTEGER PRIMARY KEY, year INTEGER)")
+    db.executemany("INSERT INTO dim_t VALUES (?, ?)",
+                   [(1, 2020), (2, 2021), (3, 2022)])
+    db.execute(
+        "CREATE TABLE dim_s (s_key INTEGER PRIMARY KEY, region TEXT)")
+    db.executemany("INSERT INTO dim_s VALUES (?, ?)",
+                   [(1, "N"), (2, "S")])
+    db.execute(
+        "CREATE TABLE f (t_key INTEGER, s_key INTEGER, revenue REAL)")
+    db.executemany(
+        "INSERT INTO f VALUES (?, ?, ?)",
+        [(1, 1, 10.0), (1, 2, 20.0), (2, 1, 5.0), (3, 2, 7.0)])
+    schema = CubeSchema(
+        "C", "f", [Measure("revenue", "revenue")],
+        [CubeDimension("T", "dim_t", "t_key", ["year"]),
+         CubeDimension("S", "dim_s", "s_key", ["region"])])
+    return OlapEngine(db, schema)
+
+
+class TestPivot:
+    def test_crosstab_shape(self, engine):
+        cells = engine.query(["revenue"],
+                             [("T", "year"), ("S", "region")])
+        table = pivot_cellset(cells, "revenue")
+        assert table.spec.columns == ["T.year", "N", "S", "TOTAL"]
+        assert len(table.rows) == 4  # 3 years + TOTAL row
+
+    def test_cell_values_and_gaps(self, engine):
+        cells = engine.query(["revenue"],
+                             [("T", "year"), ("S", "region")])
+        table = pivot_cellset(cells, "revenue")
+        by_year = {row["T.year"]: row for row in table.rows}
+        assert by_year[2020]["N"] == 10.0
+        assert by_year[2020]["S"] == 20.0
+        assert by_year[2021]["S"] is None  # no facts for that cell
+
+    def test_totals(self, engine):
+        cells = engine.query(["revenue"],
+                             [("T", "year"), ("S", "region")])
+        table = pivot_cellset(cells, "revenue")
+        by_year = {row["T.year"]: row for row in table.rows}
+        assert by_year[2020]["TOTAL"] == 30.0
+        assert by_year["TOTAL"]["N"] == 15.0
+        assert by_year["TOTAL"]["TOTAL"] == 42.0
+
+    def test_totals_can_be_disabled(self, engine):
+        cells = engine.query(["revenue"],
+                             [("T", "year"), ("S", "region")])
+        table = pivot_cellset(cells, "revenue", totals=False)
+        assert "TOTAL" not in table.spec.columns
+        assert len(table.rows) == 3
+
+    def test_renderable_as_text(self, engine):
+        cells = engine.query(["revenue"],
+                             [("T", "year"), ("S", "region")])
+        text = render_table_text(pivot_cellset(cells, "revenue"))
+        assert "TOTAL" in text
+        assert "2020" in text
+
+    def test_requires_two_axes(self, engine):
+        cells = engine.query(["revenue"], [("T", "year")])
+        with pytest.raises(ReportDefinitionError):
+            pivot_cellset(cells, "revenue")
+
+    def test_unknown_measure_rejected(self, engine):
+        cells = engine.query(["revenue"],
+                             [("T", "year"), ("S", "region")])
+        with pytest.raises(ReportDefinitionError):
+            pivot_cellset(cells, "profit")
+
+
+class TestMdxMemberEnumeration:
+    def test_explicit_members_restrict_rows(self, engine):
+        query = parse_mdx(
+            "SELECT {[Measures].[revenue]} ON COLUMNS, "
+            "{[T].[year].[2020], [T].[year].[2021]} ON ROWS FROM [C]")
+        cells = query.execute(engine)
+        assert [row["T.year"] for row in cells.rows] == [2020, 2021]
+
+    def test_text_literal_coerced_to_numeric_member(self, engine):
+        query = parse_mdx(
+            "SELECT {[Measures].[revenue]} ON COLUMNS, "
+            "{[T].[year].[2022]} ON ROWS FROM [C]")
+        cells = query.execute(engine)
+        assert cells.rows == [{"T.year": 2022, "revenue": 7.0}]
+
+    def test_members_and_enumeration_mix(self, engine):
+        query = parse_mdx(
+            "SELECT {[Measures].[revenue]} ON COLUMNS, "
+            "{[S].[region].Members, [T].[year].[2020]} ON ROWS "
+            "FROM [C]")
+        cells = query.execute(engine)
+        # Region expands fully; year restricted to 2020.
+        assert {row["S.region"] for row in cells.rows} == {"N", "S"}
+        assert all(row["T.year"] == 2020 for row in cells.rows)
+
+    def test_unknown_member_text_passes_through_and_matches_nothing(
+            self, engine):
+        query = parse_mdx(
+            "SELECT {[Measures].[revenue]} ON COLUMNS, "
+            "{[T].[year].[1999]} ON ROWS FROM [C]")
+        assert query.execute(engine).rows == []
+
+    def test_two_segment_row_entry_still_rejected(self):
+        with pytest.raises(MdxSyntaxError):
+            parse_mdx("SELECT {[Measures].[x]} ON COLUMNS, "
+                      "{[T].[year]} ON ROWS FROM [C]")

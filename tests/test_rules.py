@@ -1,0 +1,274 @@
+"""Tests for the rules engine and its DSL."""
+
+import pytest
+
+from repro.errors import RuleSyntaxError, RulesError
+from repro.rules import (
+    Condition,
+    Fact,
+    Rule,
+    RuleEngine,
+    WorkingMemory,
+    parse_rules,
+)
+
+
+class TestWorkingMemory:
+    def test_insert_and_query_by_type(self):
+        memory = WorkingMemory()
+        memory.insert(Fact("Order", total=10))
+        memory.insert(Fact("Order", total=20))
+        memory.insert(Fact("Customer", name="ada"))
+        assert len(memory.by_type("Order")) == 2
+        assert len(memory) == 3
+
+    def test_retract(self):
+        memory = WorkingMemory()
+        fact = memory.insert(Fact("Order"))
+        memory.retract(fact)
+        assert len(memory) == 0
+        with pytest.raises(RulesError):
+            memory.retract(fact)
+
+    def test_fact_attribute_access(self):
+        fact = Fact("Order", total=10)
+        assert fact["total"] == 10
+        assert fact.get("missing") is None
+        assert "total" in fact
+        with pytest.raises(RulesError):
+            fact["missing"]
+
+
+class TestRuleDefinition:
+    def test_rule_needs_conditions(self):
+        with pytest.raises(RulesError):
+            Rule("r", [], lambda ctx: None)
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(RulesError):
+            Rule("r", [Condition("x", "A"), Condition("x", "B")],
+                 lambda ctx: None)
+
+    def test_engine_rejects_duplicate_rule_names(self):
+        rule = Rule("r", [Condition("x", "A")], lambda ctx: None)
+        other = Rule("r", [Condition("y", "B")], lambda ctx: None)
+        with pytest.raises(RulesError):
+            RuleEngine([rule, other])
+
+
+class TestForwardChaining:
+    def test_simple_match_and_fire(self):
+        fired = []
+        rule = Rule("hello", [Condition("x", "Greeting")],
+                    lambda ctx: fired.append(ctx["x"]["word"]))
+        engine = RuleEngine([rule])
+        engine.memory.insert(Fact("Greeting", word="hi"))
+        assert engine.run() == 1
+        assert fired == ["hi"]
+
+    def test_predicate_filters_facts(self):
+        rule = Rule(
+            "big", [Condition("o", "Order",
+                              lambda fact, b: fact["total"] > 100)],
+            lambda ctx: ctx.modify(ctx["o"], flagged=True))
+        engine = RuleEngine([rule])
+        small = engine.memory.insert(Fact("Order", total=10))
+        big = engine.memory.insert(Fact("Order", total=500))
+        engine.run()
+        assert big.get("flagged") is True
+        assert small.get("flagged") is None
+
+    def test_join_across_conditions(self):
+        matches = []
+        rule = Rule("join", [
+            Condition("o", "Order"),
+            Condition("c", "Customer",
+                      lambda fact, bindings:
+                      fact["name"] == bindings["o"]["customer"]),
+        ], lambda ctx: matches.append(
+            (ctx["o"]["item"], ctx["c"]["name"])))
+        engine = RuleEngine([rule])
+        engine.memory.insert(Fact("Order", item="book", customer="ada"))
+        engine.memory.insert(Fact("Order", item="pen", customer="bob"))
+        engine.memory.insert(Fact("Customer", name="ada"))
+        engine.run()
+        assert matches == [("book", "ada")]
+
+    def test_refraction_prevents_refiring(self):
+        rule = Rule("once", [Condition("x", "A")],
+                    lambda ctx: ctx.log("fired"))
+        engine = RuleEngine([rule])
+        engine.memory.insert(Fact("A"))
+        assert engine.run() == 1
+        assert engine.run() == 0  # second run: nothing new
+
+    def test_modify_reactivates(self):
+        rule = Rule(
+            "watch", [Condition("x", "A",
+                                lambda fact, b: fact["n"] < 3)],
+            lambda ctx: ctx.modify(ctx["x"], n=ctx["x"]["n"] + 1))
+        engine = RuleEngine([rule])
+        fact = engine.memory.insert(Fact("A", n=0))
+        firings = engine.run()
+        assert fact["n"] == 3
+        assert firings == 3
+
+    def test_chaining_through_inserted_facts(self):
+        rules = [
+            Rule("derive", [Condition("o", "Order",
+                                      lambda f, b: f["total"] > 100)],
+                 lambda ctx: ctx.insert(Fact(
+                     "Alert", reason="big order"))),
+            Rule("handle", [Condition("a", "Alert")],
+                 lambda ctx: ctx.log(ctx["a"]["reason"])),
+        ]
+        engine = RuleEngine(rules)
+        engine.memory.insert(Fact("Order", total=500))
+        engine.run()
+        assert engine.log == ["big order"]
+
+    def test_salience_orders_firing(self):
+        order = []
+        rules = [
+            Rule("low", [Condition("x", "A")],
+                 lambda ctx: order.append("low"), salience=1),
+            Rule("high", [Condition("y", "A")],
+                 lambda ctx: order.append("high"), salience=10),
+        ]
+        engine = RuleEngine(rules)
+        engine.memory.insert(Fact("A"))
+        engine.run()
+        assert order == ["high", "low"]
+
+    def test_retraction_cancels_pending_matches(self):
+        rules = [
+            Rule("eat", [Condition("x", "Cake")],
+                 lambda ctx: ctx.retract(ctx["x"]), salience=10),
+            Rule("admire", [Condition("y", "Cake")],
+                 lambda ctx: ctx.log("pretty cake")),
+        ]
+        engine = RuleEngine(rules)
+        engine.memory.insert(Fact("Cake"))
+        engine.run()
+        assert engine.log == []  # cake was eaten before admiring
+
+    def test_runaway_rules_hit_cycle_limit(self):
+        rule = Rule("loop", [Condition("x", "A")],
+                    lambda ctx: ctx.insert(Fact("A")))
+        engine = RuleEngine([rule], cycle_limit=50)
+        engine.memory.insert(Fact("A"))
+        with pytest.raises(RulesError):
+            engine.run()
+
+    def test_max_firings_cap(self):
+        rule = Rule("loop", [Condition("x", "A")],
+                    lambda ctx: ctx.insert(Fact("A")))
+        engine = RuleEngine([rule])
+        engine.memory.insert(Fact("A"))
+        assert engine.run(max_firings=5) == 5
+
+
+RULES_TEXT = '''
+# billing rules
+rule "flag-high-usage" salience 10
+when
+    usage: Usage(amount > 1000 and usage.flagged != True)
+then
+    modify(usage, flagged=True)
+    insert(Alert(tenant=usage.tenant, level="warn"))
+    log("high usage: " + usage.tenant)
+end
+
+rule "escalate"
+when
+    alert: Alert(level == "warn")
+    usage: Usage(usage.flagged == True and tenant == alert.tenant)
+then
+    modify(alert, level="critical")
+end
+'''
+
+
+class TestDsl:
+    def test_parse_returns_rules_with_metadata(self):
+        rules = parse_rules(RULES_TEXT)
+        assert [rule.name for rule in rules] == \
+            ["flag-high-usage", "escalate"]
+        assert rules[0].salience == 10
+        assert rules[1].salience == 0
+
+    def test_end_to_end_execution(self):
+        engine = RuleEngine(parse_rules(RULES_TEXT))
+        engine.memory.insert(Fact("Usage", tenant="acme", amount=5000))
+        engine.memory.insert(Fact("Usage", tenant="tiny", amount=10))
+        engine.run()
+        alerts = engine.memory.by_type("Alert")
+        assert len(alerts) == 1
+        assert alerts[0]["tenant"] == "acme"
+        assert alerts[0]["level"] == "critical"
+        assert engine.log == ["high usage: acme"]
+
+    def test_condition_without_expression(self):
+        rules = parse_rules(
+            'rule "any"\nwhen\n    x: Thing()\nthen\n'
+            '    log("seen")\nend')
+        engine = RuleEngine(rules)
+        engine.memory.insert(Fact("Thing"))
+        engine.run()
+        assert engine.log == ["seen"]
+
+    def test_retract_action(self):
+        rules = parse_rules(
+            'rule "purge"\nwhen\n    x: Temp()\nthen\n'
+            '    retract(x)\nend')
+        engine = RuleEngine(rules)
+        engine.memory.insert(Fact("Temp"))
+        engine.run()
+        assert len(engine.memory) == 0
+
+    @pytest.mark.parametrize("bad", [
+        "not even a rule",
+        'rule "x"\nthen\nend',                       # missing when
+        'rule "x"\nwhen\n    a: A()\nend',           # missing then
+        'rule "x"\nwhen\n    a: A()\nthen\nend',     # no actions
+        'rule "x"\nwhen\n    bad line\nthen\n    log("y")\nend',
+        'rule "x"\nwhen\n    a: A()\nthen\n    explode(a)\nend',
+        "",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(RuleSyntaxError):
+            parse_rules(bad)
+
+    def test_sandbox_rejects_calls(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_rules(
+                'rule "evil"\nwhen\n    x: A(__import__("os"))\n'
+                'then\n    log("x")\nend')
+
+    def test_sandbox_rejects_dunder_attribute_escape(self):
+        rules = parse_rules(
+            'rule "probe"\nwhen\n    x: A(n > 0)\nthen\n'
+            '    log(x.missing)\nend')
+        engine = RuleEngine(rules)
+        engine.memory.insert(Fact("A", n=1))
+        engine.run()  # unknown attribute reads as None, no escape
+        assert engine.log == ["None"]
+
+    def test_unknown_name_in_expression(self):
+        rules = parse_rules(
+            'rule "r"\nwhen\n    x: A(nonexistent > 1)\nthen\n'
+            '    log("y")\nend')
+        engine = RuleEngine(rules)
+        engine.memory.insert(Fact("A", n=1))
+        with pytest.raises(RuleSyntaxError):
+            engine.run()
+
+    def test_comparison_chaining(self):
+        rules = parse_rules(
+            'rule "range"\nwhen\n    x: A(0 < n < 10)\nthen\n'
+            '    log("in range")\nend')
+        engine = RuleEngine(rules)
+        engine.memory.insert(Fact("A", n=5))
+        engine.memory.insert(Fact("A", n=50))
+        engine.run()
+        assert engine.log == ["in range"]

@@ -1,0 +1,75 @@
+"""Scale checks: many tenants through the full loop, no bleed-through."""
+
+import pytest
+
+from repro import OdbisPlatform, TenancyMode
+from repro.etl import RowsSource, SurrogateKey
+from repro.mda import (
+    BusinessRequirement,
+    CimModel,
+    DimensionSpec,
+    MeasureSpec,
+)
+
+TENANTS = 24
+
+
+def cim():
+    return CimModel("m", [
+        BusinessRequirement(
+            subject="Sales",
+            measures=[MeasureSpec("revenue")],
+            dimensions=[DimensionSpec("Region", ["region"])]),
+    ])
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    platform = OdbisPlatform(mode=TenancyMode.SHARED)
+    for index in range(TENANTS):
+        tenant = f"t{index:02d}"
+        platform.provisioning.provision(tenant, tenant.upper())
+        platform.mddws.create_project(tenant, f"{tenant}-dw")
+        platform.mddws.design_warehouse(tenant, cim())
+        platform.integration.define_job(
+            tenant, "load-region",
+            RowsSource([{"region": "R"}]),
+            [SurrogateKey("region_key")], target_table="dim_region")
+        platform.integration.define_job(
+            tenant, "load-fact",
+            RowsSource([{"region_key": 1,
+                         "revenue": float(index + 1)}]),
+            target_table="fact_sales")
+        platform.integration.run_graph(tenant, {
+            "load-region": [], "load-fact": ["load-region"]})
+    return platform
+
+
+class TestFleetScale:
+    def test_every_tenant_answers_with_its_own_number(self, fleet):
+        for index in range(TENANTS):
+            tenant = f"t{index:02d}"
+            total = fleet.analysis.engine(
+                tenant, "Sales").grand_total("revenue")
+            assert total == float(index + 1)
+
+    def test_shared_operational_database(self, fleet):
+        assert fleet.tenants.database_count() == 1
+        assert len(fleet.tenants) == TENANTS
+
+    def test_usage_metered_per_tenant(self, fleet):
+        rollup = fleet.billing.platform_usage()
+        assert len(rollup) == TENANTS
+        for usage in rollup.values():
+            assert usage["etl_rows"] == 2
+
+    def test_admin_sees_whole_fleet(self, fleet):
+        report = fleet.admin.usage_report()
+        assert report["tenants"] == TENANTS
+        assert len(report["invoice_totals"]) == TENANTS
+
+    def test_every_tenant_completed_its_project(self, fleet):
+        for index in range(TENANTS):
+            tenant = f"t{index:02d}"
+            status = fleet.mddws.project_status(tenant)
+            assert status["layers"]["warehouse"] is True
