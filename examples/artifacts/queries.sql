@@ -1,0 +1,21 @@
+-- Analytic queries over the revenue mart.  The view defined here is
+-- visible to the dashboard data sets in revenue.json.
+
+CREATE VIEW revenue_by_region AS
+SELECT s.region AS region, SUM(f.revenue) AS revenue
+FROM fact_sales f
+JOIN dim_store s ON f.store_key = s.store_key
+GROUP BY s.region;
+
+SELECT region, revenue
+FROM revenue_by_region
+ORDER BY revenue DESC;
+
+SELECT p.category, SUM(f.quantity) AS units
+FROM fact_sales f
+JOIN dim_product p ON f.product_key = p.product_key
+WHERE f.sold_on >= '2024-01-01'
+GROUP BY p.category;
+
+INSERT INTO dim_store (store_key, city, region)
+VALUES (99, 'Lyon', 'South');

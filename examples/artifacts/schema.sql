@@ -1,0 +1,23 @@
+-- Star schema for the demo revenue mart.  The artifact linter reads
+-- schema.sql first, so every other artifact in this directory is
+-- checked against the tables declared here.
+
+CREATE TABLE dim_store (
+    store_key INTEGER NOT NULL,
+    city TEXT,
+    region TEXT
+);
+
+CREATE TABLE dim_product (
+    product_key INTEGER NOT NULL,
+    name TEXT,
+    category TEXT
+);
+
+CREATE TABLE fact_sales (
+    store_key INTEGER NOT NULL,
+    product_key INTEGER NOT NULL,
+    revenue REAL,
+    quantity INTEGER,
+    sold_on DATE
+);

@@ -1,0 +1,52 @@
+"""Static analysis of tenant artifacts: SQL, models, rules, reports.
+
+The analyzers in this package check artifacts *before* deployment —
+the design-time validation the platform's administration layer applies
+at provisioning time — and report findings as :class:`Diagnostic`
+records with stable ``ODBnnn`` codes.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticCollector,
+    Severity,
+    SourceSpan,
+)
+from repro.analysis.models import (
+    ModelLinter,
+    lint_cube_schema,
+    lint_model,
+)
+from repro.analysis.reports import (
+    ReportLinter,
+    dataset_columns_from_sql,
+    lint_dashboard,
+)
+from repro.analysis.rules import RuleLinter, lint_rules
+from repro.analysis.sql import (
+    SqlAnalyzer,
+    analyze_script,
+    catalog_from_script,
+    split_statements,
+)
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "ModelLinter",
+    "ReportLinter",
+    "RuleLinter",
+    "Severity",
+    "SourceSpan",
+    "SqlAnalyzer",
+    "analyze_script",
+    "catalog_from_script",
+    "dataset_columns_from_sql",
+    "lint_cube_schema",
+    "lint_dashboard",
+    "lint_model",
+    "lint_rules",
+    "split_statements",
+]

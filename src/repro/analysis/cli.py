@@ -1,0 +1,142 @@
+"""Lint a directory of tenant artifacts from the command line.
+
+Usage::
+
+    python -m repro.analysis.cli <directory> [--no-warnings]
+
+File handling, by extension:
+
+* ``*.sql`` — multi-statement SQL scripts.  ``schema.sql`` (when
+  present) is linted first and its DDL seeds the catalog every other
+  script is checked against; remaining scripts are processed in sorted
+  order and may add their own DDL.
+* ``*.rules`` — rule-DSL text.
+* ``*.json`` — dashboard definitions.  The payload is either a plain
+  serialized dashboard dict or ``{"dashboard": {...}, "datasets":
+  {name: sql, ...}}``; dataset SQL is validated and its output shape
+  drives the column checks.
+
+Prints one ``path:line:col severity [CODE] message`` line per finding
+plus a summary; exits 1 when any *error* was found, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.reports import (
+    dataset_columns_from_sql,
+    lint_dashboard,
+)
+from repro.analysis.rules import lint_rules
+from repro.analysis.sql import (
+    SqlAnalyzer,
+    analyze_script,
+    apply_ddl,
+    split_statements,
+)
+from repro.engine.parser import parse_sql
+from repro.engine.schema import Catalog
+from repro.errors import EngineError
+
+
+def _sql_files(directory: Path) -> List[Path]:
+    """All .sql files, schema.sql first, the rest in sorted order."""
+    files = sorted(directory.rglob("*.sql"))
+    schemas = [path for path in files if path.name == "schema.sql"]
+    others = [path for path in files if path.name != "schema.sql"]
+    return schemas + others
+
+
+def lint_directory(directory: Path,
+                   collector: Optional[DiagnosticCollector] = None
+                   ) -> DiagnosticCollector:
+    """Lint every artifact under ``directory``; returns the findings."""
+    collector = collector if collector is not None \
+        else DiagnosticCollector()
+    catalog = Catalog()
+    views: Dict[str, object] = {}
+
+    for path in _sql_files(directory):
+        text = path.read_text()
+        label = str(path.relative_to(directory))
+        analyze_script(text, catalog, collector, source=label,
+                       views=views)
+        # Fold this script's DDL into the shared catalog so later
+        # artifacts (and dashboards) see the tables it defines.
+        for statement_text, _offset in split_statements(text):
+            try:
+                statement = parse_sql(statement_text)
+                apply_ddl(statement, catalog, views)
+            except EngineError:
+                continue  # already reported by analyze_script
+
+    for path in sorted(directory.rglob("*.rules")):
+        label = str(path.relative_to(directory))
+        lint_rules(path.read_text(), collector, source=label)
+
+    for path in sorted(directory.rglob("*.json")):
+        label = str(path.relative_to(directory))
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError as exc:
+            collector.error("ODB404",
+                            f"not valid JSON: {exc}", source=label)
+            continue
+        if not isinstance(payload, dict):
+            collector.error("ODB404",
+                            "expected a JSON object", source=label)
+            continue
+        if "dashboard" in payload:
+            dashboard = payload["dashboard"]
+            dataset_sql = payload.get("datasets", {})
+        else:
+            dashboard = payload
+            dataset_sql = {}
+        for name, sql in dataset_sql.items():
+            SqlAnalyzer(catalog, views).analyze(
+                sql, collector, source=f"{label}[{name}]")
+        shapes = dataset_columns_from_sql(dataset_sql, catalog, views)
+        lint_dashboard(dashboard, shapes, collector, source=label)
+
+    return collector
+
+
+def render_report(collector: DiagnosticCollector,
+                  show_warnings: bool = True) -> str:
+    lines: List[str] = []
+    for diagnostic in collector.sorted():
+        if not show_warnings \
+                and diagnostic.severity.value != "error":
+            continue
+        lines.append(str(diagnostic))
+    lines.append(f"{len(collector.errors)} error(s), "
+                 f"{len(collector.warnings)} warning(s)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    show_warnings = True
+    if "--no-warnings" in args:
+        show_warnings = False
+        args.remove("--no-warnings")
+    if len(args) != 1:
+        print("usage: python -m repro.analysis.cli <directory> "
+              "[--no-warnings]", file=sys.stderr)
+        return 2
+    directory = Path(args[0])
+    if not directory.is_dir():
+        print(f"not a directory: {directory}", file=sys.stderr)
+        return 2
+    collector = lint_directory(directory)
+    print(render_report(collector, show_warnings))
+    return 1 if collector.has_errors() else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""The shared diagnostics core of the static-analysis subsystem.
+
+Every analyzer (SQL, model, rules, reporting) reports findings as
+:class:`Diagnostic` records with a stable code, a severity and an
+optional source span, accumulated in a :class:`DiagnosticCollector`.
+Codes are grouped by artifact family:
+
+* ``ODB1xx`` — SQL semantic analysis,
+* ``ODB2xx`` — CWM/MDA model linting,
+* ``ODB3xx`` — rule-DSL linting,
+* ``ODB4xx`` — report/dashboard/cube validation.
+
+Codes are *stable*: tooling and tests match on them, so a code is
+never renumbered or reused for a different finding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; errors gate artifact registration."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A 1-based position in the artifact's source text."""
+
+    line: int
+    column: int
+    offset: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+#: The registry of stable diagnostic codes (code -> short title).
+CODES: Dict[str, str] = {
+    # -- SQL (ODB1xx) -------------------------------------------------------
+    "ODB101": "unknown table",
+    "ODB102": "unknown column",
+    "ODB103": "ambiguous column reference",
+    "ODB104": "type-mismatched comparison",
+    "ODB105": "type-mismatched arithmetic",
+    "ODB106": "aggregate not allowed here",
+    "ODB107": "non-grouped column in aggregate query",
+    "ODB108": "INSERT arity mismatch",
+    "ODB109": "unknown function",
+    "ODB110": "duplicate table alias",
+    "ODB111": "SELECT * in a view definition",
+    "ODB112": "constant predicate",
+    "ODB113": "value does not fit column type",
+    "ODB114": "UNION parts select different column counts",
+    "ODB115": "SQL syntax error",
+    # -- models (ODB2xx) ----------------------------------------------------
+    "ODB201": "dangling model reference",
+    "ODB202": "orphan model element",
+    "ODB203": "transformation cycle",
+    "ODB204": "unresolved cube/dimension reference",
+    "ODB205": "required slot unset",
+    "ODB206": "conflicting composite ownership",
+    # -- rules (ODB3xx) -----------------------------------------------------
+    "ODB301": "unbound rule variable",
+    "ODB302": "duplicate rule name",
+    "ODB303": "rule shadowed by identical conditions",
+    "ODB304": "rule syntax error",
+    # -- reporting (ODB4xx) -------------------------------------------------
+    "ODB401": "unknown data set",
+    "ODB402": "report references a missing column",
+    "ODB403": "sort column not in report columns",
+    "ODB404": "empty dashboard definition",
+    "ODB405": "duplicate report element name",
+}
+
+
+@dataclass
+class Diagnostic:
+    """One finding of a static analyzer."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Optional[SourceSpan] = None
+    #: The artifact the finding is about (file name, dataset name, ...).
+    source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    def __str__(self) -> str:
+        where = ""
+        if self.source:
+            where += f"{self.source}:"
+        if self.span is not None:
+            where += f"{self.span}:"
+        if where:
+            where += " "
+        return (f"{where}{self.severity.value} [{self.code}] "
+                f"{self.message}")
+
+
+class DiagnosticCollector:
+    """Accumulates diagnostics across analyzers and artifacts."""
+
+    def __init__(self, source: Optional[str] = None):
+        #: Default artifact label stamped onto added diagnostics.
+        self.source = source
+        self.diagnostics: List[Diagnostic] = []
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def add(self, code: str, severity: Severity, message: str,
+            span: Optional[SourceSpan] = None,
+            source: Optional[str] = None) -> Diagnostic:
+        diagnostic = Diagnostic(code, severity, message, span,
+                                source if source is not None
+                                else self.source)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def error(self, code: str, message: str,
+              span: Optional[SourceSpan] = None,
+              source: Optional[str] = None) -> Diagnostic:
+        return self.add(code, Severity.ERROR, message, span, source)
+
+    def warning(self, code: str, message: str,
+                span: Optional[SourceSpan] = None,
+                source: Optional[str] = None) -> Diagnostic:
+        return self.add(code, Severity.WARNING, message, span, source)
+
+    def info(self, code: str, message: str,
+             span: Optional[SourceSpan] = None,
+             source: Optional[str] = None) -> Diagnostic:
+        return self.add(code, Severity.INFO, message, span, source)
+
+    def extend(self, other: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(other)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR
+                   for d in self.diagnostics)
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    # -- rendering ----------------------------------------------------------
+
+    def sorted(self) -> List[Diagnostic]:
+        """Severity first, then source, then position."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.severity.rank, d.source or "",
+                           d.span.line if d.span else 0,
+                           d.span.column if d.span else 0, d.code))
+
+    def render(self) -> str:
+        """A human-readable multi-line report."""
+        lines = [str(d) for d in self.sorted()]
+        lines.append(f"{len(self.errors)} error(s), "
+                     f"{len(self.warnings)} warning(s)")
+        return "\n".join(lines)
+
+    def raise_if_errors(self, exception_type=None,
+                        prefix: str = "artifact rejected") -> None:
+        """Raise ``exception_type`` listing the errors, if any."""
+        if not self.has_errors():
+            return
+        if exception_type is None:
+            from repro.errors import AnalysisError
+            exception_type = AnalysisError
+        details = "; ".join(str(d) for d in self.errors)
+        raise exception_type(f"{prefix}: {details}")

@@ -25,12 +25,13 @@ from repro.core.integration_service import IntegrationService
 from repro.core.mddws import MddwsService
 from repro.core.metadata_service import MetadataService
 from repro.core.platform import OdbisPlatform, TechnicalResourcesLayer
-from repro.core.provisioning import ProvisioningService
+from repro.core.provisioning import ARTIFACT_KINDS, ProvisioningService
 from repro.core.reporting_service import ReportingService
 from repro.core.subscription import BillingService, Plan
 from repro.core.tenancy import TenancyMode, TenantContext, TenantManager
 
 __all__ = [
+    "ARTIFACT_KINDS",
     "AdminService",
     "AnalysisService",
     "BillingService",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis import lint_cube_schema
 from repro.core.resources import TechnicalResourcesLayer
 from repro.core.subscription import BillingService
 from repro.core.tenancy import TenantManager
@@ -50,8 +51,15 @@ class AnalysisService:
 
     def define_cube(self, tenant_id: str,
                     definition: Dict[str, Any],
-                    database: str = "warehouse") -> CubeSchema:
-        """Register a cube from a definition dict (e.g. MDA codegen)."""
+                    database: str = "warehouse",
+                    validate: bool = True) -> CubeSchema:
+        """Register a cube from a definition dict (e.g. MDA codegen).
+
+        With ``validate`` on (the default) the cube is statically
+        checked against the target database's catalog and rejected
+        when its fact table, measure columns, dimension tables, keys
+        or level columns do not resolve.
+        """
         self.tenants.require_active(tenant_id)
         schema = CubeSchema.from_definition(definition) \
             if isinstance(definition, dict) else definition
@@ -61,6 +69,13 @@ class AnalysisService:
                 f"tenant {tenant_id!r} already has cube "
                 f"{schema.name!r}")
         target = self.resources.database(tenant_id, database)
+        if validate:
+            collector = lint_cube_schema(schema, target.catalog,
+                                         source=schema.name)
+            if collector.has_errors():
+                collector.raise_if_errors(
+                    ServiceError,
+                    prefix=f"cube {schema.name!r} rejected")
         config = self._tenant_config(tenant_id)
         use_cache = bool(config.get("use_cache", self.use_cache))
         self._engines[key] = OlapEngine(

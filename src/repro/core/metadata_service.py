@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.analysis import SqlAnalyzer
 from repro.cwm import BusinessBuilder, OdmBuilder, SemanticMatcher, cwm_metamodel
 from repro.cwm.relational import reflect_physical_table
 from repro.engine.database import Database
@@ -94,8 +95,16 @@ class MetadataService:
     # -- data sets ---------------------------------------------------------------------
 
     def create_dataset(self, tenant_id: str, name: str,
-                       datasource: str, sql: str) -> None:
-        self.resolve_datasource(tenant_id, datasource)  # must exist
+                       datasource: str, sql: str,
+                       validate: bool = True) -> None:
+        target = self.resolve_datasource(tenant_id, datasource)
+        if validate:
+            collector = SqlAnalyzer.for_database(target).analyze(
+                sql, source=name)
+            if collector.has_errors():
+                collector.raise_if_errors(
+                    ServiceError,
+                    prefix=f"data set {name!r} rejected")
         database = self._db(tenant_id)
         existing = database.query(
             "SELECT name FROM mds_datasets "

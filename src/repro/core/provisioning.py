@@ -4,12 +4,24 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.analysis import (
+    DiagnosticCollector,
+    analyze_script,
+    dataset_columns_from_sql,
+    lint_cube_schema,
+    lint_dashboard,
+    lint_model,
+    lint_rules,
+)
 from repro.core.admin_service import AdminService
 from repro.core.metadata_service import MetadataService
 from repro.core.resources import TechnicalResourcesLayer
 from repro.core.subscription import BillingService
 from repro.core.tenancy import TenantContext, TenantManager
 from repro.errors import ProvisioningError
+
+#: artifact kinds register_artifact() knows how to validate.
+ARTIFACT_KINDS = ("sql", "rules", "model", "dashboard", "cube")
 
 
 class ProvisioningService:
@@ -19,13 +31,17 @@ class ProvisioningService:
                  resources: TechnicalResourcesLayer,
                  billing: BillingService,
                  admin: AdminService,
-                 metadata: MetadataService):
+                 metadata: MetadataService,
+                 validate_artifacts: bool = True):
         self.tenants = tenants
         self.resources = resources
         self.billing = billing
         self.admin = admin
         self.metadata = metadata
+        #: platform-wide opt-out for static artifact validation.
+        self.validate_artifacts = validate_artifacts
         self.provision_log: List[Dict[str, Any]] = []
+        self.artifact_log: List[Dict[str, Any]] = []
 
     def provision(self, tenant_id: str, display_name: str,
                   plan: str = "starter",
@@ -63,6 +79,76 @@ class ProvisioningService:
             "steps": steps,
         })
         return context
+
+    # -- artifact registration -------------------------------------------------
+
+    def register_artifact(self, tenant_id: str, kind: str,
+                          payload: Any, *,
+                          name: Optional[str] = None,
+                          database: str = "warehouse",
+                          validate: Optional[bool] = None
+                          ) -> DiagnosticCollector:
+        """Statically validate and record one tenant artifact.
+
+        ``kind`` is one of :data:`ARTIFACT_KINDS`; ``payload`` is the
+        artifact itself (SQL/rule text, a model extent, a dashboard
+        definition or a cube definition dict).  When validation is on
+        (the default — pass ``validate=False`` or construct the service
+        with ``validate_artifacts=False`` to opt out) any *error*-level
+        diagnostic rejects the artifact with a
+        :class:`~repro.errors.ProvisioningError`; warnings are returned
+        to the caller in the collector either way.
+        """
+        self.tenants.require_active(tenant_id)
+        if kind not in ARTIFACT_KINDS:
+            raise ProvisioningError(
+                f"unknown artifact kind {kind!r}; expected one of "
+                f"{', '.join(ARTIFACT_KINDS)}")
+        label = name or f"{kind}-artifact"
+        collector = DiagnosticCollector(label)
+        target = self.resources.database(tenant_id, database)
+
+        if kind == "sql":
+            analyze_script(payload, target.catalog, collector,
+                           source=label, views=dict(target.views))
+        elif kind == "rules":
+            lint_rules(payload, collector, source=label)
+        elif kind == "model":
+            lint_model(payload, collector, source=label)
+        elif kind == "dashboard":
+            shapes = self._dataset_shapes(tenant_id)
+            lint_dashboard(payload, shapes, collector, source=label)
+        elif kind == "cube":
+            lint_cube_schema(payload, target.catalog, collector,
+                             source=label)
+
+        should_validate = self.validate_artifacts \
+            if validate is None else validate
+        if should_validate and collector.has_errors():
+            collector.raise_if_errors(
+                ProvisioningError,
+                prefix=f"artifact {label!r} rejected")
+        self.artifact_log.append({
+            "tenant": tenant_id,
+            "kind": kind,
+            "name": label,
+            "errors": len(collector.errors),
+            "warnings": len(collector.warnings),
+        })
+        self.resources.publish_event(tenant_id, "artifact-registered",
+                                     f"{kind}:{label}")
+        return collector
+
+    def _dataset_shapes(self, tenant_id: str) -> Dict[str, Any]:
+        """Output columns of every data set the tenant has defined."""
+        shapes: Dict[str, Any] = {}
+        for record in self.metadata.datasets(tenant_id):
+            target = self.metadata.resolve_datasource(
+                tenant_id, record["datasource"])
+            shapes.update(dataset_columns_from_sql(
+                {record["name"]: record["sql"]},
+                target.catalog, target.views))
+        return shapes
 
     def deprovision(self, tenant_id: str) -> None:
         """Deactivate a tenant (data retained, access revoked)."""

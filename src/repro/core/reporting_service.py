@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.analysis import dataset_columns_from_sql, lint_dashboard
 from repro.core.metadata_service import MetadataService
 from repro.core.subscription import BillingService
 from repro.core.tenancy import TenantManager
@@ -148,8 +149,15 @@ class ReportingService:
         return AdhocReportBuilder(rows)
 
     def define_dashboard(self, tenant_id: str,
-                         definition: DashboardDefinition) -> None:
-        """Persist a dashboard definition (re-rendered on access)."""
+                         definition: DashboardDefinition,
+                         validate: bool = True) -> None:
+        """Persist a dashboard definition (re-rendered on access).
+
+        With ``validate`` on (the default) the definition is linted
+        against the output columns of the tenant's data sets and
+        rejected when any element reads an unknown data set or a
+        column its data set does not produce.
+        """
         if not definition.rows:
             raise ServiceError(
                 f"dashboard {definition.name!r} has no rows")
@@ -160,6 +168,14 @@ class ReportingService:
                 raise ServiceError(
                     f"dashboard {definition.name!r} references "
                     f"unknown data set {dataset!r}")
+        if validate:
+            collector = lint_dashboard(
+                definition, self._dataset_shapes(tenant_id),
+                source=definition.name)
+            if collector.has_errors():
+                collector.raise_if_errors(
+                    ServiceError,
+                    prefix=f"dashboard {definition.name!r} rejected")
         database = self._db(tenant_id)
         existing = database.query(
             "SELECT name FROM rs_dashboards "
@@ -173,6 +189,17 @@ class ReportingService:
             "INSERT INTO rs_dashboards VALUES (?, ?, ?)",
             (tenant_id, definition.name,
              json.dumps(definition.to_dict())))
+
+    def _dataset_shapes(self, tenant_id: str) -> Dict[str, Any]:
+        """Output columns of each tenant data set (None = unknown)."""
+        shapes: Dict[str, Any] = {}
+        for record in self.metadata.datasets(tenant_id):
+            target = self.metadata.resolve_datasource(
+                tenant_id, record["datasource"])
+            shapes.update(dataset_columns_from_sql(
+                {record["name"]: record["sql"]},
+                target.catalog, target.views))
+        return shapes
 
     def dashboard_definitions(self, tenant_id: str) -> List[str]:
         database = self._db(tenant_id)

@@ -19,10 +19,18 @@ Quickstart::
 """
 
 from repro.engine.database import Connection, Database, ResultSet
-from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.parser import parse_sql
+from repro.engine.schema import (
+    Catalog,
+    Column,
+    ColumnType,
+    TableSchema,
+    make_schema,
+)
 from repro.engine.types import SqlType
 
 __all__ = [
+    "Catalog",
     "Column",
     "ColumnType",
     "Connection",
@@ -30,4 +38,6 @@ __all__ = [
     "ResultSet",
     "SqlType",
     "TableSchema",
+    "make_schema",
+    "parse_sql",
 ]

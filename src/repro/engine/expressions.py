@@ -77,6 +77,10 @@ class Parameter(Expression):
 @dataclass
 class ColumnRef(Expression):
     name: str
+    # Source offset of the reference (for analyzer spans); excluded
+    # from equality so AST comparisons stay position-insensitive.
+    position: Optional[int] = field(default=None, compare=False,
+                                    repr=False)
 
     def evaluate(self, context: EvalContext) -> Any:
         return context.lookup(self.name)

@@ -64,6 +64,16 @@ class Token:
     kind: str  # 'number' | 'string' | 'name' | 'keyword' | 'op' | 'eof'
     text: str
     position: int
+    line: int = 1
+    column: int = 1
+
+
+def line_column(sql: str, offset: int) -> Tuple[int, int]:
+    """1-based (line, column) of a character offset in ``sql``."""
+    prefix = sql[:offset]
+    line = prefix.count("\n") + 1
+    last_newline = prefix.rfind("\n")
+    return line, offset - last_newline
 
 
 def tokenize(sql: str) -> List[Token]:
@@ -73,18 +83,29 @@ def tokenize(sql: str) -> List[Token]:
     while position < length:
         match = _TOKEN_RE.match(sql, position)
         if match is None:
+            line, column = line_column(sql, position)
+            if sql[position] == "'":
+                raise SqlSyntaxError(
+                    f"unterminated string literal at line {line}, "
+                    f"column {column}",
+                    line=line, column=column, offset=position)
             raise SqlSyntaxError(
-                f"unexpected character {sql[position]!r} at offset {position}")
+                f"unexpected character {sql[position]!r} at line {line}, "
+                f"column {column}",
+                line=line, column=column, offset=position)
         position = match.end()
         kind = match.lastgroup
         if kind in ("space", "comment"):
             continue
         text = match.group()
+        line, column = line_column(sql, match.start())
         if kind == "name" and text.upper() in _KEYWORDS:
-            tokens.append(Token("keyword", text.upper(), match.start()))
+            tokens.append(Token("keyword", text.upper(), match.start(),
+                                line, column))
         else:
-            tokens.append(Token(kind, text, match.start()))
-    tokens.append(Token("eof", "", length))
+            tokens.append(Token(kind, text, match.start(), line, column))
+    line, column = line_column(sql, length)
+    tokens.append(Token("eof", "", length, line, column))
     return tokens
 
 
@@ -94,6 +115,10 @@ def tokenize(sql: str) -> List[Token]:
 class TableRef:
     name: str
     alias: str
+    # Source offset of the table name (for analyzer spans); excluded
+    # from equality so AST comparisons stay position-insensitive.
+    position: Optional[int] = field(default=None, compare=False,
+                                    repr=False)
 
 
 @dataclass
@@ -140,6 +165,8 @@ class InsertStatement:
     table: str
     columns: List[str]
     rows: List[List[Expression]]
+    position: Optional[int] = field(default=None, compare=False,
+                                    repr=False)
 
 
 @dataclass
@@ -147,12 +174,16 @@ class UpdateStatement:
     table: str
     assignments: List[Tuple[str, Expression]]
     where: Optional[Expression]
+    position: Optional[int] = field(default=None, compare=False,
+                                    repr=False)
 
 
 @dataclass
 class DeleteStatement:
     table: str
     where: Optional[Expression]
+    position: Optional[int] = field(default=None, compare=False,
+                                    repr=False)
 
 
 @dataclass
@@ -223,6 +254,12 @@ class Parser:
 
     # -- token helpers --------------------------------------------------------
 
+    def _error(self, message: str, token: Token) -> SqlSyntaxError:
+        """A SqlSyntaxError pinned to ``token``'s source position."""
+        return SqlSyntaxError(
+            f"{message} at line {token.line}, column {token.column}",
+            line=token.line, column=token.column, offset=token.position)
+
     def _peek(self) -> Token:
         return self.tokens[self.index]
 
@@ -244,9 +281,8 @@ class Parser:
     def _expect_keyword(self, keyword: str) -> None:
         token = self._advance()
         if token.kind != "keyword" or token.text != keyword:
-            raise SqlSyntaxError(
-                f"expected {keyword} but found {token.text!r} "
-                f"at offset {token.position}")
+            raise self._error(
+                f"expected {keyword} but found {token.text!r}", token)
 
     def _accept_op(self, op: str) -> bool:
         token = self._peek()
@@ -258,9 +294,8 @@ class Parser:
     def _expect_op(self, op: str) -> None:
         token = self._advance()
         if token.kind != "op" or token.text != op:
-            raise SqlSyntaxError(
-                f"expected {op!r} but found {token.text!r} "
-                f"at offset {token.position}")
+            raise self._error(
+                f"expected {op!r} but found {token.text!r}", token)
 
     def _expect_name(self) -> str:
         token = self._advance()
@@ -270,9 +305,8 @@ class Parser:
         # positions (e.g. a column named "key") — only for a safe subset.
         if token.kind == "keyword" and token.text in ("KEY", "INDEX", "SET"):
             return token.text.lower()
-        raise SqlSyntaxError(
-            f"expected identifier but found {token.text!r} "
-            f"at offset {token.position}")
+        raise self._error(
+            f"expected identifier but found {token.text!r}", token)
 
     # -- entry point ----------------------------------------------------------
 
@@ -281,9 +315,8 @@ class Parser:
         self._accept_op(";")
         token = self._peek()
         if token.kind != "eof":
-            raise SqlSyntaxError(
-                f"unexpected trailing input {token.text!r} "
-                f"at offset {token.position}")
+            raise self._error(
+                f"unexpected trailing input {token.text!r}", token)
         return statement
 
     def _parse_statement(self) -> Statement:
@@ -316,8 +349,8 @@ class Parser:
         if self._accept_keyword("ROLLBACK"):
             return TransactionStatement("ROLLBACK")
         token = self._peek()
-        raise SqlSyntaxError(
-            f"cannot parse statement starting with {token.text!r}")
+        raise self._error(
+            f"cannot parse statement starting with {token.text!r}", token)
 
     # -- SELECT ---------------------------------------------------------------
 
@@ -422,18 +455,20 @@ class Parser:
         return node
 
     def _parse_table_ref(self) -> TableRef:
+        position = self._peek().position
         name = self._expect_name()
         alias = name
         if self._accept_keyword("AS"):
             alias = self._expect_name()
         elif self._peek().kind == "name":
             alias = self._advance().text
-        return TableRef(name, alias)
+        return TableRef(name, alias, position=position)
 
     # -- INSERT / UPDATE / DELETE ----------------------------------------------
 
     def _parse_insert(self) -> InsertStatement:
         self._expect_keyword("INTO")
+        table_token = self._peek()
         table = self._expect_name()
         columns: List[str] = []
         if self._accept_op("("):
@@ -442,20 +477,31 @@ class Parser:
                 columns.append(self._expect_name())
             self._expect_op(")")
         self._expect_keyword("VALUES")
-        rows = [self._parse_value_tuple()]
+        rows = [self._parse_value_tuple(columns)]
         while self._accept_op(","):
-            rows.append(self._parse_value_tuple())
-        return InsertStatement(table, columns, rows)
+            rows.append(self._parse_value_tuple(columns))
+        return InsertStatement(table, columns, rows,
+                               position=table_token.position)
 
-    def _parse_value_tuple(self) -> List[Expression]:
+    def _parse_value_tuple(self,
+                           columns: List[str]) -> List[Expression]:
+        open_token = self._peek()
         self._expect_op("(")
         values = [self._parse_expression()]
         while self._accept_op(","):
             values.append(self._parse_expression())
         self._expect_op(")")
+        # When a column list is given the arity of every tuple is known
+        # syntactically — reject mismatches here with a position rather
+        # than letting the executor fail mid-insert.
+        if columns and len(values) != len(columns):
+            raise self._error(
+                f"INSERT lists {len(columns)} columns but the VALUES "
+                f"tuple has {len(values)} values", open_token)
         return values
 
     def _parse_update(self) -> UpdateStatement:
+        table_token = self._peek()
         table = self._expect_name()
         self._expect_keyword("SET")
         assignments = [self._parse_assignment()]
@@ -464,7 +510,8 @@ class Parser:
         where = None
         if self._accept_keyword("WHERE"):
             where = self._parse_expression()
-        return UpdateStatement(table, assignments, where)
+        return UpdateStatement(table, assignments, where,
+                               position=table_token.position)
 
     def _parse_assignment(self) -> Tuple[str, Expression]:
         column = self._expect_name()
@@ -473,11 +520,13 @@ class Parser:
 
     def _parse_delete(self) -> DeleteStatement:
         self._expect_keyword("FROM")
+        table_token = self._peek()
         table = self._expect_name()
         where = None
         if self._accept_keyword("WHERE"):
             where = self._parse_expression()
-        return DeleteStatement(table, where)
+        return DeleteStatement(table, where,
+                               position=table_token.position)
 
     # -- DDL --------------------------------------------------------------------
 
@@ -494,7 +543,7 @@ class Parser:
         if self._accept_keyword("INDEX"):
             return self._parse_create_index(unique)
         token = self._peek()
-        raise SqlSyntaxError(f"cannot CREATE {token.text!r}")
+        raise self._error(f"cannot CREATE {token.text!r}", token)
 
     def _parse_create_table(self) -> CreateTableStatement:
         if_not_exists = False
@@ -517,8 +566,8 @@ class Parser:
         name = self._expect_name()
         type_token = self._advance()
         if type_token.kind != "name":
-            raise SqlSyntaxError(
-                f"expected a type name after column {name!r}")
+            raise self._error(
+                f"expected a type name after column {name!r}", type_token)
         sql_type = SqlType.from_sql(type_token.text)
         # Swallow optional length/precision such as VARCHAR(255).
         if self._accept_op("("):
@@ -561,7 +610,8 @@ class Parser:
         if token.kind == "op" and token.text == "-":
             value = self._parse_literal_value()
             return -value
-        raise SqlSyntaxError(f"expected a literal, found {token.text!r}")
+        raise self._error(
+            f"expected a literal, found {token.text!r}", token)
 
     def _parse_create_view(self) -> CreateViewStatement:
         if_not_exists = False
@@ -612,7 +662,7 @@ class Parser:
             name = self._expect_name()
             return DropViewStatement(name, if_exists)
         token = self._peek()
-        raise SqlSyntaxError(f"cannot DROP {token.text!r}")
+        raise self._error(f"cannot DROP {token.text!r}", token)
 
     # -- expressions --------------------------------------------------------------
     # precedence: OR < AND < NOT < comparison < additive < multiplicative < unary
@@ -671,7 +721,7 @@ class Parser:
             pattern = self._parse_additive()
             return Like(node, pattern, negated=negated)
         if negated:
-            raise SqlSyntaxError("dangling NOT in expression")
+            raise self._error("dangling NOT in expression", self._peek())
         return node
 
     def _parse_additive(self) -> Expression:
@@ -726,13 +776,13 @@ class Parser:
                 return Literal(False)
             if token.text == "CASE":
                 return self._parse_case()
-            raise SqlSyntaxError(
-                f"unexpected keyword {token.text!r} in expression "
-                f"at offset {token.position}")
+            raise self._error(
+                f"unexpected keyword {token.text!r} in expression", token)
         if token.kind == "name":
-            return self._parse_name_expression(token.text)
-        raise SqlSyntaxError(
-            f"unexpected token {token.text!r} at offset {token.position}")
+            return self._parse_name_expression(token.text,
+                                               token.position)
+        raise self._error(
+            f"unexpected token {token.text!r}", token)
 
     def _parse_case(self) -> Expression:
         branches: List[Tuple[Expression, Expression]] = []
@@ -749,7 +799,9 @@ class Parser:
             raise SqlSyntaxError("CASE requires at least one WHEN branch")
         return CaseExpr(branches, default)
 
-    def _parse_name_expression(self, name: str) -> Expression:
+    def _parse_name_expression(self, name: str,
+                               position: Optional[int] = None) \
+            -> Expression:
         # function call?
         if self._peek().kind == "op" and self._peek().text == "(":
             self._advance()
@@ -774,8 +826,8 @@ class Parser:
         if self._peek().kind == "op" and self._peek().text == ".":
             self._advance()
             column = self._expect_name()
-            return ColumnRef(f"{name}.{column}")
-        return ColumnRef(name)
+            return ColumnRef(f"{name}.{column}", position=position)
+        return ColumnRef(name, position=position)
 
 
 def parse_sql(sql: str) -> Statement:

@@ -19,7 +19,19 @@ class EngineError(ReproError):
 
 
 class SqlSyntaxError(EngineError):
-    """The SQL text could not be parsed."""
+    """The SQL text could not be parsed.
+
+    Carries the source position of the offending token when known, so
+    tooling (and the static analyzer) can point at the exact spot.
+    """
+
+    def __init__(self, message: str, line: "int | None" = None,
+                 column: "int | None" = None,
+                 offset: "int | None" = None):
+        super().__init__(message)
+        self.line = line
+        self.column = column
+        self.offset = offset
 
 
 class CatalogError(EngineError):
@@ -150,6 +162,14 @@ class RuleSyntaxError(RulesError):
 
 class BpmError(ReproError):
     """Base class for business-process errors."""
+
+
+# --- static analysis -------------------------------------------------------
+
+class AnalysisError(ReproError):
+    """Misuse of the static-analysis subsystem (unknown artifact kind,
+    malformed artifact payload, ...).  Findings about *artifacts* are
+    reported as diagnostics, not exceptions."""
 
 
 # --- security --------------------------------------------------------------

@@ -62,6 +62,6 @@ __all__ = [
     "SurrogateKey",
     "TableSource",
     "TypeCast",
-    "time_dimension_rows",
     "Validate",
+    "time_dimension_rows",
 ]

@@ -26,17 +26,17 @@ from repro.reporting.render import render_dashboard_html, render_dashboard_text
 
 __all__ = [
     "AdhocReportBuilder",
-    "DashboardDefinition",
-    "ElementDefinition",
-    "pivot_cellset",
     "BirtRunner",
     "ChartSpec",
     "Dashboard",
+    "DashboardDefinition",
     "DataTableSpec",
+    "ElementDefinition",
     "RenderedChart",
     "RenderedTable",
     "ReportDesign",
     "parse_report_design",
+    "pivot_cellset",
     "render_dashboard_html",
     "render_dashboard_text",
 ]

@@ -40,8 +40,8 @@ __all__ = [
     "PasswordEncoder",
     "Principal",
     "RoleEntity",
-    "SecurityStore",
     "SecuritySession",
+    "SecurityStore",
     "UserEntity",
     "secured",
 ]

@@ -1,0 +1,97 @@
+"""Unit tests for the shared diagnostics core."""
+
+import pytest
+
+from repro.analysis import CODES, Diagnostic, DiagnosticCollector, \
+    Severity, SourceSpan
+from repro.errors import AnalysisError
+
+
+class TestSeverity:
+    def test_rank_orders_errors_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank
+        assert Severity.WARNING.rank < Severity.INFO.rank
+
+
+class TestDiagnostic:
+    def test_unregistered_code_is_rejected(self):
+        with pytest.raises(ValueError, match="ODB999"):
+            Diagnostic("ODB999", Severity.ERROR, "nope")
+
+    def test_every_code_family_is_populated(self):
+        families = {code[:4] for code in CODES}
+        assert families == {"ODB1", "ODB2", "ODB3", "ODB4"}
+
+    def test_str_includes_source_span_severity_and_code(self):
+        diagnostic = Diagnostic("ODB101", Severity.ERROR,
+                                "unknown table 'x'",
+                                SourceSpan(3, 7), "queries.sql")
+        assert str(diagnostic) == \
+            "queries.sql:3:7: error [ODB101] unknown table 'x'"
+
+    def test_str_without_span_or_source(self):
+        diagnostic = Diagnostic("ODB202", Severity.WARNING, "orphan")
+        assert str(diagnostic) == "warning [ODB202] orphan"
+
+
+class TestSourceSpan:
+    def test_str_is_line_colon_column(self):
+        assert str(SourceSpan(12, 4)) == "12:4"
+
+    def test_spans_are_hashable_and_comparable(self):
+        assert SourceSpan(1, 2) == SourceSpan(1, 2)
+        assert len({SourceSpan(1, 2), SourceSpan(1, 2)}) == 1
+
+
+class TestDiagnosticCollector:
+    def test_default_source_is_stamped(self):
+        collector = DiagnosticCollector("artifact.sql")
+        collector.error("ODB101", "boom")
+        assert collector.diagnostics[0].source == "artifact.sql"
+
+    def test_explicit_source_wins(self):
+        collector = DiagnosticCollector("default")
+        collector.error("ODB101", "boom", source="special")
+        assert collector.diagnostics[0].source == "special"
+
+    def test_queries(self):
+        collector = DiagnosticCollector()
+        collector.error("ODB101", "a")
+        collector.warning("ODB112", "b")
+        collector.info("ODB112", "c")
+        assert collector.has_errors()
+        assert len(collector) == 3
+        assert [d.code for d in collector.errors] == ["ODB101"]
+        assert [d.code for d in collector.warnings] == ["ODB112"]
+        assert collector.codes() == ["ODB101", "ODB112", "ODB112"]
+        assert len(collector.by_code("ODB112")) == 2
+
+    def test_sorted_puts_errors_before_warnings(self):
+        collector = DiagnosticCollector()
+        collector.warning("ODB111", "later", SourceSpan(1, 1))
+        collector.error("ODB101", "first", SourceSpan(9, 9))
+        assert [d.code for d in collector.sorted()] == \
+            ["ODB101", "ODB111"]
+
+    def test_render_ends_with_summary_line(self):
+        collector = DiagnosticCollector()
+        collector.error("ODB101", "boom")
+        assert collector.render().endswith("1 error(s), 0 warning(s)")
+
+    def test_raise_if_errors_defaults_to_analysis_error(self):
+        collector = DiagnosticCollector()
+        collector.error("ODB101", "unknown table 'ghost'")
+        with pytest.raises(AnalysisError, match="ghost"):
+            collector.raise_if_errors()
+
+    def test_raise_if_errors_is_a_noop_for_warnings(self):
+        collector = DiagnosticCollector()
+        collector.warning("ODB111", "meh")
+        collector.raise_if_errors()  # does not raise
+
+    def test_extend_merges_collectors(self):
+        first = DiagnosticCollector()
+        first.error("ODB101", "a")
+        second = DiagnosticCollector()
+        second.extend(first)
+        assert second.codes() == ["ODB101"]

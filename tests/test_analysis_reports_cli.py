@@ -1,0 +1,159 @@
+"""Unit tests for the report linter and the artifact-lint CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    dataset_columns_from_sql,
+    lint_dashboard,
+)
+from repro.analysis.cli import lint_directory, main
+from repro.engine import Catalog, make_schema
+from repro.reporting import DashboardDefinition
+
+
+def revenue_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_table(make_schema("sales", [
+        ("region", "TEXT"),
+        ("amount", "REAL"),
+    ]))
+    return catalog
+
+
+def revenue_dashboard() -> DashboardDefinition:
+    definition = DashboardDefinition("revenue", "by region")
+    definition.add_row(
+        definition.chart("totals", "by-region", "bar",
+                         "region", "total"),
+        definition.table("totals", "detail", ["region", "total"],
+                        sort_by="total"))
+    return definition
+
+
+SHAPES = {"totals": ["region", "total"]}
+
+
+class TestReportLinter:
+    def test_valid_dashboard_is_clean(self):
+        collector = lint_dashboard(revenue_dashboard(), SHAPES)
+        assert collector.codes() == []
+
+    def test_unknown_dataset(self):
+        collector = lint_dashboard(revenue_dashboard(), {})
+        assert set(collector.codes()) == {"ODB401"}
+
+    def test_chart_column_missing_from_dataset(self):
+        shapes = {"totals": ["region"]}  # no 'total' column
+        collector = lint_dashboard(revenue_dashboard(), shapes)
+        assert "ODB402" in collector.codes()
+        assert "total" in str(collector.by_code("ODB402")[0])
+
+    def test_sort_column_outside_table_columns(self):
+        definition = DashboardDefinition("d")
+        definition.add_row(definition.table(
+            "totals", "detail", ["region"], sort_by="total"))
+        collector = lint_dashboard(definition, SHAPES)
+        assert collector.codes() == ["ODB403"]
+
+    def test_unknown_shape_skips_column_checks(self):
+        collector = lint_dashboard(revenue_dashboard(),
+                                   {"totals": None})
+        assert collector.codes() == []
+
+    def test_empty_dashboard_warns(self):
+        collector = lint_dashboard(DashboardDefinition("empty"), {})
+        assert collector.codes() == ["ODB404"]
+        assert not collector.has_errors()
+
+    def test_duplicate_element_names(self):
+        definition = DashboardDefinition("d")
+        definition.add_row(
+            definition.table("totals", "twin", ["region"]),
+            definition.table("totals", "twin", ["region"]))
+        collector = lint_dashboard(definition, SHAPES)
+        assert "ODB405" in collector.codes()
+
+    def test_serialized_dict_form_is_accepted(self):
+        collector = lint_dashboard(revenue_dashboard().to_dict(),
+                                   SHAPES)
+        assert collector.codes() == []
+
+    def test_malformed_dict(self):
+        collector = lint_dashboard({"rows": [[{"kind": "wat"}]]}, {})
+        assert collector.codes() == ["ODB404"]
+
+
+class TestDatasetColumnsFromSql:
+    def test_shapes_from_sql(self):
+        shapes = dataset_columns_from_sql(
+            {"totals": "SELECT region, SUM(amount) AS total "
+                       "FROM sales GROUP BY region"},
+            revenue_catalog())
+        assert shapes == {"totals": ["region", "total"]}
+
+    def test_unparseable_sql_maps_to_none(self):
+        shapes = dataset_columns_from_sql(
+            {"bad": "SELECT FROM"}, revenue_catalog())
+        assert shapes == {"bad": None}
+
+
+@pytest.fixture
+def artifact_dir(tmp_path):
+    (tmp_path / "schema.sql").write_text(
+        "CREATE TABLE sales (region TEXT, amount REAL);\n")
+    (tmp_path / "queries.sql").write_text(
+        "SELECT region, SUM(amount) AS total FROM sales "
+        "GROUP BY region;\n")
+    (tmp_path / "alerts.rules").write_text(
+        'rule "notice"\nwhen\n    s: Signal(s.level > 1)\nthen\n'
+        '    log("level " + s.name)\nend\n')
+    (tmp_path / "revenue.json").write_text(json.dumps({
+        "dashboard": revenue_dashboard().to_dict(),
+        "datasets": {"totals": "SELECT region, SUM(amount) AS total "
+                               "FROM sales GROUP BY region"},
+    }))
+    return tmp_path
+
+
+class TestCli:
+    def test_clean_directory_exits_zero(self, artifact_dir, capsys):
+        assert main([str(artifact_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_schema_ddl_feeds_other_scripts(self, artifact_dir):
+        collector = lint_directory(artifact_dir)
+        assert collector.codes() == []
+
+    def test_broken_artifacts_exit_one(self, artifact_dir, capsys):
+        (artifact_dir / "broken.sql").write_text(
+            "SELECT nope FROM sales;\n")
+        (artifact_dir / "broken.json").write_text("{not json")
+        assert main([str(artifact_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "[ODB102]" in out
+        assert "[ODB404]" in out
+        assert "broken.sql" in out
+
+    def test_dataset_sql_inside_dashboard_is_linted(
+            self, artifact_dir, capsys):
+        (artifact_dir / "revenue.json").write_text(json.dumps({
+            "dashboard": revenue_dashboard().to_dict(),
+            "datasets": {"totals": "SELECT region, SUM(ghost) "
+                                   "AS total FROM sales "
+                                   "GROUP BY region"},
+        }))
+        assert main([str(artifact_dir)]) == 1
+        assert "[ODB102]" in capsys.readouterr().out
+
+    def test_no_warnings_flag(self, artifact_dir, capsys):
+        (artifact_dir / "view.sql").write_text(
+            "CREATE VIEW v AS SELECT * FROM sales;\n")
+        assert main([str(artifact_dir), "--no-warnings"]) == 0
+        assert "ODB111" not in capsys.readouterr().out
+
+    def test_usage_errors(self, tmp_path, capsys):
+        assert main([]) == 2
+        assert main([str(tmp_path / "missing")]) == 2

@@ -1,0 +1,280 @@
+"""Unit tests for the schema-aware SQL semantic analyzer."""
+
+import pytest
+
+from repro.analysis import (
+    SqlAnalyzer,
+    analyze_script,
+    catalog_from_script,
+    split_statements,
+)
+from repro.engine import Catalog, Database, make_schema, parse_sql
+
+
+def sales_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_table(make_schema("sales", [
+        ("id", "INTEGER", False),
+        ("region", "TEXT"),
+        ("amount", "REAL"),
+        ("quantity", "INTEGER"),
+        ("sold_on", "DATE"),
+    ], primary_key="id"))
+    catalog.add_table(make_schema("customers", [
+        ("id", "INTEGER", False),
+        ("name", "TEXT"),
+        ("region", "TEXT"),
+    ], primary_key="id"))
+    return catalog
+
+
+def analyze(sql, catalog=None):
+    return SqlAnalyzer(catalog or sales_catalog()).analyze(sql)
+
+
+class TestSelectAnalysis:
+    def test_clean_query_has_no_findings(self):
+        collector = analyze(
+            "SELECT region, SUM(amount) AS total FROM sales "
+            "WHERE quantity > 0 GROUP BY region ORDER BY total")
+        assert collector.codes() == []
+
+    def test_unknown_table(self):
+        collector = analyze("SELECT * FROM ghosts")
+        assert collector.codes() == ["ODB101"]
+        assert "ghosts" in str(collector.errors[0])
+
+    def test_unknown_column(self):
+        collector = analyze("SELECT colour FROM sales")
+        assert collector.codes() == ["ODB102"]
+
+    def test_unknown_column_has_position(self):
+        collector = analyze("SELECT\n  colour FROM sales")
+        span = collector.errors[0].span
+        assert (span.line, span.column) == (2, 3)
+
+    def test_unknown_table_suppresses_cascading_column_errors(self):
+        collector = analyze("SELECT a, b, c FROM ghosts")
+        assert collector.codes() == ["ODB101"]
+
+    def test_ambiguous_column_across_join(self):
+        collector = analyze(
+            "SELECT region FROM sales "
+            "JOIN customers ON sales.id = customers.id")
+        assert collector.codes() == ["ODB103"]
+
+    def test_qualification_resolves_ambiguity(self):
+        collector = analyze(
+            "SELECT sales.region FROM sales "
+            "JOIN customers ON sales.id = customers.id")
+        assert collector.codes() == []
+
+    def test_type_mismatched_comparison(self):
+        collector = analyze("SELECT id FROM sales WHERE region = 5")
+        assert collector.codes() == ["ODB104"]
+
+    def test_text_vs_date_comparison_is_tolerated(self):
+        collector = analyze(
+            "SELECT id FROM sales WHERE sold_on > '2024-01-01'")
+        assert collector.codes() == []
+
+    def test_type_mismatched_arithmetic(self):
+        collector = analyze("SELECT region + 1 FROM sales")
+        assert collector.codes() == ["ODB105"]
+
+    def test_concat_requires_text(self):
+        collector = analyze("SELECT amount || 'x' FROM sales")
+        assert collector.codes() == ["ODB105"]
+
+    def test_aggregate_in_where(self):
+        collector = analyze(
+            "SELECT id FROM sales WHERE SUM(amount) > 10")
+        assert collector.codes() == ["ODB106"]
+
+    def test_non_grouped_column(self):
+        collector = analyze(
+            "SELECT region, quantity, SUM(amount) FROM sales "
+            "GROUP BY region")
+        assert collector.codes() == ["ODB107"]
+        assert "quantity" in str(collector.errors[0])
+
+    def test_grouping_by_select_alias_is_clean(self):
+        collector = analyze(
+            "SELECT region AS r, COUNT(*) FROM sales GROUP BY r")
+        assert collector.codes() == []
+
+    def test_unknown_function(self):
+        collector = analyze("SELECT SOUNDEX(region) FROM sales")
+        assert collector.codes() == ["ODB109"]
+
+    def test_duplicate_table_alias(self):
+        collector = analyze(
+            "SELECT s.id FROM sales s JOIN customers s "
+            "ON s.id = s.id")
+        assert "ODB110" in collector.codes()
+
+    def test_constant_predicate_warns(self):
+        collector = analyze("SELECT id FROM sales WHERE 1 = 2")
+        assert collector.codes() == ["ODB112"]
+        assert not collector.has_errors()
+
+    def test_union_arity_mismatch(self):
+        collector = analyze(
+            "SELECT id, region FROM sales "
+            "UNION SELECT id FROM customers")
+        assert collector.codes() == ["ODB114"]
+
+    def test_syntax_error_is_positioned(self):
+        collector = analyze("SELECT FROM sales WHERE")
+        assert collector.codes() == ["ODB115"]
+        assert collector.errors[0].span is not None
+
+
+class TestInsertAnalysis:
+    def test_insert_arity_mismatch(self):
+        collector = analyze("INSERT INTO sales VALUES (1, 'east')")
+        assert "ODB108" in collector.codes()
+
+    def test_insert_type_mismatch(self):
+        collector = analyze(
+            "INSERT INTO sales (id, region, amount, quantity, sold_on)"
+            " VALUES ('oops', 'east', 1.5, 2, '2024-01-01')")
+        assert collector.codes() == ["ODB113"]
+
+    def test_insert_unknown_column(self):
+        collector = analyze(
+            "INSERT INTO sales (id, colour) VALUES (1, 'red')")
+        assert "ODB102" in collector.codes()
+
+    def test_null_into_not_null_column(self):
+        collector = analyze(
+            "INSERT INTO sales (id, region, amount, quantity, sold_on)"
+            " VALUES (NULL, 'east', 1.5, 2, '2024-01-01')")
+        assert "ODB113" in collector.codes()
+
+    def test_valid_insert_is_clean(self):
+        collector = analyze(
+            "INSERT INTO sales (id, region, amount, quantity, sold_on)"
+            " VALUES (1, 'east', 1.5, 2, '2024-01-01')")
+        assert collector.codes() == []
+
+
+class TestUpdateDelete:
+    def test_update_unknown_column(self):
+        collector = analyze("UPDATE sales SET colour = 'red'")
+        assert collector.codes() == ["ODB102"]
+
+    def test_update_type_mismatch(self):
+        collector = analyze("UPDATE sales SET quantity = 'many'")
+        assert collector.codes() == ["ODB113"]
+
+    def test_delete_from_unknown_table(self):
+        collector = analyze("DELETE FROM ghosts")
+        assert collector.codes() == ["ODB101"]
+
+
+class TestViewsAndScripts:
+    def test_select_star_view_warns(self):
+        collector = analyze("CREATE VIEW v AS SELECT * FROM sales")
+        assert collector.codes() == ["ODB111"]
+        assert not collector.has_errors()
+
+    def test_query_through_view_columns(self):
+        collector = analyze_script(
+            "CREATE VIEW totals AS SELECT region, SUM(amount) AS t "
+            "FROM sales GROUP BY region;\n"
+            "SELECT region, t FROM totals;\n"
+            "SELECT missing FROM totals;", sales_catalog())
+        assert collector.codes() == ["ODB102"]
+
+    def test_script_ddl_feeds_later_statements(self):
+        collector = analyze_script(
+            "CREATE TABLE t (id INTEGER, name TEXT);\n"
+            "INSERT INTO t (id, name) VALUES (1, 'a');\n"
+            "SELECT id, name FROM t;")
+        assert collector.codes() == []
+
+    def test_script_reports_each_statement(self):
+        collector = analyze_script(
+            "SELECT * FROM ghosts;\nSELECT nope FROM sales;",
+            sales_catalog())
+        assert collector.codes() == ["ODB101", "ODB102"]
+
+    def test_script_does_not_mutate_caller_catalog(self):
+        catalog = sales_catalog()
+        analyze_script("DROP TABLE sales;", catalog)
+        assert catalog.has_table("sales")
+
+    def test_split_statements_respects_strings_and_comments(self):
+        parts = split_statements(
+            "SELECT 'a;b'; -- trailing; comment\nSELECT 2;")
+        assert [text for text, _ in parts] == \
+            ["SELECT 'a;b'", "SELECT 2"]
+
+    def test_catalog_from_script(self):
+        catalog, views = catalog_from_script(
+            "CREATE TABLE t (id INTEGER);"
+            "CREATE VIEW v AS SELECT id FROM t;")
+        assert catalog.has_table("t")
+        assert "v" in views
+
+
+class TestOutputColumns:
+    def test_shape_of_aggregate_query(self):
+        analyzer = SqlAnalyzer(sales_catalog())
+        statement = parse_sql(
+            "SELECT region, SUM(amount) AS total FROM sales "
+            "GROUP BY region")
+        columns = analyzer.output_columns(statement)
+        assert [name for name, _type in columns] == \
+            ["region", "total"]
+
+    def test_star_expands_to_table_columns(self):
+        analyzer = SqlAnalyzer(sales_catalog())
+        statement = parse_sql("SELECT * FROM customers")
+        columns = analyzer.output_columns(statement)
+        assert [name for name, _type in columns] == \
+            ["id", "name", "region"]
+
+
+ACCEPTED_QUERIES = [
+    "SELECT id, region FROM sales",
+    "SELECT * FROM customers",
+    "SELECT s.region, c.name FROM sales s "
+    "JOIN customers c ON s.id = c.id",
+    "SELECT region, SUM(amount) AS total FROM sales GROUP BY region",
+    "SELECT UPPER(name) FROM customers WHERE LENGTH(name) > 3",
+    "SELECT id FROM sales WHERE sold_on BETWEEN '2024-01-01' "
+    "AND '2024-12-31'",
+    "SELECT region FROM sales UNION SELECT region FROM customers",
+    "SELECT COUNT(*) FROM sales",
+]
+
+
+class TestAnalyzerExecutorAgreement:
+    """Property-style check: SQL the analyzer accepts must execute.
+
+    An analyzer-clean query running against an *empty* database built
+    from the same catalog must never hit a catalog-resolution error —
+    the analyzer's whole claim is that it resolves names statically
+    exactly the way the executor would.
+    """
+
+    @pytest.mark.parametrize("sql", ACCEPTED_QUERIES)
+    def test_accepted_queries_execute(self, sql):
+        catalog = sales_catalog()
+        collector = SqlAnalyzer(catalog).analyze(sql)
+        assert not collector.has_errors(), collector.render()
+
+        database = Database("empty")
+        for schema in catalog:
+            database.create_storage(schema)
+        database.query(sql)  # must not raise
+
+    def test_for_database_sees_live_views(self):
+        database = Database("live")
+        database.execute("CREATE TABLE t (id INTEGER)")
+        database.execute("CREATE VIEW v AS SELECT id FROM t")
+        collector = SqlAnalyzer.for_database(database).analyze(
+            "SELECT id FROM v")
+        assert collector.codes() == []

@@ -1,0 +1,89 @@
+"""Negative-path parser tests: malformed SQL must fail *with* a
+position (line/column/offset) pointing at the offending token."""
+
+import pytest
+
+from repro.engine.parser import line_column, parse_sql, tokenize
+from repro.errors import SqlSyntaxError
+
+
+def error_for(sql: str) -> SqlSyntaxError:
+    with pytest.raises(SqlSyntaxError) as excinfo:
+        parse_sql(sql)
+    return excinfo.value
+
+
+class TestLineColumn:
+    def test_first_character(self):
+        assert line_column("SELECT 1", 0) == (1, 1)
+
+    def test_after_newlines(self):
+        assert line_column("a\nbc\ndef", 5) == (3, 1)
+
+    def test_tokens_carry_line_and_column(self):
+        tokens = tokenize("SELECT\n  name")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestMalformedJoins:
+    def test_join_without_on(self):
+        error = error_for("SELECT * FROM a JOIN b WHERE x = 1")
+        assert error.line == 1
+        assert error.column is not None
+        assert "ON" in str(error).upper()
+
+    def test_join_missing_right_table(self):
+        error = error_for("SELECT * FROM a LEFT JOIN ON a.id = 1")
+        assert error.line == 1
+
+    def test_multiline_error_points_at_later_line(self):
+        error = error_for("SELECT *\nFROM a\nJOIN b\nWHERE x = 1")
+        assert error.line == 4
+
+
+class TestUnterminatedStrings:
+    def test_unterminated_string_literal(self):
+        error = error_for("SELECT 'oops FROM t")
+        assert "unterminated" in str(error)
+        assert error.line == 1
+        assert error.column == 8
+
+    def test_unterminated_string_on_second_line(self):
+        error = error_for("SELECT 1;\n".replace(";", "") +
+                          "FROM t WHERE name = 'bad")
+        assert error.line == 2
+
+
+class TestBadInsertArity:
+    def test_explicit_columns_vs_values_mismatch(self):
+        error = error_for(
+            "INSERT INTO t (a, b) VALUES (1, 2, 3)")
+        message = str(error)
+        assert "2" in message and "3" in message
+        assert error.line == 1
+
+    def test_second_tuple_mismatch_is_positioned(self):
+        error = error_for(
+            "INSERT INTO t (a, b) VALUES (1, 2),\n(3)")
+        assert error.line == 2
+
+    def test_matching_arity_parses(self):
+        parse_sql("INSERT INTO t (a, b) VALUES (1, 2)")
+
+
+class TestGeneralPositions:
+    def test_trailing_garbage(self):
+        error = error_for("SELECT 1 )")
+        assert error.column == 10
+
+    def test_offset_maps_back_to_line_column(self):
+        sql = "SELECT *\nFROM"
+        error = error_for(sql)
+        assert error.offset is not None
+        assert line_column(sql, error.offset) == \
+            (error.line, error.column)
+
+    def test_error_message_carries_position_suffix(self):
+        error = error_for("SELECT FROM t")
+        assert f"line {error.line}" in str(error)
