@@ -8,7 +8,9 @@ shows the reproduced tables/figures inline.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Dict
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -19,6 +21,27 @@ def emit(experiment: str, text: str) -> None:
     path = OUT_DIR / f"{experiment}.txt"
     path.write_text(text + "\n")
     print(f"\n{'=' * 70}\n{experiment}\n{'=' * 70}\n{text}\n")
+
+
+def write_bench_json(component: str, cases: Dict[str, float]) -> Path:
+    """Write machine-readable benchmark timings for one component.
+
+    ``cases`` maps a case name to its best-of-N wall time in
+    milliseconds; the payload lands in ``benchmarks/out/
+    BENCH_<component>.json`` so downstream tooling (CI trend lines,
+    the analysis CLI) can diff runs without scraping text tables.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{component}.json"
+    payload = {
+        "component": component,
+        "unit": "ms",
+        "metric": "best-of-N wall time",
+        "cases": {name: round(value, 4)
+                  for name, value in sorted(cases.items())},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 
 def format_table(headers, rows) -> str:

@@ -13,11 +13,11 @@ import pytest
 
 from repro.engine import Database
 
-from _util import emit, format_table
+from _util import emit, format_table, write_bench_json
 
 
-def build(fact_rows):
-    database = Database()
+def build(fact_rows, compile=True):
+    database = Database(compile=compile)
     database.execute(
         "CREATE TABLE dim (k INTEGER PRIMARY KEY, label TEXT)")
     database.executemany(
@@ -86,6 +86,44 @@ def test_e12_join_strategies_agree():
         "FROM fact f CROSS JOIN dim d WHERE f.k = d.k "
         "GROUP BY d.label ORDER BY d.label")
     assert hash_rows == nested_rows
+
+
+def test_bench_e12_compiled_plans():
+    """Plan compilation vs interpreted execution (the PR-2 tentpole).
+
+    ``Database(compile=False)`` is the ablation knob: identical
+    semantics, but every SELECT runs through the row-dict interpreter.
+    The compiled path must win >= 3x on both the star join and the
+    filtered scan, and the timings land in BENCH_engine.json for
+    machine consumption.
+    """
+    star_sql = (
+        "SELECT d.label, SUM(f.amount) AS total FROM fact f "
+        "JOIN dim d ON f.k = d.k GROUP BY d.label ORDER BY d.label")
+    filter_sql = (
+        "SELECT k, amount FROM fact WHERE amount > 25.0 AND k < 150 "
+        "ORDER BY amount")
+    table = []
+    cases = {}
+    for fact_rows in (2_000, 8_000):
+        compiled = build(fact_rows)
+        interpreted = build(fact_rows, compile=False)
+        for case, sql in (("star_join", star_sql),
+                          ("filtered_scan", filter_sql)):
+            assert compiled.query(sql) == interpreted.query(sql)
+            compiled_ms = best(lambda: compiled.query(sql), repeats=5)
+            interpreted_ms = best(
+                lambda: interpreted.query(sql), repeats=5)
+            speedup = interpreted_ms / compiled_ms
+            table.append((f"{case} ({fact_rows} rows)",
+                          compiled_ms, interpreted_ms, speedup))
+            cases[f"{case}_{fact_rows}_compiled"] = compiled_ms
+            cases[f"{case}_{fact_rows}_interpreted"] = interpreted_ms
+    emit("E12_plan_compilation", format_table(
+        ("case", "compiled ms", "interpreted ms", "speed-up"),
+        table))
+    write_bench_json("engine", cases)
+    assert all(entry[3] > 3.0 for entry in table)
 
 
 def test_e12_statement_cache():

@@ -13,7 +13,16 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.engine.executor import Executor, ResultSet
-from repro.engine.parser import SelectStatement, TransactionStatement, parse_sql
+from repro.engine.parser import (
+    CompoundSelect,
+    DeleteStatement,
+    ExplainStatement,
+    InsertStatement,
+    SelectStatement,
+    TransactionStatement,
+    UpdateStatement,
+    parse_sql,
+)
 from repro.engine.schema import Catalog, TableSchema
 from repro.engine.storage import TableStorage
 from repro.engine.transactions import Transaction
@@ -27,7 +36,7 @@ class Database:
     ODBIS).  Statements are parsed once and cached by SQL text.
     """
 
-    def __init__(self, name: str = "main"):
+    def __init__(self, name: str = "main", compile: bool = True):
         self.name = name
         self.catalog = Catalog()
         self._storages: Dict[str, TableStorage] = {}
@@ -35,6 +44,12 @@ class Database:
         self._executor = Executor(self)
         self._transaction: Optional[Transaction] = None
         self._statement_cache: Dict[str, Any] = {}
+        # Compiled plans keyed by statement identity; each entry keeps a
+        # strong reference to its statement so ids cannot be recycled.
+        # ``compile=False`` is the ablation knob: plans are never used
+        # and every SELECT runs through the interpreted executor.
+        self._compile_enabled = bool(compile)
+        self._plan_cache: Dict[int, Any] = {}
         self.statistics = {"statements": 0, "rows_returned": 0}
 
     def __repr__(self) -> str:
@@ -50,6 +65,7 @@ class Database:
         storage = TableStorage(schema)
         self._storages[schema.name.lower()] = storage
         self.record_undo(("create_table", schema.name))
+        self.invalidate_plans()
         return storage
 
     def drop_storage(self, name: str, record: bool = True) -> None:
@@ -57,11 +73,13 @@ class Database:
         storage = self._storages.pop(name.lower())
         if record:
             self.record_undo(("drop_table", name, storage))
+        self.invalidate_plans()
 
     def attach_storage(self, storage: TableStorage) -> None:
         """Re-attach a previously dropped storage (transaction rollback)."""
         self.catalog.add_table(storage.schema)
         self._storages[storage.schema.name.lower()] = storage
+        self.invalidate_plans()
 
     def storage(self, name: str) -> TableStorage:
         storage = self._storages.get(name.lower())
@@ -90,17 +108,77 @@ class Database:
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
         """Run any statement.
 
-        Returns a :class:`ResultSet` for SELECT, the affected row count
-        for DML, and 0 for DDL and transaction control.
+        Returns a :class:`ResultSet` for SELECT (and EXPLAIN), the
+        affected row count for DML, and 0 for DDL and transaction
+        control.
         """
         statement = self._parse(sql)
         self.statistics["statements"] += 1
         if isinstance(statement, TransactionStatement):
             return self._execute_transaction(statement.action)
-        result = self._executor.execute(statement, tuple(params))
+        if isinstance(statement, ExplainStatement):
+            result: Any = self._explain(statement.statement)
+        else:
+            result = self._executor.execute(statement, tuple(params))
+            if not isinstance(statement, (
+                    SelectStatement, CompoundSelect, InsertStatement,
+                    UpdateStatement, DeleteStatement)):
+                # DDL (CREATE/DROP/ALTER, CTAS, views, indexes) may
+                # change schemas or indexes any cached plan relies on.
+                self.invalidate_plans()
         if isinstance(result, ResultSet):
             self.statistics["rows_returned"] += len(result)
         return result
+
+    # -- compiled plans ----------------------------------------------------------
+
+    def invalidate_plans(self) -> None:
+        """Drop all compiled plans (called on any DDL)."""
+        self._plan_cache.clear()
+
+    def plan_for(self, statement: SelectStatement):
+        """The cached ``(plan, reason)`` pair for one parsed SELECT.
+
+        ``plan`` is None when the statement must run interpreted, in
+        which case ``reason`` says why.
+        """
+        entry = self._plan_cache.get(id(statement))
+        if entry is None:
+            from repro.engine.planner import plan_select
+
+            plan, reason = plan_select(self, statement)
+            entry = (statement, plan, reason)
+            self._plan_cache[id(statement)] = entry
+        return entry[1], entry[2]
+
+    def _run_select(self, statement: SelectStatement,
+                    params: Sequence[Any]) -> ResultSet:
+        """Execute one SELECT: compiled when possible, else interpreted."""
+        if self._compile_enabled:
+            plan, _reason = self.plan_for(statement)
+            if plan is not None:
+                return plan.execute(params)
+        return self._executor.execute_select(statement, params)
+
+    def _explain(self, statement: Any) -> ResultSet:
+        """Render the plan of a SELECT/UNION as a one-column result."""
+        if isinstance(statement, SelectStatement):
+            lines = self._plan_lines(statement)
+        elif isinstance(statement, CompoundSelect):
+            lines = []
+            for position, part in enumerate(statement.parts):
+                lines.append(f"union part {position + 1}:")
+                lines.extend(
+                    "  " + line for line in self._plan_lines(part))
+        else:
+            raise EngineError("EXPLAIN supports SELECT statements only")
+        return ResultSet(["plan"], [(line,) for line in lines])
+
+    def _plan_lines(self, statement: SelectStatement) -> List[str]:
+        plan, reason = self.plan_for(statement)
+        if plan is None:
+            return [f"interpreted execution: {reason}"]
+        return plan.explain_lines()
 
     def query(self, sql: str, params: Sequence[Any] = ()) \
             -> List[Dict[str, Any]]:

@@ -52,13 +52,16 @@ class ResultSet:
     def __init__(self, columns: List[str], rows: List[tuple]):
         self.columns = columns
         self.rows = rows
+        # Key tuple computed once; to_dicts/__iter__ reuse it per row.
+        self._keys = tuple(columns)
 
     def __len__(self) -> int:
         return len(self.rows)
 
     def __iter__(self):
+        keys = self._keys
         for row in self.rows:
-            yield dict(zip(self.columns, row))
+            yield dict(zip(keys, row))
 
     def __repr__(self) -> str:
         return f"<ResultSet {len(self.rows)} rows x {self.columns}>"
@@ -84,7 +87,12 @@ class ResultSet:
         return [row[position] for row in self.rows]
 
     def to_dicts(self) -> List[Dict[str, Any]]:
-        return [dict(zip(self.columns, row)) for row in self.rows]
+        keys = self._keys
+        return [dict(zip(keys, row)) for row in self.rows]
+
+    def tuples(self) -> List[tuple]:
+        """Rows as positional tuples — no per-row dict materialization."""
+        return list(self.rows)
 
 
 class _Source:
@@ -94,17 +102,22 @@ class _Source:
         self.alias = alias
         self.schema = schema
         self.storage = storage
+        # Context keys computed once per statement, not once per row.
+        alias_key = alias.lower()
+        self._rowid_key = "__rowid_" + alias_key
+        self._keys = [
+            (f"{alias_key}.{name}", name)
+            for name in schema.lower_names
+        ]
 
     def contexts(self) -> Iterable[Dict[str, Any]]:
         for rowid, row in self.storage.scan():
             yield self.row_context(rowid, row)
 
     def row_context(self, rowid: int, row: List[Any]) -> Dict[str, Any]:
-        values: Dict[str, Any] = {"__rowid_" + self.alias.lower(): rowid}
-        alias = self.alias.lower()
-        for column, value in zip(self.schema.columns, row):
-            name = column.name.lower()
-            values[f"{alias}.{name}"] = value
+        values: Dict[str, Any] = {self._rowid_key: rowid}
+        for (qualified, name), value in zip(self._keys, row):
+            values[qualified] = value
             values[name] = value
         return values
 
@@ -181,7 +194,8 @@ class Executor:
 
     def execute(self, statement, params: Sequence[Any]) -> Any:
         if isinstance(statement, SelectStatement):
-            return self.execute_select(statement, params)
+            # Compiled plan when available, interpreted otherwise.
+            return self._db._run_select(statement, params)
         if isinstance(statement, CompoundSelect):
             return self._execute_compound(statement, params)
         if isinstance(statement, InsertStatement):
@@ -245,7 +259,7 @@ class Executor:
         if statement.if_not_exists \
                 and self._db.catalog.has_table(statement.name):
             return 0
-        result = self.execute_select(statement.select, params)
+        result = self._db._run_select(statement.select, params)
 
         def infer(position: int) -> SqlType:
             for row in result.rows:
@@ -467,7 +481,7 @@ class Executor:
     def _execute_compound(self, statement: CompoundSelect,
                           params: Sequence[Any]) -> ResultSet:
         """UNION / UNION ALL: concatenate part results."""
-        results = [self.execute_select(part, params)
+        results = [self._db._run_select(part, params)
                    for part in statement.parts]
         width = len(results[0].columns)
         for result in results[1:]:
@@ -553,33 +567,30 @@ class Executor:
         storage = self._db.storage(ref.name)
         return _Source(ref.alias, storage.schema, storage)
 
-    def _view_source(self, ref: TableRef,
-                     params: Sequence[Any]) -> "_ViewSource":
+    def _view_materialize(self, ref: TableRef, params: Sequence[Any]) \
+            -> Tuple["_ViewSource", List[Dict[str, Any]]]:
+        """Run a view's defining SELECT once; source + row contexts."""
         select = self._db.views[ref.name.lower()]
-        result = self.execute_select(select, params)
-        return _ViewSource(ref.alias, result.columns)
-
-    def _view_contexts(self, ref: TableRef,
-                       params: Sequence[Any]) -> List[Dict[str, Any]]:
-        """Materialize a view reference into row contexts."""
-        select = self._db.views[ref.name.lower()]
-        result = self.execute_select(select, params)
+        result = self._db._run_select(select, params)
         alias = ref.alias.lower()
+        keys = [(f"{alias}.{column.lower()}", column.lower())
+                for column in result.columns]
         contexts: List[Dict[str, Any]] = []
         for row in result.rows:
             values: Dict[str, Any] = {}
-            for column, value in zip(result.columns, row):
-                values[f"{alias}.{column.lower()}"] = value
-                values[column.lower()] = value
+            for (qualified, name), value in zip(keys, row):
+                values[qualified] = value
+                values[name] = value
             contexts.append(values)
-        return contexts
+        return _ViewSource(ref.alias, result.columns), contexts
 
     def _from_contexts(self, node, sources: List[_Source],
                        params: Sequence[Any]) -> Iterable[Dict[str, Any]]:
         if isinstance(node, TableRef):
             if node.name.lower() in self._db.views:
-                sources.append(self._view_source(node, params))
-                return self._view_contexts(node, params)
+                view_source, contexts = self._view_materialize(node, params)
+                sources.append(view_source)
+                return contexts
             source = self._resolve(node)
             sources.append(source)
             return source.contexts()

@@ -77,5 +77,26 @@ class Index:
         """Rowids whose indexed columns equal ``key`` exactly."""
         return set(self._buckets.get(tuple(key), set()))
 
+    def lookup_prefix(self, prefix: _Key) -> Set[int]:
+        """Rowids whose leading indexed columns equal ``prefix``.
+
+        A hash index cannot seek on a prefix, so this walks the buckets;
+        it still wins over a table scan when the residual predicates are
+        expensive or the matching fraction is small.
+        """
+        wanted = tuple(prefix)
+        width = len(wanted)
+        if width == len(self.positions):
+            return self.lookup(wanted)
+        out: Set[int] = set()
+        for key, bucket in self._buckets.items():
+            if key[:width] == wanted:
+                out |= bucket
+        return out
+
+    def bucket_count(self) -> int:
+        """Number of distinct keys (the planner's cardinality estimate)."""
+        return len(self._buckets)
+
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())

@@ -55,7 +55,7 @@ _KEYWORDS = {
     "TABLE", "INDEX", "UNIQUE", "PRIMARY", "KEY", "DEFAULT", "IF", "EXISTS",
     "JOIN", "INNER", "LEFT", "OUTER", "ON", "TRUE", "FALSE", "BEGIN",
     "COMMIT", "ROLLBACK", "CROSS", "ALTER", "ADD", "COLUMN", "VIEW",
-    "UNION", "ALL",
+    "UNION", "ALL", "EXPLAIN",
 }
 
 
@@ -238,6 +238,13 @@ class TransactionStatement:
     action: str  # 'BEGIN' | 'COMMIT' | 'ROLLBACK'
 
 
+@dataclass
+class ExplainStatement:
+    """``EXPLAIN <select>`` — render the query plan as a result set."""
+
+    statement: Any
+
+
 Statement = Any
 
 
@@ -320,6 +327,8 @@ class Parser:
         return statement
 
     def _parse_statement(self) -> Statement:
+        if self._accept_keyword("EXPLAIN"):
+            return ExplainStatement(self._parse_statement())
         if self._check_keyword("SELECT"):
             statement = self._parse_select()
             if not self._check_keyword("UNION"):

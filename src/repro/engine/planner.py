@@ -1,0 +1,1024 @@
+"""Plan-time query compilation for SELECT statements.
+
+The planner sits between the parser and the executor.  For a supported
+SELECT it produces a :class:`SelectPlan` that
+
+* resolves every column reference to a positional slot (via
+  :mod:`repro.engine.compiler`) so execution never builds per-row dicts
+  or performs string lookups,
+* chooses index point/prefix scans from the pushed-down predicates,
+* pushes single-source WHERE conjuncts below joins (never onto the
+  null-supplying side of a LEFT join),
+* detects multi-key equi-joins and picks the hash-join build side by
+  estimated cardinality, and
+* renders itself as an ``EXPLAIN`` result set.
+
+Anything the planner cannot prove it can compile faithfully — view
+sources, unresolvable references, exotic shapes — returns ``(None,
+reason)`` and the caller falls back to the interpreted executor, so
+compiled and interpreted execution always agree.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.compiler import (
+    CompiledExpr,
+    Scope,
+    SlotMap,
+    compile_expression,
+)
+from repro.engine.expressions import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    Literal,
+    Parameter,
+    Star,
+    find_aggregates,
+)
+from repro.engine.parser import (
+    Join,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.engine.types import sort_key
+from repro.errors import EngineError
+
+
+class Unplannable(Exception):
+    """Internal signal: this statement must run interpreted."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+# -- predicate rendering (EXPLAIN) --------------------------------------------
+
+def predicate_text(expr: Expression) -> str:
+    """A compact SQL-ish rendering of a predicate for EXPLAIN output."""
+    from repro.engine import expressions as ex
+
+    if isinstance(expr, ex.Star):
+        return "*"
+    if isinstance(expr, ex.ColumnRef):
+        return expr.name.lower()
+    if isinstance(expr, ex.Literal):
+        return "NULL" if expr.value is None else repr(expr.value)
+    if isinstance(expr, ex.Parameter):
+        return "?"
+    if isinstance(expr, ex.BinaryOp):
+        return (f"{predicate_text(expr.left)} {expr.op} "
+                f"{predicate_text(expr.right)}")
+    if isinstance(expr, ex.UnaryOp):
+        return f"{expr.op} {predicate_text(expr.operand)}"
+    if isinstance(expr, ex.IsNull):
+        tail = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{predicate_text(expr.operand)} {tail}"
+    if isinstance(expr, ex.InList):
+        options = ", ".join(predicate_text(o) for o in expr.options)
+        word = "NOT IN" if expr.negated else "IN"
+        return f"{predicate_text(expr.operand)} {word} ({options})"
+    if isinstance(expr, ex.Between):
+        word = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (f"{predicate_text(expr.operand)} {word} "
+                f"{predicate_text(expr.low)} AND {predicate_text(expr.high)}")
+    if isinstance(expr, ex.Like):
+        word = "NOT LIKE" if expr.negated else "LIKE"
+        return f"{predicate_text(expr.operand)} {word} " \
+               f"{predicate_text(expr.pattern)}"
+    if isinstance(expr, ex.CaseExpr):
+        parts = [f"WHEN {predicate_text(c)} THEN {predicate_text(r)}"
+                 for c, r in expr.branches]
+        if expr.default is not None:
+            parts.append(f"ELSE {predicate_text(expr.default)}")
+        return "CASE " + " ".join(parts) + " END"
+    if isinstance(expr, ex.FunctionCall):
+        inner = ", ".join(predicate_text(a) for a in expr.args)
+        return f"{expr.name.upper()}({inner})"
+    if isinstance(expr, ex.AggregateCall):
+        arg = predicate_text(expr.argument)
+        flag = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name.upper()}({flag}{arg})"
+    return repr(expr)
+
+
+def split_conjuncts(expr: Optional[Expression]) -> List[Expression]:
+    """Flatten an AND tree into its conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def output_name(item: SelectItem, index: int) -> str:
+    """The result-set column name of one SELECT item."""
+    if item.alias:
+        return item.alias
+    expression = item.expression
+    if isinstance(expression, ColumnRef):
+        return expression.name.split(".")[-1]
+    if isinstance(expression, AggregateCall):
+        return expression.result_key().replace("__agg_", "")
+    return f"column{index + 1}"
+
+
+# -- plan nodes ----------------------------------------------------------------
+
+class ScanNode:
+    """One FROM source: full scan or index point/prefix scan + filters."""
+
+    def __init__(self, alias: str, table: str, storage, width: int):
+        self.alias = alias
+        self.table = table
+        self.storage = storage
+        self.width = width
+        self.index = None
+        self.point = False
+        self.key_fns: List[CompiledExpr] = []
+        self.key_text = ""
+        # Locally-compiled pushed predicates (slot 0 = first own column).
+        self.filters: List[Tuple[CompiledExpr, str]] = []
+        self._filter_fns: Optional[List[CompiledExpr]] = None
+        self.est_rows = len(storage)
+
+    # -- execution ---------------------------------------------------------
+
+    def rows(self, params: Sequence[Any]) -> List[list]:
+        """Candidate rows after pushed filters.
+
+        Rows flow through the plan as the storage's own row lists —
+        never copied — and every combination downstream (joins, group
+        representatives) builds fresh lists, so storage is never aliased
+        by anything that outlives execution.
+        """
+        if self.index is not None:
+            empty: Sequence[Any] = ()
+            key = tuple(fn(empty, params) for fn in self.key_fns)
+            if any(part is None for part in key):
+                candidates: List[list] = []
+            else:
+                if self.point:
+                    rowids = self.index.lookup(key)
+                else:
+                    rowids = self.index.lookup_prefix(key)
+                table_rows = self.storage.rows
+                candidates = [
+                    row for row in (table_rows.get(rowid)
+                                    for rowid in sorted(rowids))
+                    if row is not None
+                ]
+        else:
+            candidates = list(self.storage.rows.values())
+        fns = self._filter_fns
+        if fns is None:
+            # Lazily frozen: ON-clause pushes land after construction.
+            fns = self._filter_fns = [fn for fn, _text in self.filters]
+        if not fns:
+            return candidates
+        if len(fns) == 1:
+            first = fns[0]
+            return [row for row in candidates
+                    if first(row, params) is True]
+        if len(fns) == 2:
+            first, second = fns
+            return [row for row in candidates
+                    if first(row, params) is True
+                    and second(row, params) is True]
+        out: List[list] = []
+        for row in candidates:
+            for fn in fns:
+                if fn(row, params) is not True:
+                    break
+            else:
+                out.append(row)
+        return out
+
+    # -- display -----------------------------------------------------------
+
+    def describe(self) -> str:
+        if self.index is not None:
+            kind = "point" if self.point else "prefix"
+            return (f"index {kind} scan {self.index.name} "
+                    f"({self.key_text}) (~{self.est_scan_rows()} rows)")
+        return f"full scan (~{self.est_rows} rows)"
+
+    def est_scan_rows(self) -> int:
+        if self.index is None:
+            return self.est_rows
+        buckets = max(1, self.index.bucket_count())
+        return max(1, len(self.index) // buckets)
+
+    def explain_lines(self) -> List[str]:
+        lines = [f"scan {self.table} {self.alias}: {self.describe()}"]
+        for _fn, text in self.filters:
+            lines.append(f"  filter [pushed]: {text}")
+        return lines
+
+
+class JoinNode:
+    """One left-deep join step combining the pipeline with a new scan."""
+
+    def __init__(self, kind: str, scan: ScanNode, left_width: int):
+        self.kind = kind  # 'INNER' | 'LEFT' | 'CROSS'
+        self.scan = scan
+        self.left_width = left_width
+        self.null_row = [None] * scan.width
+        # Hash-join keys; empty means nested loop.
+        self.left_key_fns: List[CompiledExpr] = []
+        self.right_key_fns: List[CompiledExpr] = []
+        self.key_text = ""
+        # Residual ON conjuncts over the combined row.
+        self.condition: Optional[CompiledExpr] = None
+        self.condition_text = ""
+        self.est_left = 0
+
+    @property
+    def is_hash(self) -> bool:
+        return bool(self.left_key_fns)
+
+    def build_side(self, left_count: int, right_count: int) -> str:
+        """Hash build side by estimated cardinality.
+
+        Builds on the smaller input; the 4x hysteresis avoids paying the
+        per-left accumulation overhead of a left build on near-ties.
+        Output row order is left-major either way.
+        """
+        return "left" if left_count * 4 < right_count else "right"
+
+    def run(self, left_rows: List[list],
+            params: Sequence[Any]) -> List[list]:
+        right_rows = self.scan.rows(params)
+        if not self.is_hash:
+            return self._run_loop(left_rows, right_rows, params)
+        if len(self.left_key_fns) == 1:
+            return self._hash_single(left_rows, right_rows, params)
+        return self._hash_multi(left_rows, right_rows, params)
+
+    def _hash_single(self, left_rows, right_rows, params):
+        """Hash join on one key: the raw value is the bucket key and
+        column keys index the row directly, skipping per-row closures
+        and 1-tuple allocations."""
+        condition = self.condition
+        left_join = self.kind == "LEFT"
+        null_row = self.null_row
+        left_fn = self.left_key_fns[0]
+        right_fn = self.right_key_fns[0]
+        left_slot = getattr(left_fn, "_slot", None)
+        right_slot = getattr(right_fn, "_slot", None)
+        out: List[list] = []
+        append = out.append
+        if self.build_side(len(left_rows), len(right_rows)) == "left":
+            # Build on the (smaller) left; probe with right rows but
+            # accumulate per left row so output stays left-major with
+            # matches in right-scan order — identical to a right build.
+            buckets: Dict[Any, List[int]] = {}
+            for position, left in enumerate(left_rows):
+                key = left[left_slot] if left_slot is not None \
+                    else left_fn(left, params)
+                if key is not None:
+                    buckets.setdefault(key, []).append(position)
+            acc: List[Optional[List[list]]] = [None] * len(left_rows)
+            get = buckets.get
+            for right in right_rows:
+                key = right[right_slot] if right_slot is not None \
+                    else right_fn(right, params)
+                if key is None:
+                    continue
+                positions = get(key)
+                if positions is None:
+                    continue
+                for position in positions:
+                    combined = left_rows[position] + right
+                    if condition is None \
+                            or condition(combined, params) is True:
+                        matches = acc[position]
+                        if matches is None:
+                            acc[position] = matches = []
+                        matches.append(combined)
+            extend = out.extend
+            for position, matches in enumerate(acc):
+                if matches:
+                    extend(matches)
+                elif left_join:
+                    append(left_rows[position] + null_row)
+            return out
+        buckets = {}
+        if right_slot is not None:
+            for right in right_rows:
+                key = right[right_slot]
+                if key is not None:
+                    buckets.setdefault(key, []).append(right)
+        else:
+            for right in right_rows:
+                key = right_fn(right, params)
+                if key is not None:
+                    buckets.setdefault(key, []).append(right)
+        get = buckets.get
+        if condition is None and not left_join and left_slot is not None:
+            # The hottest shape: plain equi-INNER join on a column.
+            for left in left_rows:
+                key = left[left_slot]
+                if key is None:
+                    continue
+                matches = get(key)
+                if matches is not None:
+                    for right in matches:
+                        append(left + right)
+            return out
+        for left in left_rows:
+            key = left[left_slot] if left_slot is not None \
+                else left_fn(left, params)
+            matches = get(key, ()) if key is not None else ()
+            matched = False
+            for right in matches:
+                combined = left + right
+                if condition is None or condition(combined, params) is True:
+                    matched = True
+                    append(combined)
+            if left_join and not matched:
+                append(left + null_row)
+        return out
+
+    def _hash_multi(self, left_rows, right_rows, params):
+        condition = self.condition
+        left_join = self.kind == "LEFT"
+        null_row = self.null_row
+        out: List[list] = []
+        if self.build_side(len(left_rows), len(right_rows)) == "left":
+            buckets: Dict[tuple, List[int]] = {}
+            for position, left in enumerate(left_rows):
+                key = tuple(fn(left, params) for fn in self.left_key_fns)
+                if any(part is None for part in key):
+                    continue
+                buckets.setdefault(key, []).append(position)
+            acc: List[List[list]] = [[] for _ in left_rows]
+            for right in right_rows:
+                key = tuple(fn(right, params)
+                            for fn in self.right_key_fns)
+                if any(part is None for part in key):
+                    continue
+                for position in buckets.get(key, ()):
+                    combined = left_rows[position] + right
+                    if condition is None \
+                            or condition(combined, params) is True:
+                        acc[position].append(combined)
+            for position, matches in enumerate(acc):
+                if matches:
+                    out.extend(matches)
+                elif left_join:
+                    out.append(left_rows[position] + null_row)
+            return out
+        buckets = {}
+        for right in right_rows:
+            key = tuple(fn(right, params) for fn in self.right_key_fns)
+            if any(part is None for part in key):
+                continue
+            buckets.setdefault(key, []).append(right)
+        for left in left_rows:
+            key = tuple(fn(left, params) for fn in self.left_key_fns)
+            if any(part is None for part in key):
+                matches: Sequence[list] = ()
+            else:
+                matches = buckets.get(key, ())
+            matched = False
+            for right in matches:
+                combined = left + right
+                if condition is None or condition(combined, params) is True:
+                    matched = True
+                    out.append(combined)
+            if left_join and not matched:
+                out.append(left + null_row)
+        return out
+
+    def _run_loop(self, left_rows, right_rows, params):
+        condition = self.condition
+        left_join = self.kind == "LEFT"
+        null_row = self.null_row
+        out: List[list] = []
+        for left in left_rows:
+            matched = False
+            for right in right_rows:
+                combined = left + right
+                if condition is None or condition(combined, params) is True:
+                    matched = True
+                    out.append(combined)
+            if left_join and not matched:
+                out.append(left + null_row)
+        return out
+
+    def explain_lines(self) -> List[str]:
+        lines = []
+        scan = self.scan
+        if self.is_hash:
+            side = self.build_side(self.est_left, scan.est_scan_rows())
+            head = (f"hash join {self.kind} {scan.table} {scan.alias}: "
+                    f"{self.key_text} (build={side}, "
+                    f"~{self.est_left} x ~{scan.est_scan_rows()} rows)")
+        else:
+            head = (f"nested loop {self.kind} {scan.table} {scan.alias} "
+                    f"(~{self.est_left} x ~{scan.est_scan_rows()} rows)")
+        lines.append(head)
+        lines.append(f"  {scan.explain_lines()[0]}")
+        for _fn, text in scan.filters:
+            lines.append(f"    filter [pushed]: {text}")
+        if self.condition is not None:
+            lines.append(f"  on-filter: {self.condition_text}")
+        return lines
+
+
+class CompiledAggregate:
+    """One unique aggregate of a grouped query, with a compiled argument."""
+
+    __slots__ = ("name", "distinct", "arg_fn", "arg_slot", "text")
+
+    def __init__(self, name: str, distinct: bool,
+                 arg_fn: Optional[CompiledExpr], text: str):
+        self.name = name
+        self.distinct = distinct
+        self.arg_fn = arg_fn
+        self.arg_slot = getattr(arg_fn, "_slot", None)
+        self.text = text
+
+    def compute(self, members: List[list], params: Sequence[Any]) -> Any:
+        if self.arg_fn is None:  # COUNT(*)
+            return len(members)
+        slot = self.arg_slot
+        if slot is not None:  # plain column argument: index directly
+            values = [value for row in members
+                      if (value := row[slot]) is not None]
+        else:
+            arg_fn = self.arg_fn
+            values = []
+            for row in members:
+                value = arg_fn(row, params)
+                if value is not None:
+                    values.append(value)
+        if self.distinct:
+            seen: Set[Any] = set()
+            unique: List[Any] = []
+            for value in values:
+                marker = (type(value).__name__, value)
+                if marker not in seen:
+                    seen.add(marker)
+                    unique.append(value)
+            values = unique
+        name = self.name
+        if name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if name == "SUM":
+            return sum(values)
+        if name == "AVG":
+            return sum(values) / len(values)
+        if name == "MIN":
+            return min(values, key=sort_key)
+        if name == "MAX":
+            return max(values, key=sort_key)
+        raise EngineError(f"unknown aggregate {name!r}")  # pragma: no cover
+
+
+class SelectPlan:
+    """A fully compiled SELECT, ready to execute against live storages."""
+
+    def __init__(self, database, statement: SelectStatement):
+        self.database = database
+        self.statement = statement
+        self.columns: List[str] = []
+        self.no_from = statement.from_clause is None
+        self.scans: List[ScanNode] = []
+        self.joins: List[JoinNode] = []
+        self.residuals: List[Tuple[CompiledExpr, str]] = []
+        self.grouped = False
+        self.group_key_fns: List[CompiledExpr] = []
+        self.group_texts: List[str] = []
+        self.aggregates: List[CompiledAggregate] = []
+        self.having_fn: Optional[CompiledExpr] = None
+        self.having_text = ""
+        self.empty_group_fallback = False
+        self.source_width = 0
+        self.item_fns: List[CompiledExpr] = []
+        # When every item is a plain slot read, projection collapses to
+        # one operator.itemgetter call per row.
+        self.project_getter: Optional[Callable[[Sequence[Any]], tuple]] \
+            = None
+        self.distinct = statement.distinct
+        # (fn over ctx_row + out_row, ascending, text)
+        self.order_specs: List[Tuple[CompiledExpr, bool, str]] = []
+        self.limit_fn: Optional[CompiledExpr] = None
+        self.offset_fn: Optional[CompiledExpr] = None
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, params: Sequence[Any]):
+        from repro.engine.executor import ResultSet
+
+        if self.no_from:
+            rows: List[list] = [[]]
+        else:
+            rows = self.scans[0].rows(params)
+            for join in self.joins:
+                rows = join.run(rows, params)
+
+        for fn, _text in self.residuals:
+            rows = [row for row in rows if fn(row, params) is True]
+
+        if self.grouped:
+            rows = self._group(rows, params)
+            if rows is None:  # zero-row edge: interpreted raises here
+                return self.database._executor.execute_select(
+                    self.statement, params)
+
+        getter = self.project_getter
+        if getter is not None:
+            produced = [(getter(row), row) for row in rows]
+        else:
+            item_fns = self.item_fns
+            produced = [
+                (tuple(fn(row, params) for fn in item_fns), row)
+                for row in rows
+            ]
+
+        if self.distinct:
+            seen: Set[Any] = set()
+            unique = []
+            for out_row, ctx in produced:
+                marker = tuple(
+                    (type(v).__name__, v) if v.__hash__ else repr(v)
+                    for v in out_row)
+                if marker not in seen:
+                    seen.add(marker)
+                    unique.append((out_row, ctx))
+            produced = unique
+
+        if self.order_specs:
+            keyed = [(out_row, ctx + list(out_row))
+                     for out_row, ctx in produced]
+            for fn, ascending, _text in reversed(self.order_specs):
+                keyed.sort(
+                    key=lambda pair: sort_key(fn(pair[1], params)),
+                    reverse=not ascending)
+            out_rows = [out_row for out_row, _order_row in keyed]
+        else:
+            out_rows = [out_row for out_row, _ctx in produced]
+
+        empty: Sequence[Any] = ()
+        if self.offset_fn is not None:
+            out_rows = out_rows[int(self.offset_fn(empty, params)):]
+        if self.limit_fn is not None:
+            out_rows = out_rows[:int(self.limit_fn(empty, params))]
+        return ResultSet(list(self.columns), out_rows)
+
+    def _group(self, rows: List[list],
+               params: Sequence[Any]) -> Optional[List[list]]:
+        if self.group_key_fns:
+            key_fns = self.group_key_fns
+            groups: Dict[Any, List[list]] = {}
+            order: List[Any] = []
+            if len(key_fns) == 1:
+                fn = key_fns[0]
+                slot = getattr(fn, "_slot", None)
+                # One key: group on sort_key of the value directly (no
+                # per-row 1-tuple), indexing the slot when possible.
+                if slot is not None:
+                    for row in rows:
+                        key = sort_key(row[slot])
+                        bucket = groups.get(key)
+                        if bucket is None:
+                            groups[key] = bucket = []
+                            order.append(key)
+                        bucket.append(row)
+                else:
+                    for row in rows:
+                        key = sort_key(fn(row, params))
+                        bucket = groups.get(key)
+                        if bucket is None:
+                            groups[key] = bucket = []
+                            order.append(key)
+                        bucket.append(row)
+            else:
+                for row in rows:
+                    key = tuple(sort_key(fn(row, params))
+                                for fn in key_fns)
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        groups[key] = bucket = []
+                        order.append(key)
+                    bucket.append(row)
+            member_lists = [groups[key] for key in order]
+        else:
+            if not rows and self.empty_group_fallback:
+                # The interpreter raises "unknown column" when the lone
+                # group is empty and an output expression reads a source
+                # column; delegate so the error matches exactly.
+                return None
+            member_lists = [rows]
+        null_rep = [None] * self.source_width
+        aggregates = self.aggregates
+        ext_rows: List[list] = []
+        for members in member_lists:
+            representative = members[0] if members else null_rep
+            ext_rows.append(representative + [
+                agg.compute(members, params) for agg in aggregates])
+        if self.having_fn is not None:
+            having = self.having_fn
+            ext_rows = [row for row in ext_rows
+                        if having(row, params) is True]
+        return ext_rows
+
+    # -- display -----------------------------------------------------------
+
+    def explain_lines(self) -> List[str]:
+        lines: List[str] = []
+        if self.no_from:
+            lines.append("no FROM clause: constant row")
+        else:
+            lines.extend(self.scans[0].explain_lines())
+            for join in self.joins:
+                lines.extend(join.explain_lines())
+        for _fn, text in self.residuals:
+            lines.append(f"filter: {text}")
+        if self.grouped:
+            keys = ", ".join(self.group_texts) if self.group_texts \
+                else "(all rows)"
+            aggs = ", ".join(agg.text for agg in self.aggregates)
+            lines.append(f"group by: {keys}  aggregates: {aggs}")
+            if self.having_fn is not None:
+                lines.append(f"having: {self.having_text}")
+        if self.distinct:
+            lines.append("distinct")
+        if self.order_specs:
+            parts = [f"{text} {'asc' if ascending else 'desc'}"
+                     for _fn, ascending, text in self.order_specs]
+            lines.append("order by: " + ", ".join(parts))
+        if self.offset_fn is not None:
+            lines.append("offset: "
+                         + predicate_text(self.statement.offset))
+        if self.limit_fn is not None:
+            lines.append("limit: " + predicate_text(self.statement.limit))
+        lines.append("project: " + ", ".join(self.columns))
+        return lines
+
+
+# -- the planner ----------------------------------------------------------------
+
+def plan_select(database, statement: SelectStatement) \
+        -> Tuple[Optional[SelectPlan], Optional[str]]:
+    """Plan one SELECT; ``(None, reason)`` means run interpreted."""
+    try:
+        return _build_plan(database, statement), None
+    except Unplannable as exc:
+        return None, exc.reason
+    except EngineError as exc:
+        # Compilation errors (unknown/ambiguous columns, bad aggregates)
+        # fall back so the interpreter raises — or silently succeeds on
+        # zero rows — exactly as before.
+        return None, str(exc)
+
+
+def _flatten_from(database, node) \
+        -> Tuple[List[TableRef], List[Tuple[str, Optional[Expression]]]]:
+    """Left-deep FROM tree -> ordered table refs + join (kind, cond)."""
+    if isinstance(node, TableRef):
+        if node.name.lower() in database.views:
+            raise Unplannable(f"view source {node.name!r}")
+        return [node], []
+    if isinstance(node, Join):
+        refs, joins = _flatten_from(database, node.left)
+        if not isinstance(node.right, TableRef):  # pragma: no cover
+            raise Unplannable("non-table join operand")
+        if node.right.name.lower() in database.views:
+            raise Unplannable(f"view source {node.right.name!r}")
+        refs.append(node.right)
+        joins.append((node.kind, node.condition))
+        return refs, joins
+    raise Unplannable(f"unsupported FROM node {type(node).__name__}")
+
+
+def _expand_stars(items: List[SelectItem],
+                  sources: List[Tuple[str, List[str]]]) -> List[SelectItem]:
+    expanded: List[SelectItem] = []
+    for item in items:
+        if not isinstance(item.expression, Star):
+            expanded.append(item)
+            continue
+        if not sources:
+            raise Unplannable("SELECT * without FROM")
+        qualifier = None
+        if item.alias and item.alias.endswith(".*"):
+            qualifier = item.alias[:-2].lower()
+        for alias, column_names in sources:
+            if qualifier is not None and alias.lower() != qualifier:
+                continue
+            for column in column_names:
+                expanded.append(
+                    SelectItem(ColumnRef(f"{alias}.{column}"), column))
+    return expanded
+
+
+def _conjunct_source(conjunct: Expression, slots: SlotMap) -> Set[int]:
+    """The set of FROM-source indexes a conjunct references."""
+    return {
+        slots.source_of_slot(slots.resolve(name))
+        for name in conjunct.column_refs()
+    }
+
+
+def _index_for_scan(scan: ScanNode, schema,
+                    pushed: List[Expression]) -> None:
+    """Pick the best index point/prefix scan from equality conjuncts."""
+    eq_exprs: Dict[str, Expression] = {}
+    for conjunct in pushed:
+        if not isinstance(conjunct, BinaryOp) or conjunct.op != "=":
+            continue
+        column_side, value_side = conjunct.left, conjunct.right
+        if not isinstance(column_side, ColumnRef):
+            column_side, value_side = conjunct.right, conjunct.left
+        if not isinstance(column_side, ColumnRef):
+            continue
+        if not isinstance(value_side, (Literal, Parameter)):
+            continue
+        name = column_side.name.lower()
+        if "." in name:
+            prefix, name = name.split(".", 1)
+            if prefix != scan.alias.lower():
+                continue
+        if schema.has_column(name):
+            eq_exprs.setdefault(name, value_side)
+    if not eq_exprs:
+        return
+    best = None  # (covered, is_point, index)
+    for index in scan.storage.indexes.values():
+        covered = 0
+        for column in index.column_names:
+            if column.lower() in eq_exprs:
+                covered += 1
+            else:
+                break
+        if covered == 0:
+            continue
+        is_point = covered == len(index.column_names)
+        rank = (is_point, covered)
+        if best is None or rank > best[0]:
+            best = (rank, index)
+    if best is None:
+        return
+    _rank, index = best
+    covered = _rank[1]
+    empty_scope = Scope(SlotMap())
+    key_columns = [c.lower() for c in index.column_names[:covered]]
+    scan.index = index
+    scan.point = covered == len(index.column_names)
+    scan.key_fns = [
+        compile_expression(eq_exprs[column], empty_scope)
+        for column in key_columns
+    ]
+    scan.key_text = ", ".join(
+        f"{column} = {predicate_text(eq_exprs[column])}"
+        for column in key_columns)
+
+
+def _build_plan(database, statement: SelectStatement) -> SelectPlan:
+    plan = SelectPlan(database, statement)
+
+    # -- sources and slots -------------------------------------------------
+    slots = SlotMap()
+    source_schemas = []
+    if statement.from_clause is not None:
+        refs, joins = _flatten_from(database, statement.from_clause)
+        for ref in refs:
+            storage = database.storage(ref.name)
+            slots.add_source(ref.alias, storage.schema.column_names)
+            source_schemas.append(storage.schema)
+            plan.scans.append(ScanNode(
+                ref.alias, ref.name, storage,
+                len(storage.schema.columns)))
+    else:
+        refs, joins = [], []
+    plan.source_width = slots.width
+
+    # Which sources sit on the null-supplying side of a LEFT join?
+    null_supplying = {
+        position + 1
+        for position, (kind, _condition) in enumerate(joins)
+        if kind == "LEFT"
+    }
+
+    # -- WHERE: push single-source conjuncts, keep the rest ----------------
+    source_scope = Scope(slots)
+    pushed_raw: List[List[Expression]] = [[] for _ in plan.scans]
+    for conjunct in split_conjuncts(statement.where):
+        owners = _conjunct_source(conjunct, slots)
+        if len(owners) == 1:
+            owner = next(iter(owners))
+            if owner not in null_supplying:
+                pushed_raw[owner].append(conjunct)
+                continue
+        plan.residuals.append((
+            compile_expression(conjunct, source_scope),
+            predicate_text(conjunct)))
+
+    # -- scans: local filters + index choice -------------------------------
+    local_scopes = []
+    for position, scan in enumerate(plan.scans):
+        local_slots = SlotMap()
+        local_slots.add_source(
+            scan.alias, source_schemas[position].column_names)
+        local_scope = Scope(local_slots)
+        local_scopes.append(local_scope)
+        for conjunct in pushed_raw[position]:
+            scan.filters.append((
+                compile_expression(conjunct, local_scope),
+                predicate_text(conjunct)))
+        _index_for_scan(scan, source_schemas[position],
+                        pushed_raw[position])
+
+    # -- joins -------------------------------------------------------------
+    est_rows = plan.scans[0].est_scan_rows() if plan.scans else 1
+    for position, (kind, condition) in enumerate(joins):
+        right_scan = plan.scans[position + 1]
+        right_start, right_width = (
+            slots.sources[position + 1][1], right_scan.width)
+        join = JoinNode(kind, right_scan, right_start)
+        join.est_left = est_rows
+        residual_parts: List[Expression] = []
+        key_texts: List[str] = []
+        for conjunct in split_conjuncts(condition):
+            if _try_hash_key(conjunct, join, slots, local_scopes,
+                             position, right_start, right_width):
+                key_texts.append(predicate_text(conjunct))
+                continue
+            if kind in ("INNER", "CROSS"):
+                owners = _conjunct_source(conjunct, slots)
+                if owners == {position + 1}:
+                    # INNER ON-filter over the new source only: push
+                    # into its scan (ON == WHERE for inner joins).
+                    right_scan.filters.append((
+                        compile_expression(
+                            conjunct, local_scopes[position + 1]),
+                        predicate_text(conjunct)))
+                    continue
+            residual_parts.append(conjunct)
+        if residual_parts:
+            checked = Scope(slots)
+            fns = [compile_expression(part, checked)
+                   for part in residual_parts]
+            if checked.touched_source_slots and max(
+                    checked.touched_source_slots) \
+                    >= right_start + right_width:
+                raise Unplannable(
+                    "join condition references a later table")
+
+            def combined(row, params, fns=fns):
+                result: Any = True
+                for fn in fns:
+                    verdict = fn(row, params)
+                    if verdict is False:
+                        return False
+                    if verdict is not True:
+                        result = None
+                return result
+            join.condition = combined
+            join.condition_text = " AND ".join(
+                predicate_text(part) for part in residual_parts)
+        join.key_text = " AND ".join(key_texts)
+        if not join.is_hash and kind == "LEFT" and condition is not None \
+                and not residual_parts:
+            # LEFT JOIN whose whole ON clause got consumed elsewhere
+            # cannot happen (nothing is pushed for LEFT); guard anyway.
+            raise Unplannable("LEFT join without usable condition")
+        plan.joins.append(join)
+        est_rows = max(1, est_rows) * max(1, right_scan.est_scan_rows()) \
+            if not join.is_hash else max(est_rows,
+                                         right_scan.est_scan_rows())
+
+    # -- items / aggregates / grouping ------------------------------------
+    items = _expand_stars(
+        statement.items,
+        [(scan.alias, source_schemas[i].column_names)
+         for i, scan in enumerate(plan.scans)])
+    plan.columns = [output_name(item, index)
+                    for index, item in enumerate(items)]
+
+    aggregates: List[AggregateCall] = []
+    for item in items:
+        aggregates.extend(find_aggregates(item.expression))
+    if statement.having is not None:
+        aggregates.extend(find_aggregates(statement.having))
+    for expr, _ascending in statement.order_by:
+        aggregates.extend(find_aggregates(expr))
+
+    plan.grouped = bool(statement.group_by) or bool(aggregates)
+    agg_slots: Dict[str, int] = {}
+    if plan.grouped:
+        unique: Dict[str, AggregateCall] = {}
+        for aggregate in aggregates:
+            unique.setdefault(aggregate.result_key(), aggregate)
+        for offset, (key, aggregate) in enumerate(unique.items()):
+            agg_slots[key] = slots.width + offset
+            if isinstance(aggregate.argument, Star):
+                if aggregate.name != "COUNT":
+                    raise EngineError(f"{aggregate.name}(*) is not valid")
+                arg_fn = None
+            else:
+                arg_fn = compile_expression(
+                    aggregate.argument, source_scope)
+            plan.aggregates.append(CompiledAggregate(
+                aggregate.name, aggregate.distinct, arg_fn,
+                predicate_text(aggregate)))
+        for expr in statement.group_by:
+            plan.group_key_fns.append(
+                compile_expression(expr, source_scope))
+            plan.group_texts.append(predicate_text(expr))
+
+    # Post-grouping expressions see source slots (representative row)
+    # plus the appended aggregate slots.
+    output_scope = Scope(slots, agg_slots=agg_slots)
+    plan.item_fns = [
+        compile_expression(item.expression, output_scope)
+        for item in items
+    ]
+    item_slots = [getattr(fn, "_slot", None) for fn in plan.item_fns]
+    if item_slots and all(slot is not None for slot in item_slots):
+        if len(item_slots) == 1:
+            only = item_slots[0]
+            plan.project_getter = lambda row, _slot=only: (row[_slot],)
+        else:
+            plan.project_getter = operator.itemgetter(*item_slots)
+    if plan.grouped and statement.having is not None:
+        plan.having_fn = compile_expression(statement.having, output_scope)
+        plan.having_text = predicate_text(statement.having)
+
+    # ORDER BY additionally sees output aliases (appended last), with
+    # source columns taking precedence like the interpreter's setdefault.
+    ctx_width = slots.width + len(plan.aggregates)
+    alias_slots: Dict[str, int] = {}
+    for position, name in enumerate(plan.columns):
+        alias_slots.setdefault(name.lower(), ctx_width + position)
+    order_scope = Scope(slots, agg_slots=agg_slots,
+                        alias_slots=alias_slots)
+    for expr, ascending in statement.order_by:
+        plan.order_specs.append((
+            compile_expression(expr, order_scope), ascending,
+            predicate_text(expr)))
+
+    empty_scope = Scope(SlotMap())
+    if statement.limit is not None:
+        plan.limit_fn = compile_expression(statement.limit, empty_scope)
+    if statement.offset is not None:
+        plan.offset_fn = compile_expression(statement.offset, empty_scope)
+
+    plan.empty_group_fallback = (
+        plan.grouped and not statement.group_by
+        and bool(output_scope.touched_source_slots
+                 or order_scope.touched_source_slots))
+    return plan
+
+
+def _try_hash_key(conjunct: Expression, join: JoinNode, slots: SlotMap,
+                  local_scopes, position: int, right_start: int,
+                  right_width: int) -> bool:
+    """Register ``conjunct`` as a hash-join key when it equates a
+    prior-sources expression with a new-source expression."""
+    if join.kind not in ("INNER", "LEFT"):
+        return False
+    if not isinstance(conjunct, BinaryOp) or conjunct.op != "=":
+        return False
+
+    def side_slots(expr: Expression) -> Optional[Set[int]]:
+        probe = Scope(slots)
+        compile_expression(expr, probe)  # may raise EngineError -> fallback
+        return probe.touched_source_slots
+
+    left_slots = side_slots(conjunct.left)
+    right_slots = side_slots(conjunct.right)
+    right_range = range(right_start, right_start + right_width)
+
+    def classify(touched: Set[int]) -> Optional[str]:
+        if not touched:
+            return None
+        if all(slot in right_range for slot in touched):
+            return "right"
+        if all(slot < right_start for slot in touched):
+            return "left"
+        return None
+
+    left_side = classify(left_slots)
+    right_side = classify(right_slots)
+    if left_side == "left" and right_side == "right":
+        left_expr, right_expr = conjunct.left, conjunct.right
+    elif left_side == "right" and right_side == "left":
+        left_expr, right_expr = conjunct.right, conjunct.left
+    else:
+        return False
+    join.left_key_fns.append(compile_expression(left_expr, Scope(slots)))
+    join.right_key_fns.append(
+        compile_expression(right_expr, local_scopes[position + 1]))
+    return True

@@ -36,7 +36,13 @@ class CellSet:
 
     def cell(self, member_values: Sequence[Any],
              measure: str) -> Any:
-        """The value of ``measure`` at the given axis member tuple."""
+        """The value of ``measure`` at the given axis member tuple.
+
+        Lookups go through a lazily-built ``{member tuple: row}`` index
+        (first match wins, like the original scan), so repeated probes
+        of a large cell set are O(1).  Unhashable member values fall
+        back to the linear scan.
+        """
         if measure not in self.measures:
             raise QueryError(f"cell set has no measure {measure!r}")
         wanted = list(member_values)
@@ -45,6 +51,25 @@ class CellSet:
             raise QueryError(
                 f"expected {len(columns)} member values, "
                 f"got {len(wanted)}")
+        index = getattr(self, "_member_index", None)
+        if index is None:
+            index = {}
+            try:
+                for row in self.rows:
+                    index.setdefault(
+                        tuple(row[column] for column in columns), row)
+            except TypeError:
+                index = False  # unhashable members: always scan
+            self._member_index = index
+        if index is not False:
+            try:
+                row = index.get(tuple(wanted))
+            except TypeError:
+                row = None  # unhashable probe: scan below
+            else:
+                if row is None:
+                    raise QueryError(f"no cell at {tuple(wanted)!r}")
+                return row[measure]
         for row in self.rows:
             if [row[column] for column in columns] == wanted:
                 return row[measure]

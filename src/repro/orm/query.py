@@ -89,12 +89,13 @@ class CriteriaQuery:
 
     def list(self) -> List[Any]:
         """Run the query and return mapped entity instances."""
-        rows = self._session.database.query(
+        result = self._session.database.execute(
             self._sql("*"), tuple(self._params))
-        return [
-            self._session._register_loaded(self._mapping, row)
-            for row in rows
-        ]
+        register = self._session._register_loaded
+        mapping = self._mapping
+        # Iterate the ResultSet directly: row dicts are produced one at
+        # a time instead of being materialized twice via query().
+        return [register(mapping, row) for row in result]
 
     def first(self) -> Optional[Any]:
         previous = self._limit

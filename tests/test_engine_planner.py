@@ -1,0 +1,276 @@
+"""Tests for the plan/compile layer: parity, EXPLAIN, and the plan cache.
+
+The planner compiles supported SELECTs into positional-slot closures;
+``Database(compile=False)`` is the ablation knob that forces the
+interpreted executor.  Every behavioural test here runs the same SQL
+through both paths and requires byte-identical results.
+"""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import EngineError
+
+
+def seed(database):
+    database.execute(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+        "dept TEXT, salary REAL)")
+    database.execute(
+        "INSERT INTO emp (id, name, dept, salary) VALUES "
+        "(1, 'ada', 'eng', 100.0), "
+        "(2, 'bob', 'eng', 90.0), "
+        "(3, 'cy', 'ops', 80.0), "
+        "(4, 'dee', NULL, NULL), "
+        "(5, 'eve', 'ops', 80.0)")
+    database.execute(
+        "CREATE TABLE dept (code TEXT PRIMARY KEY, label TEXT)")
+    database.execute(
+        "INSERT INTO dept VALUES ('eng', 'Engineering'), "
+        "('ops', 'Operations'), ('hr', 'People')")
+    return database
+
+
+@pytest.fixture
+def db():
+    return seed(Database("compiled"))
+
+
+@pytest.fixture
+def interpreted():
+    return seed(Database("interpreted", compile=False))
+
+
+PARITY_QUERIES = [
+    ("SELECT * FROM emp", ()),
+    ("SELECT name, salary FROM emp WHERE salary >= 80.0", ()),
+    ("SELECT name FROM emp WHERE dept = ?", ("eng",)),
+    ("SELECT name FROM emp WHERE salary > 50 AND dept = 'ops'", ()),
+    ("SELECT e.name, d.label FROM emp e JOIN dept d "
+     "ON e.dept = d.code ORDER BY e.id", ()),
+    ("SELECT e.name, d.label FROM emp e LEFT JOIN dept d "
+     "ON e.dept = d.code ORDER BY e.id", ()),
+    ("SELECT dept, COUNT(*) AS n, SUM(salary) AS total FROM emp "
+     "GROUP BY dept ORDER BY dept", ()),
+    ("SELECT dept, AVG(salary) AS a FROM emp GROUP BY dept "
+     "HAVING COUNT(*) > 1 ORDER BY dept", ()),
+    ("SELECT DISTINCT salary FROM emp ORDER BY salary", ()),
+    ("SELECT COUNT(*) FROM emp WHERE salary IS NULL", ()),
+    ("SELECT name FROM emp WHERE salary BETWEEN 80 AND 95 "
+     "ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE dept IN ('eng', 'hr')", ()),
+    ("SELECT name FROM emp WHERE name LIKE 'a%'", ()),
+    ("SELECT UPPER(name) AS shout FROM emp ORDER BY shout", ()),
+    ("SELECT CASE WHEN salary >= 90 THEN 'high' ELSE 'low' END AS band "
+     "FROM emp ORDER BY id", ()),
+    ("SELECT 1 + 2 AS three", ()),
+]
+
+
+@pytest.mark.parametrize("sql,params", PARITY_QUERIES)
+def test_compiled_matches_interpreted(db, interpreted, sql, params):
+    compiled_result = db.execute(sql, params)
+    interpreted_result = interpreted.execute(sql, params)
+    assert compiled_result.columns == interpreted_result.columns
+    assert compiled_result.rows == interpreted_result.rows
+
+
+class TestOrderByEdges:
+    """ORDER BY with NULLs and mixed directions, on both paths."""
+
+    def both(self, db, interpreted, sql, params=()):
+        compiled_rows = db.execute(sql, params).rows
+        assert compiled_rows == interpreted.execute(sql, params).rows
+        return compiled_rows
+
+    def test_nulls_sort_first_ascending(self, db, interpreted):
+        rows = self.both(
+            db, interpreted,
+            "SELECT name, salary FROM emp ORDER BY salary, name")
+        assert rows[0] == ("dee", None)
+
+    def test_nulls_sort_last_descending(self, db, interpreted):
+        rows = self.both(
+            db, interpreted,
+            "SELECT name, salary FROM emp ORDER BY salary DESC, name")
+        assert rows[-1] == ("dee", None)
+
+    def test_mixed_asc_desc(self, db, interpreted):
+        rows = self.both(
+            db, interpreted,
+            "SELECT dept, name FROM emp WHERE dept IS NOT NULL "
+            "ORDER BY dept ASC, name DESC")
+        assert rows == [("eng", "bob"), ("eng", "ada"),
+                        ("ops", "eve"), ("ops", "cy")]
+
+    def test_order_by_output_alias(self, db, interpreted):
+        rows = self.both(
+            db, interpreted,
+            "SELECT name, salary * 2 AS twice FROM emp "
+            "WHERE salary IS NOT NULL ORDER BY twice DESC")
+        assert rows[0][0] == "ada"
+
+
+class TestLimitOffsetEdges:
+    def both(self, db, interpreted, sql):
+        compiled_rows = db.execute(sql).rows
+        assert compiled_rows == interpreted.execute(sql).rows
+        return compiled_rows
+
+    def test_limit_zero(self, db, interpreted):
+        assert self.both(
+            db, interpreted,
+            "SELECT id FROM emp ORDER BY id LIMIT 0") == []
+
+    def test_limit_beyond_rows(self, db, interpreted):
+        assert len(self.both(
+            db, interpreted,
+            "SELECT id FROM emp ORDER BY id LIMIT 99")) == 5
+
+    def test_offset_beyond_rows(self, db, interpreted):
+        assert self.both(
+            db, interpreted,
+            "SELECT id FROM emp ORDER BY id LIMIT 10 OFFSET 99") == []
+
+    def test_limit_offset_window(self, db, interpreted):
+        assert self.both(
+            db, interpreted,
+            "SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 2") \
+            == [(3,), (4,)]
+
+    def test_offset_without_order(self, db, interpreted):
+        assert len(self.both(
+            db, interpreted,
+            "SELECT id FROM emp LIMIT 3 OFFSET 1")) == 3
+
+
+class TestExplain:
+    def test_full_scan_before_index(self, db):
+        lines = [row[0] for row in db.execute(
+            "EXPLAIN SELECT id, name FROM emp WHERE dept = 'eng'").rows]
+        assert lines[0] == "scan emp emp: full scan (~5 rows)"
+        assert lines[1] == "  filter [pushed]: dept = 'eng'"
+        assert lines[-1] == "project: id, name"
+
+    def test_index_scan_after_create_index(self, db):
+        db.execute("CREATE INDEX idx_dept ON emp (dept)")
+        lines = [row[0] for row in db.execute(
+            "EXPLAIN SELECT id, name FROM emp WHERE dept = 'eng'").rows]
+        assert lines[0].startswith(
+            "scan emp emp: index point scan idx_dept (dept = 'eng')")
+        # The pushed predicate is still applied after the index probe.
+        assert "  filter [pushed]: dept = 'eng'" in lines
+
+    def test_hash_join_and_grouping(self, db):
+        lines = [row[0] for row in db.execute(
+            "EXPLAIN SELECT d.label, COUNT(*) AS n FROM emp e "
+            "JOIN dept d ON e.dept = d.code GROUP BY d.label "
+            "ORDER BY n DESC LIMIT 2").rows]
+        assert any(line.startswith("hash join INNER dept d: "
+                                   "e.dept = d.code") for line in lines)
+        assert "group by: d.label  aggregates: COUNT(*)" in lines
+        assert "order by: n desc" in lines
+        assert "limit: 2" in lines
+
+    def test_view_reports_interpreted_fallback(self, db):
+        db.execute("CREATE VIEW ops_emp AS "
+                   "SELECT * FROM emp WHERE dept = 'ops'")
+        lines = [row[0] for row in db.execute(
+            "EXPLAIN SELECT name FROM ops_emp").rows]
+        assert lines == ["interpreted execution: view source 'ops_emp'"]
+
+    def test_explain_union_labels_parts(self, db):
+        lines = [row[0] for row in db.execute(
+            "EXPLAIN SELECT name FROM emp UNION "
+            "SELECT label FROM dept").rows]
+        assert lines[0] == "union part 1:"
+        assert "union part 2:" in lines
+
+    def test_explain_rejects_non_select(self, db):
+        with pytest.raises(EngineError):
+            db.execute("EXPLAIN INSERT INTO dept VALUES ('x', 'X')")
+
+    def test_explain_works_with_compile_disabled(self, interpreted):
+        lines = [row[0] for row in interpreted.execute(
+            "EXPLAIN SELECT id FROM emp").rows]
+        assert lines[0].startswith("scan emp emp: full scan")
+
+
+class TestPlanCache:
+    def test_repeated_statement_reuses_plan(self, db):
+        sql = "SELECT name FROM emp WHERE id = ?"
+        db.execute(sql, (1,))
+        assert len(db._plan_cache) == 1
+        (cached_entry,) = db._plan_cache.values()
+        db.execute(sql, (2,))
+        assert len(db._plan_cache) == 1
+        assert next(iter(db._plan_cache.values())) is cached_entry
+
+    def test_ddl_invalidates_plans(self, db):
+        db.execute("SELECT name FROM emp")
+        assert db._plan_cache
+        db.execute("CREATE INDEX idx_salary ON emp (salary)")
+        assert not db._plan_cache
+
+    def test_alter_table_invalidates_plans(self, db):
+        db.execute("SELECT name FROM emp")
+        assert db._plan_cache
+        db.execute("ALTER TABLE emp ADD COLUMN bonus REAL")
+        assert not db._plan_cache
+        # The recompiled plan sees the new column.
+        assert db.query("SELECT bonus FROM emp WHERE id = 1") \
+            == [{"bonus": None}]
+
+    def test_rollback_of_create_table_invalidates_plans(self, db):
+        db.execute("SELECT name FROM emp")
+        db.execute("BEGIN")
+        db.execute("CREATE TABLE temp_t (x INTEGER)")
+        db.execute("SELECT name FROM emp")
+        db.execute("ROLLBACK")
+        assert not db._plan_cache
+
+    def test_compile_disabled_never_plans(self, interpreted):
+        interpreted.execute("SELECT name FROM emp")
+        assert not interpreted._plan_cache
+
+    def test_dml_results_identical_after_plan_reuse(self, db):
+        sql = "SELECT COUNT(*) FROM emp"
+        before = db.query_value(sql)
+        db.execute("INSERT INTO emp (id, name) VALUES (6, 'fin')")
+        assert db.query_value(sql) == before + 1
+
+
+class TestFallbackParity:
+    """Statements the planner refuses still behave identically."""
+
+    def test_unknown_column_raises_same_error(self, db, interpreted):
+        with pytest.raises(EngineError) as compiled_exc:
+            db.execute("SELECT missing FROM emp")
+        with pytest.raises(EngineError) as interpreted_exc:
+            interpreted.execute("SELECT missing FROM emp")
+        assert str(compiled_exc.value) == str(interpreted_exc.value)
+
+    def test_ambiguous_column_raises_same_error(self, db, interpreted):
+        sql = ("SELECT label FROM dept d1 JOIN dept d2 "
+               "ON d1.code = d2.code")
+        with pytest.raises(EngineError) as compiled_exc:
+            db.execute(sql)
+        with pytest.raises(EngineError) as interpreted_exc:
+            interpreted.execute(sql)
+        assert str(compiled_exc.value) == str(interpreted_exc.value)
+
+    def test_view_query_matches(self, db, interpreted):
+        for database in (db, interpreted):
+            database.execute(
+                "CREATE VIEW rich AS SELECT name, salary FROM emp "
+                "WHERE salary >= 90")
+        sql = "SELECT name FROM rich ORDER BY name"
+        assert db.execute(sql).rows == interpreted.execute(sql).rows
+
+    def test_missing_parameter_raises_same_error(self, db, interpreted):
+        sql = "SELECT name FROM emp WHERE id = ?"
+        with pytest.raises(EngineError) as compiled_exc:
+            db.execute(sql, ())
+        with pytest.raises(EngineError) as interpreted_exc:
+            interpreted.execute(sql, ())
+        assert str(compiled_exc.value) == str(interpreted_exc.value)
