@@ -1,0 +1,110 @@
+"""E13 — concurrent multi-tenant serving (the serving-layer tentpole).
+
+The paper's §2 economics assume one shared backend serving many
+tenants *at once*.  This experiment measures the serving layer under
+an 8-worker pool:
+
+* ISOLATED-mode parallel reads — 8 private databases, reads overlap
+  on each engine's shared lock side;
+* SHARED-mode concurrent writes — 8 tenants funneled through one
+  operational database, serialized by its exclusive lock side.
+
+Timings land in ``benchmarks/out/BENCH_concurrency.json``.  Pure
+Python threads share the GIL, so parallel wall time is *not* expected
+to beat serial on CPU-bound queries — the assertions pin correctness
+under contention and bound the locking overhead, while the recorded
+throughput numbers give CI a trend line.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine import Database
+
+from _util import emit, format_table, write_bench_json
+
+N_TENANTS = 8
+ROWS = 1_500
+QUERIES_PER_TENANT = 150
+
+
+def tenant_database(tenant_no):
+    database = Database(f"op-t{tenant_no}")
+    database.execute(
+        "CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)")
+    database.executemany(
+        "INSERT INTO kv VALUES (?, ?)",
+        [(key, key * 3) for key in range(1, ROWS + 1)])
+    return database
+
+
+def read_workload(database):
+    total = 0
+    for i in range(QUERIES_PER_TENANT):
+        key = (i * 37) % ROWS + 1
+        total += database.query_value(
+            "SELECT v FROM kv WHERE k = ?", (key,))
+    return total
+
+
+def timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, (time.perf_counter() - started) * 1000.0
+
+
+def test_bench_concurrency_serving_layer():
+    databases = [tenant_database(n) for n in range(N_TENANTS)]
+    expected = read_workload(databases[0])
+
+    # ISOLATED mode, serial baseline: one tenant after another.
+    serial_totals, serial_ms = timed(
+        lambda: [read_workload(database) for database in databases])
+
+    # ISOLATED mode, parallel: 8 workers, one per private database.
+    with ThreadPoolExecutor(max_workers=N_TENANTS) as pool:
+        parallel_totals, parallel_ms = timed(
+            lambda: list(pool.map(read_workload, databases)))
+
+    assert serial_totals == [expected] * N_TENANTS
+    assert parallel_totals == [expected] * N_TENANTS
+
+    # SHARED mode, concurrent writes: every tenant inserts into one
+    # operational database; the exclusive lock serializes them.
+    shared = Database("platform")
+    shared.execute(
+        "CREATE TABLE orders (id INTEGER PRIMARY KEY, tenant TEXT)")
+
+    def write_workload(tenant_no):
+        for i in range(QUERIES_PER_TENANT):
+            shared.execute(
+                "INSERT INTO orders VALUES (?, ?)",
+                (tenant_no * 10_000 + i, f"t{tenant_no}"))
+
+    with ThreadPoolExecutor(max_workers=N_TENANTS) as pool:
+        _, shared_write_ms = timed(lambda: list(
+            pool.map(write_workload, range(N_TENANTS))))
+    assert shared.query_value("SELECT COUNT(*) FROM orders") == \
+        N_TENANTS * QUERIES_PER_TENANT
+
+    total_reads = N_TENANTS * QUERIES_PER_TENANT
+    reads_per_s = total_reads / (parallel_ms / 1000.0)
+    emit("E13_concurrency", format_table(
+        ("case", "wall ms", "ops", "ops/s"),
+        [("isolated reads, serial", serial_ms, total_reads,
+          total_reads / (serial_ms / 1000.0)),
+         (f"isolated reads, {N_TENANTS} workers", parallel_ms,
+          total_reads, reads_per_s),
+         (f"shared writes, {N_TENANTS} workers", shared_write_ms,
+          total_reads, total_reads / (shared_write_ms / 1000.0))]))
+    write_bench_json("concurrency", {
+        "isolated_read_serial": serial_ms,
+        f"isolated_read_parallel_{N_TENANTS}w": parallel_ms,
+        f"shared_write_parallel_{N_TENANTS}w": shared_write_ms,
+        "parallel_read_throughput_per_s": reads_per_s,
+    })
+
+    # Locking overhead must stay bounded: with the GIL, 8 workers do
+    # the same total work as the serial loop — allow 3x for lock and
+    # scheduling overhead before calling it a regression.
+    assert parallel_ms < serial_ms * 3.0

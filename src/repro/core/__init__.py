@@ -21,6 +21,7 @@ Multi-tenancy (:mod:`repro.core.tenancy`) and provisioning
 from repro.core.admin_service import AdminService
 from repro.core.analysis_service import AnalysisService
 from repro.core.delivery_service import Channel, InformationDeliveryService
+from repro.core.gateway import RequestGateway
 from repro.core.integration_service import IntegrationService
 from repro.core.mddws import MddwsService
 from repro.core.metadata_service import MetadataService
@@ -44,6 +45,7 @@ __all__ = [
     "Plan",
     "ProvisioningService",
     "ReportingService",
+    "RequestGateway",
     "TechnicalResourcesLayer",
     "TenancyMode",
     "TenantContext",

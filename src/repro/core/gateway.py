@@ -1,0 +1,130 @@
+"""Concurrent request dispatch: the multi-tenant serving layer.
+
+The paper's §2 economics rest on one shared physical backend serving
+many tenants *at once*.  :class:`RequestGateway` puts a worker pool in
+front of the web application so overlapping tenant requests really
+overlap: each request is admission-checked against the tenant registry
+— a deactivated or unknown tenant is rejected at dispatch, before any
+worker thread or database time is spent — and then handled on a pool
+thread through the normal middleware chain.
+
+Data-plane serialization is the engine's job, not the gateway's: every
+:class:`~repro.engine.database.Database` carries a reader-writer lock
+keyed off the statement class, so ISOLATED-mode tenants (private
+operational databases) run truly in parallel while SHARED-mode tenants
+serialize only on writes to the shared operational database — reads
+overlap in both modes.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.tenancy import TenantManager
+from repro.errors import TenantError
+from repro.web import JsonResponse, Response, WebApplication
+
+#: Default worker-pool width (the paper's "many concurrent tenants").
+DEFAULT_WORKERS = 8
+
+
+class RequestGateway:
+    """Dispatches tenant requests onto a worker pool.
+
+    ``submit`` returns a :class:`~concurrent.futures.Future` resolving
+    to the :class:`~repro.web.Response`; ``dispatch_all`` fans a batch
+    out and gathers responses in request order.  The ``dispatch_log``
+    records one ``(path, decision)`` pair per submission — the
+    observable that admission control happened at dispatch time.
+    """
+
+    def __init__(self, web: WebApplication, tenants: TenantManager,
+                 max_workers: int = DEFAULT_WORKERS):
+        self.web = web
+        self.tenants = tenants
+        self.max_workers = max_workers
+        self.dispatch_log: List[Tuple[str, str]] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # -- pool lifecycle ---------------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="odbis-gateway")
+            return self._pool
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "RequestGateway":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+    # -- admission control ------------------------------------------------------
+
+    @staticmethod
+    def tenant_of(path: str) -> Optional[str]:
+        """The tenant id of a ``/tenants/{id}/...`` path, else None."""
+        parts = [part for part in path.split("/") if part]
+        if len(parts) >= 2 and parts[0] == "tenants":
+            return parts[1]
+        return None
+
+    def _admit(self, path: str) -> Optional[Response]:
+        """None when the request may proceed, else the rejection."""
+        tenant_id = self.tenant_of(path)
+        if tenant_id is None:
+            return None
+        try:
+            context = self.tenants.context(tenant_id)
+        except TenantError as exc:
+            return JsonResponse({"error": str(exc)}, status=404)
+        if not context.active:
+            return JsonResponse(
+                {"error": f"tenant {tenant_id!r} is deactivated"},
+                status=403)
+        return None
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def submit(self, method: str, path: str, body: Any = None,
+               headers: Optional[Dict[str, str]] = None,
+               query: Optional[Dict[str, Any]] = None) -> "Future[Response]":
+        """Admission-check one request and hand it to the pool."""
+        rejection = self._admit(path)
+        if rejection is not None:
+            self.dispatch_log.append((path, "rejected"))
+            future: "Future[Response]" = Future()
+            future.set_result(rejection)
+            return future
+        self.dispatch_log.append((path, "accepted"))
+        return self._ensure_pool().submit(
+            self.web.request, method, path, body, headers, query)
+
+    def dispatch_all(self, requests: List[Dict[str, Any]]) \
+            -> List[Response]:
+        """Dispatch a batch concurrently; responses in request order.
+
+        Each request is a dict with ``method`` and ``path`` plus
+        optional ``body``/``headers``/``query`` — the same shape
+        :meth:`~repro.web.WebApplication.request` takes.
+        """
+        futures = [
+            self.submit(spec["method"], spec["path"],
+                        spec.get("body"), spec.get("headers"),
+                        spec.get("query"))
+            for spec in requests
+        ]
+        return [future.result() for future in futures]

@@ -10,11 +10,13 @@ observable artefact experiments E1 and E4 regenerate.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional
 
 from repro.core.admin_service import AdminService
 from repro.core.analysis_service import AnalysisService
 from repro.core.delivery_service import Channel, InformationDeliveryService
+from repro.core.gateway import RequestGateway
 from repro.core.integration_service import IntegrationService
 from repro.core.mddws import MddwsService
 from repro.core.metadata_service import MetadataService
@@ -69,11 +71,28 @@ class OdbisPlatform:
         self.provisioning = ProvisioningService(
             self.tenants, self.resources, self.billing,
             self.admin, self.metadata)
-        # Layer 1: end-user access (web).
+        # Layer 1: end-user access (web), fronted by the concurrent
+        # request gateway.  Layer traces are per-thread so overlapping
+        # requests do not clobber each other's traversal record.
         self.web = WebApplication("odbis")
-        self.last_trace: List[str] = []
+        self.gateway = RequestGateway(self.web, self.tenants)
+        self._trace_local = threading.local()
+        self.last_trace = []
         self._install_middleware()
         self._install_routes()
+
+    @property
+    def last_trace(self) -> List[str]:
+        """The layer-traversal trace of this thread's last request."""
+        trace = getattr(self._trace_local, "trace", None)
+        if trace is None:
+            trace = []
+            self._trace_local.trace = trace
+        return trace
+
+    @last_trace.setter
+    def last_trace(self, value: List[str]) -> None:
+        self._trace_local.trace = value
 
     # -- access layer wiring ---------------------------------------------------------
 

@@ -8,6 +8,7 @@ a month's meter readings plus the tenant's plan into an invoice.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -90,6 +91,9 @@ class BillingService:
             "id INTEGER, tenant TEXT NOT NULL, period TEXT NOT NULL, "
             "kind TEXT NOT NULL, units INTEGER NOT NULL)")
         self._next_id = 1
+        # Gateway workers meter concurrently; the id counter is a
+        # check-then-increment that must not mint duplicates.
+        self._meter_lock = threading.Lock()
 
     def plan(self, name: str) -> Plan:
         plan = self.plans.get(name)
@@ -106,10 +110,12 @@ class BillingService:
             raise SubscriptionError(f"unknown usage kind {kind!r}")
         if units < 0:
             raise SubscriptionError("usage units cannot be negative")
+        with self._meter_lock:
+            event_id = self._next_id
+            self._next_id += 1
         self.database.execute(
             "INSERT INTO usage_events VALUES (?, ?, ?, ?, ?)",
-            (self._next_id, tenant, period, kind, units))
-        self._next_id += 1
+            (event_id, tenant, period, kind, units))
 
     def usage(self, tenant: str,
               period: str = "current") -> Dict[str, int]:

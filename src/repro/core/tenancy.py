@@ -20,6 +20,7 @@ workloads are tenant-private by construction.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -53,6 +54,9 @@ class TenantManager:
     def __init__(self, mode: TenancyMode = TenancyMode.SHARED):
         self.mode = mode
         self._tenants: Dict[str, TenantContext] = {}
+        # Registration is control-plane work that may run concurrently
+        # with request dispatch; guard the check-then-insert.
+        self._registry_lock = threading.Lock()
         if mode is TenancyMode.SHARED:
             self._shared_db: Optional[Database] = Database("platform")
         else:
@@ -64,27 +68,30 @@ class TenantManager:
         if self._shared_db is not None:
             return self._shared_db
         # In isolated mode platform state still needs one home.
-        if not hasattr(self, "_platform_only_db"):
-            self._platform_only_db = Database("platform")
-        return self._platform_only_db
+        with self._registry_lock:
+            if not hasattr(self, "_platform_only_db"):
+                self._platform_only_db = Database("platform")
+            return self._platform_only_db
 
     def register(self, tenant_id: str, display_name: str,
                  plan: str = "starter") -> TenantContext:
-        if tenant_id in self._tenants:
-            raise TenantError(f"tenant {tenant_id!r} already registered")
-        if self.mode is TenancyMode.SHARED:
-            operational = self._shared_db
-        else:
-            operational = Database(f"op-{tenant_id}")
-        context = TenantContext(
-            tenant_id=tenant_id,
-            display_name=display_name,
-            plan=plan,
-            operational_db=operational,
-            warehouse_db=Database(f"dw-{tenant_id}"),
-        )
-        self._tenants[tenant_id] = context
-        return context
+        with self._registry_lock:
+            if tenant_id in self._tenants:
+                raise TenantError(
+                    f"tenant {tenant_id!r} already registered")
+            if self.mode is TenancyMode.SHARED:
+                operational = self._shared_db
+            else:
+                operational = Database(f"op-{tenant_id}")
+            context = TenantContext(
+                tenant_id=tenant_id,
+                display_name=display_name,
+                plan=plan,
+                operational_db=operational,
+                warehouse_db=Database(f"dw-{tenant_id}"),
+            )
+            self._tenants[tenant_id] = context
+            return context
 
     def deactivate(self, tenant_id: str) -> None:
         self.context(tenant_id).active = False

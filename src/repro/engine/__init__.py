@@ -19,6 +19,7 @@ Quickstart::
 """
 
 from repro.engine.database import Connection, Database, ResultSet
+from repro.engine.locking import ReadWriteLock
 from repro.engine.parser import parse_sql
 from repro.engine.schema import (
     Catalog,
@@ -35,6 +36,7 @@ __all__ = [
     "ColumnType",
     "Connection",
     "Database",
+    "ReadWriteLock",
     "ResultSet",
     "SqlType",
     "TableSchema",

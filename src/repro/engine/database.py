@@ -9,10 +9,12 @@ ODBIS data layer hands JDBC-style connections to the services above it.
 from __future__ import annotations
 
 import pickle
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.engine.executor import Executor, ResultSet
+from repro.engine.locking import EXCLUSIVE, SHARED, ReadWriteLock
 from repro.engine.parser import (
     CompoundSelect,
     DeleteStatement,
@@ -32,8 +34,12 @@ from repro.errors import CatalogError, EngineError, TransactionError
 class Database:
     """An embedded SQL database.
 
-    Thread-unsafe by design (each tenant/service gets its own handle in
-    ODBIS).  Statements are parsed once and cached by SQL text.
+    Safe for concurrent use from many threads: every statement runs
+    under a per-database reader-writer lock whose mode is chosen from
+    the parsed statement class — SELECT/EXPLAIN overlap on the shared
+    side, DML/DDL and transaction scopes take the exclusive side (an
+    explicit transaction holds it from BEGIN to COMMIT/ROLLBACK).
+    Statements are parsed once and cached by SQL text.
     """
 
     def __init__(self, name: str = "main", compile: bool = True):
@@ -51,6 +57,11 @@ class Database:
         self._compile_enabled = bool(compile)
         self._plan_cache: Dict[int, Any] = {}
         self.statistics = {"statements": 0, "rows_returned": 0}
+        # Statement-level reader-writer lock plus a short mutex over
+        # the statement/plan caches and the statistics counters.
+        self._lock = ReadWriteLock()
+        self._state_lock = threading.Lock()
+        self._plan_generation = 0
 
     def __repr__(self) -> str:
         return f"<Database {self.name!r} tables={self.catalog.table_names()}>"
@@ -99,11 +110,23 @@ class Database:
     # -- statement execution ------------------------------------------------------
 
     def _parse(self, sql: str):
-        statement = self._statement_cache.get(sql)
+        with self._state_lock:
+            statement = self._statement_cache.get(sql)
         if statement is None:
-            statement = parse_sql(sql)
-            self._statement_cache[sql] = statement
+            # Parse outside the mutex (parsing is pure); on a race the
+            # first inserted statement wins so every thread shares one
+            # object — the plan cache is keyed by statement identity.
+            parsed = parse_sql(sql)
+            with self._state_lock:
+                statement = self._statement_cache.setdefault(sql, parsed)
         return statement
+
+    def _lock_mode(self, statement: Any) -> str:
+        """Shared for reads, exclusive for anything that may mutate."""
+        if isinstance(statement, (SelectStatement, CompoundSelect,
+                                  ExplainStatement)):
+            return SHARED
+        return EXCLUSIVE
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
         """Run any statement.
@@ -113,28 +136,33 @@ class Database:
         control.
         """
         statement = self._parse(sql)
-        self.statistics["statements"] += 1
+        with self._state_lock:
+            self.statistics["statements"] += 1
         if isinstance(statement, TransactionStatement):
             return self._execute_transaction(statement.action)
-        if isinstance(statement, ExplainStatement):
-            result: Any = self._explain(statement.statement)
-        else:
-            result = self._executor.execute(statement, tuple(params))
-            if not isinstance(statement, (
-                    SelectStatement, CompoundSelect, InsertStatement,
-                    UpdateStatement, DeleteStatement)):
-                # DDL (CREATE/DROP/ALTER, CTAS, views, indexes) may
-                # change schemas or indexes any cached plan relies on.
-                self.invalidate_plans()
+        with self._lock.held(self._lock_mode(statement)):
+            if isinstance(statement, ExplainStatement):
+                result: Any = self._explain(statement.statement)
+            else:
+                result = self._executor.execute(statement, tuple(params))
+                if not isinstance(statement, (
+                        SelectStatement, CompoundSelect, InsertStatement,
+                        UpdateStatement, DeleteStatement)):
+                    # DDL (CREATE/DROP/ALTER, CTAS, views, indexes) may
+                    # change schemas or indexes any cached plan relies on.
+                    self.invalidate_plans()
         if isinstance(result, ResultSet):
-            self.statistics["rows_returned"] += len(result)
+            with self._state_lock:
+                self.statistics["rows_returned"] += len(result)
         return result
 
     # -- compiled plans ----------------------------------------------------------
 
     def invalidate_plans(self) -> None:
         """Drop all compiled plans (called on any DDL)."""
-        self._plan_cache.clear()
+        with self._state_lock:
+            self._plan_generation += 1
+            self._plan_cache.clear()
 
     def plan_for(self, statement: SelectStatement):
         """The cached ``(plan, reason)`` pair for one parsed SELECT.
@@ -142,13 +170,21 @@ class Database:
         ``plan`` is None when the statement must run interpreted, in
         which case ``reason`` says why.
         """
-        entry = self._plan_cache.get(id(statement))
+        with self._state_lock:
+            entry = self._plan_cache.get(id(statement))
+            generation = self._plan_generation
         if entry is None:
             from repro.engine.planner import plan_select
 
             plan, reason = plan_select(self, statement)
-            entry = (statement, plan, reason)
-            self._plan_cache[id(statement)] = entry
+            fresh = (statement, plan, reason)
+            with self._state_lock:
+                if self._plan_generation != generation:
+                    # DDL invalidated the cache while we planned; the
+                    # plan may reference dropped schema state, so hand
+                    # it to the caller but do not cache it.
+                    return plan, reason
+                entry = self._plan_cache.setdefault(id(statement), fresh)
         return entry[1], entry[2]
 
     def _run_select(self, statement: SelectStatement,
@@ -197,7 +233,21 @@ class Database:
 
     def executemany(self, sql: str,
                     param_rows: Sequence[Sequence[Any]]) -> int:
-        """Run one parameterized DML statement for each parameter row."""
+        """Run one parameterized DML statement for each parameter row.
+
+        The batch is atomic: when no transaction is open, one is begun
+        and committed around the rows, and rolled back on the first
+        failure — a constraint violation on row N no longer leaves
+        rows 1..N-1 applied.  Inside a caller's transaction the rows
+        simply join it, so the caller keeps control of the boundary.
+        """
+        if self.in_transaction:
+            return self._executemany_rows(sql, param_rows)
+        with self.transaction():
+            return self._executemany_rows(sql, param_rows)
+
+    def _executemany_rows(self, sql: str,
+                          param_rows: Sequence[Sequence[Any]]) -> int:
         total = 0
         for params in param_rows:
             result = self.execute(sql, params)
@@ -221,21 +271,38 @@ class Database:
         return self._transaction is not None and self._transaction.active
 
     def begin(self) -> None:
-        if self.in_transaction:
-            raise TransactionError("transaction already in progress")
-        self._transaction = Transaction()
+        # The transaction scope holds the exclusive lock from BEGIN to
+        # COMMIT/ROLLBACK so no other thread can observe (or disturb)
+        # uncommitted state; statements inside the scope re-acquire it
+        # reentrantly.
+        self._lock.acquire_write()
+        started = False
+        try:
+            if self.in_transaction:
+                raise TransactionError("transaction already in progress")
+            self._transaction = Transaction()
+            started = True
+        finally:
+            if not started:
+                self._lock.release_write()
 
     def commit(self) -> None:
         if not self.in_transaction:
             raise TransactionError("no transaction in progress")
-        self._transaction.commit()
-        self._transaction = None
+        try:
+            self._transaction.commit()
+            self._transaction = None
+        finally:
+            self._lock.release_write()
 
     def rollback(self) -> None:
         if not self.in_transaction:
             raise TransactionError("no transaction in progress")
-        self._transaction.rollback(self)
-        self._transaction = None
+        try:
+            self._transaction.rollback(self)
+            self._transaction = None
+        finally:
+            self._lock.release_write()
 
     def record_undo(self, entry) -> None:
         if self.in_transaction:
@@ -251,31 +318,42 @@ class Database:
         """Snapshot the whole database to ``path``."""
         if self.in_transaction:
             raise TransactionError("cannot snapshot during a transaction")
-        payload = {
-            "name": self.name,
-            "views": dict(self.views),
-            "tables": [
-                {
-                    "schema": storage.schema,
-                    "rows": storage.rows,
-                    "next_rowid": storage._next_rowid,
-                    "indexes": [
-                        (index.name, index.column_names, index.unique)
-                        for index in storage.indexes.values()
-                    ],
-                }
-                for storage in self._storages.values()
-            ],
-        }
+        with self._lock.shared():
+            payload = {
+                "name": self.name,
+                "compile": self._compile_enabled,
+                "statistics": dict(self.statistics),
+                "views": dict(self.views),
+                "tables": [
+                    {
+                        "schema": storage.schema,
+                        "rows": dict(storage.rows),
+                        "next_rowid": storage._next_rowid,
+                        "indexes": [
+                            (index.name, index.column_names, index.unique)
+                            for index in storage.indexes.values()
+                        ],
+                    }
+                    for storage in self._storages.values()
+                ],
+            }
         with open(path, "wb") as handle:
             pickle.dump(payload, handle)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Database":
-        """Restore a database from a snapshot produced by :meth:`save`."""
+        """Restore a database from a snapshot produced by :meth:`save`.
+
+        Constructor state survives the round trip: the ``compile``
+        flag and the statistics counters are restored rather than
+        reset to defaults, and every view is revalidated against the
+        restored catalog so a snapshot whose views no longer resolve
+        fails here, not on first use.
+        """
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
-        database = cls(payload["name"])
+        database = cls(payload["name"],
+                       compile=payload.get("compile", True))
         for entry in payload["tables"]:
             schema: TableSchema = entry["schema"]
             database.catalog.add_table(schema)
@@ -287,6 +365,9 @@ class Database:
                 storage.add_index(index_name, column_names, unique=unique)
             database._storages[schema.name.lower()] = storage
         database.views.update(payload.get("views", {}))
+        for select in database.views.values():
+            database._executor.execute_select(select, ())
+        database.statistics.update(payload.get("statistics", {}))
         return database
 
 

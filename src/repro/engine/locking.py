@@ -1,0 +1,134 @@
+"""Reader-writer locking for the embedded engine.
+
+The ODBIS economics (paper §2) hinge on one shared physical backend
+serving many tenants at once, so the engine must admit overlapping
+statements safely.  Each :class:`~repro.engine.database.Database`
+carries one :class:`ReadWriteLock`; the acquisition mode is chosen
+from the parsed statement class:
+
+* SELECT / EXPLAIN (outside a transaction) take the **shared** side —
+  any number of readers overlap;
+* DML, DDL and transaction scopes take the **exclusive** side — one
+  writer at a time, excluding all readers.
+
+The exclusive side is reentrant per thread, which is what lets an
+explicit transaction hold the lock across every statement it runs
+(``BEGIN`` acquires, ``COMMIT``/``ROLLBACK`` release), so no other
+thread can observe uncommitted state.  Waiting writers gate new
+readers, so heavy read traffic cannot starve DML.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+#: Lock acquisition modes, as chosen by ``Database._lock_mode``.
+SHARED = "shared"
+EXCLUSIVE = "exclusive"
+
+
+class ReadWriteLock:
+    """A writer-preference reader-writer lock with a reentrant writer.
+
+    Invariants: either ``_writer`` is None and any number of readers
+    hold the shared side, or ``_writer`` names the one thread holding
+    the exclusive side ``_writer_depth`` times and ``_readers`` is 0.
+    A thread holding the exclusive side may re-acquire either side;
+    the hold is released when its depth returns to zero.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None
+        self._writer_depth = 0
+        self._waiting_writers = 0
+
+    # -- shared side -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                # Reads under this thread's exclusive hold piggyback
+                # on it (a transaction running SELECTs).
+                self._writer_depth += 1
+                return
+            while self._writer is not None or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._release_exclusive_hold()
+                return
+            if self._readers <= 0:
+                raise RuntimeError("release_read without acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- exclusive side --------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError(
+                    "release_write by a thread that does not hold "
+                    "the exclusive lock")
+            self._release_exclusive_hold()
+
+    def _release_exclusive_hold(self) -> None:
+        self._writer_depth -= 1
+        if self._writer_depth == 0:
+            self._writer = None
+            self._cond.notify_all()
+
+    # -- introspection / scoping ----------------------------------------------
+
+    def owned_exclusively(self) -> bool:
+        """True when the calling thread holds the exclusive side."""
+        with self._cond:
+            return self._writer == threading.get_ident()
+
+    @contextmanager
+    def shared(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def exclusive(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    def held(self, mode: str):
+        """The scope for one statement: ``SHARED`` or ``EXCLUSIVE``."""
+        if mode == SHARED:
+            return self.shared()
+        if mode == EXCLUSIVE:
+            return self.exclusive()
+        raise ValueError(f"unknown lock mode {mode!r}")

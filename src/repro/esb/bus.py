@@ -35,8 +35,23 @@ class Message:
     headers: Dict[str, Any] = field(default_factory=dict)
     message_id: int = field(default_factory=lambda: next(_message_ids))
 
+    @property
+    def correlation_id(self) -> int:
+        """The id of the originating message this one descends from."""
+        return self.headers.get("correlation_id", self.message_id)
+
     def with_payload(self, payload: Any) -> "Message":
-        return Message(payload=payload, headers=dict(self.headers))
+        """A copy with a new payload and a fresh ``message_id``.
+
+        The originating message's id rides along as the
+        ``correlation_id`` header (set once, then preserved across
+        transformer/router hops) so transformed messages stay
+        correlated with their origin in the delivery log and the
+        dead-letter queue.
+        """
+        headers = dict(self.headers)
+        headers.setdefault("correlation_id", self.message_id)
+        return Message(payload=payload, headers=headers)
 
 
 class _Endpoint:
@@ -137,6 +152,16 @@ class MessageBus:
                 failed = Message(
                     payload=message.payload,
                     headers={**message.headers,
+                             "correlation_id": message.correlation_id,
                              "error": str(exc),
                              "failed_channel": channel})
-                self._deliver(DEAD_LETTER_CHANNEL, failed, hops + 1)
+                if channel == DEAD_LETTER_CHANNEL:
+                    # A failing dead-letter handler keeps consuming
+                    # the hop budget so it cannot recurse forever.
+                    self._deliver(DEAD_LETTER_CHANNEL, failed, hops + 1)
+                else:
+                    # Dead-letter delivery sits outside the hop
+                    # budget: a failure on the final permitted hop
+                    # must record the original error, not trip the
+                    # routing-loop guard.
+                    self._deliver(DEAD_LETTER_CHANNEL, failed, 0)

@@ -1,0 +1,228 @@
+"""Regression tests for the serving-layer correctness fixes.
+
+Each test here fails on the pre-fix code:
+
+* ``Database.executemany`` left rows 1..N-1 applied when row N failed;
+* ``Database.load`` reset the ``compile`` flag and statistics and
+  never revalidated views against the restored catalog;
+* ``Message.with_payload`` minted a fresh ``message_id`` with no
+  correlation back to the originating message;
+* a handler failure on the final permitted hop raised the
+  routing-loop ``EsbError`` from the nested dead-letter delivery
+  instead of recording the original error.
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine import Database
+from repro.esb import MessageBus
+from repro.esb.bus import DEAD_LETTER_CHANNEL
+from repro.errors import CatalogError, ConstraintViolation, EsbError
+
+
+def _inventory_db(compile=True):
+    database = Database("inv", compile=compile)
+    database.execute(
+        "CREATE TABLE items (id INTEGER PRIMARY KEY, name TEXT)")
+    database.execute("INSERT INTO items VALUES (1, 'widget')")
+    return database
+
+
+class TestExecutemanyAtomicity:
+    def test_failed_batch_applies_no_rows(self):
+        database = _inventory_db()
+        # Row 3 collides with the existing primary key 1: the whole
+        # batch must roll back, not stop with rows 10 and 11 applied.
+        with pytest.raises(ConstraintViolation):
+            database.executemany(
+                "INSERT INTO items VALUES (?, ?)",
+                [(10, "a"), (11, "b"), (1, "dup"), (12, "c")])
+        assert database.query_value("SELECT COUNT(*) FROM items") == 1
+        assert not database.in_transaction
+
+    def test_successful_batch_commits_as_a_unit(self):
+        database = _inventory_db()
+        total = database.executemany(
+            "INSERT INTO items VALUES (?, ?)",
+            [(2, "a"), (3, "b"), (4, "c")])
+        assert total == 3
+        assert database.query_value("SELECT COUNT(*) FROM items") == 4
+        assert not database.in_transaction
+
+    def test_batch_joins_open_transaction(self):
+        """Inside a caller's transaction the caller owns the boundary."""
+        database = _inventory_db()
+        database.begin()
+        database.executemany(
+            "INSERT INTO items VALUES (?, ?)", [(2, "a"), (3, "b")])
+        assert database.in_transaction
+        database.rollback()
+        assert database.query_value("SELECT COUNT(*) FROM items") == 1
+
+    def test_failure_in_open_transaction_leaves_it_to_caller(self):
+        database = _inventory_db()
+        database.begin()
+        database.execute("INSERT INTO items VALUES (2, 'kept')")
+        with pytest.raises(ConstraintViolation):
+            database.executemany(
+                "INSERT INTO items VALUES (?, ?)",
+                [(3, "a"), (1, "dup")])
+        # The surrounding transaction is still open; the caller
+        # decides whether its earlier work survives.
+        assert database.in_transaction
+        database.rollback()
+        assert database.query_value("SELECT COUNT(*) FROM items") == 1
+
+
+class TestSnapshotLoad:
+    def _saved(self, tmp_path, compile=True):
+        database = Database("snap", compile=compile)
+        database.execute(
+            "CREATE TABLE users (id INTEGER PRIMARY KEY, email TEXT "
+            "UNIQUE)")
+        database.executemany(
+            "INSERT INTO users VALUES (?, ?)",
+            [(key, f"u{key}@x.io") for key in range(1, 6)])
+        database.execute(
+            "CREATE VIEW mails AS SELECT email FROM users")
+        database.query("SELECT email FROM users WHERE id = 3")
+        path = tmp_path / "snap.db"
+        database.save(path)
+        return database, path
+
+    def test_compile_flag_survives_the_round_trip(self, tmp_path):
+        _, path = self._saved(tmp_path, compile=False)
+        loaded = Database.load(path)
+        assert loaded._compile_enabled is False
+        _, path = self._saved(tmp_path, compile=True)
+        assert Database.load(path)._compile_enabled is True
+
+    def test_statistics_survive_the_round_trip(self, tmp_path):
+        original, path = self._saved(tmp_path)
+        loaded = Database.load(path)
+        assert loaded.statistics == original.statistics
+
+    def test_loaded_db_rejects_unique_duplicates(self, tmp_path):
+        _, path = self._saved(tmp_path)
+        loaded = Database.load(path)
+        with pytest.raises(ConstraintViolation):
+            loaded.execute(
+                "INSERT INTO users VALUES (9, 'u3@x.io')")
+        with pytest.raises(ConstraintViolation):
+            loaded.execute(
+                "INSERT INTO users VALUES (3, 'new@x.io')")
+
+    def test_loaded_db_serves_compiled_point_scans(self, tmp_path):
+        _, path = self._saved(tmp_path)
+        loaded = Database.load(path)
+        plan = loaded.query(
+            "EXPLAIN SELECT email FROM users WHERE id = ?")
+        text = " ".join(line["plan"] for line in plan)
+        assert "interpreted execution" not in text
+        rows = loaded.query(
+            "SELECT email FROM users WHERE id = ?", (4,))
+        assert rows == [{"email": "u4@x.io"}]
+
+    def test_views_survive_and_are_revalidated(self, tmp_path):
+        _, path = self._saved(tmp_path)
+        loaded = Database.load(path)
+        assert len(loaded.query("SELECT email FROM mails")) == 5
+        # Tamper with the snapshot so the view's table is gone: the
+        # load itself must fail, not the view's first use.
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["tables"] = []
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.raises(CatalogError):
+            Database.load(path)
+
+
+class TestEsbMessageIdentity:
+    def test_transformed_message_carries_correlation_id(self):
+        bus = MessageBus()
+        bus.create_channel("in")
+        bus.create_channel("out")
+        bus.transformer("in", str.upper, "out")
+        seen = []
+        bus.service_activator("out", seen.append)
+        origin = bus.send("in", "payload")
+        assert len(seen) == 1
+        transformed = seen[0]
+        assert transformed.message_id != origin.message_id
+        assert transformed.headers["correlation_id"] == origin.message_id
+        assert transformed.correlation_id == origin.message_id
+
+    def test_correlation_id_preserved_across_hops(self):
+        bus = MessageBus()
+        for name in ("a", "b", "c"):
+            bus.create_channel(name)
+        bus.transformer("a", lambda p: p + 1, "b")
+        bus.transformer("b", lambda p: p * 2, "c")
+        seen = []
+        bus.service_activator("c", seen.append)
+        origin = bus.send("a", 1)
+        assert seen[0].payload == 4
+        # The second hop must keep the *origin's* id, not rebase the
+        # correlation onto the intermediate message.
+        assert seen[0].headers["correlation_id"] == origin.message_id
+
+    def test_dead_letter_correlates_with_origin(self):
+        bus = MessageBus()
+        bus.create_channel("in")
+        bus.create_channel("out")
+        bus.transformer("in", str.upper, "out")
+
+        def explode(message):
+            raise ValueError("boom")
+
+        bus.service_activator("out", explode)
+        origin = bus.send("in", "payload")
+        assert len(bus.dead_letters) == 1
+        dead = bus.dead_letters[0]
+        assert dead.headers["error"] == "boom"
+        assert dead.headers["correlation_id"] == origin.message_id
+
+
+class TestEsbDeadLetterAtHopBudget:
+    def test_failure_on_final_hop_reaches_dead_letters(self):
+        bus = MessageBus(max_hops=1)
+        bus.create_channel("a")
+        bus.create_channel("b")
+        bus.transformer("a", str.upper, "b")
+
+        def explode(message):
+            raise ValueError("boom at the budget")
+
+        bus.service_activator("b", explode)
+        # Pre-fix this raised the routing-loop EsbError out of the
+        # nested dead-letter delivery instead of recording the error.
+        bus.send("a", "payload")
+        assert len(bus.dead_letters) == 1
+        dead = bus.dead_letters[0]
+        assert dead.headers["error"] == "boom at the budget"
+        assert dead.headers["failed_channel"] == "b"
+
+    def test_routing_loops_still_trip_the_guard(self):
+        bus = MessageBus(max_hops=5)
+        bus.create_channel("loop")
+        bus.router("loop", lambda message: "loop")
+        with pytest.raises(EsbError):
+            bus.send("loop", "spin")
+
+    def test_failing_dead_letter_handler_cannot_recurse_forever(self):
+        bus = MessageBus(max_hops=3)
+        bus.create_channel("in")
+
+        def explode(message):
+            raise ValueError("always")
+
+        bus.service_activator("in", explode)
+        bus.service_activator(DEAD_LETTER_CHANNEL, explode)
+        # The dead-letter handler fails too; nested failures consume
+        # the hop budget instead of recursing unboundedly.
+        with pytest.raises(EsbError):
+            bus.send("in", "payload")
+        assert len(bus.dead_letters) >= 1

@@ -1,0 +1,204 @@
+"""The request gateway: concurrent dispatch and tenant admission.
+
+Covers the serving-layer tentpole at the platform level — overlapping
+tenant requests through the worker pool — and the
+``TenantManager.deactivate``/``require_active`` interplay: a
+deactivated tenant's request is rejected at dispatch (it never reaches
+the web stack, let alone a database), not mid-query.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import OdbisPlatform, RequestGateway, TenancyMode
+from repro.core.tenancy import TenantManager
+from repro.errors import TenantError
+
+TENANTS = ("acme", "globex")
+
+
+@pytest.fixture
+def platform():
+    platform = OdbisPlatform()
+    for tenant in TENANTS:
+        platform.provisioning.provision(tenant, tenant.title(),
+                                        plan="team")
+    yield platform
+    platform.gateway.shutdown()
+
+
+def login(platform, tenant):
+    response = platform.web.request(
+        "POST", "/login",
+        body={"username": f"admin@{tenant}", "password": "changeme"})
+    assert response.status == 200
+    return {"x-auth-token": response.json()["token"]}
+
+
+class TestDispatch:
+    def test_public_path_needs_no_tenant(self, platform):
+        response = platform.gateway.submit("GET", "/ping").result(30)
+        assert response.status == 200
+        assert response.json() == {"status": "up"}
+
+    def test_parallel_tenant_requests_stay_tenant_correct(
+            self, platform):
+        headers = {tenant: login(platform, tenant)
+                   for tenant in TENANTS}
+        requests = []
+        for repeat in range(8):
+            for tenant in TENANTS:
+                requests.append({
+                    "method": "GET",
+                    "path": f"/tenants/{tenant}/datasources",
+                    "headers": headers[tenant],
+                })
+        responses = platform.gateway.dispatch_all(requests)
+        assert len(responses) == 16
+        for spec, response in zip(requests, responses):
+            assert response.status == 200
+            tenant = spec["path"].split("/")[2]
+            names = [entry["name"] for entry in response.json()]
+            assert names == ["warehouse"]
+        assert all(decision == "accepted"
+                   for _, decision in platform.gateway.dispatch_log)
+
+    def test_pool_really_overlaps_requests(self, platform):
+        """All workers must be inside a handler simultaneously."""
+        inside = threading.Barrier(platform.gateway.max_workers)
+
+        def rendezvous(request):
+            inside.wait(timeout=30)
+            from repro.web import JsonResponse
+            return JsonResponse({"ok": True})
+
+        platform.web.get("/rendezvous", rendezvous)
+        headers = login(platform, "acme")
+        futures = [platform.gateway.submit("GET", "/rendezvous",
+                                           headers=headers)
+                   for _ in range(platform.gateway.max_workers)]
+        responses = [future.result(30) for future in futures]
+        assert all(response.status == 200 for response in responses)
+
+
+class TestAdmissionControl:
+    def test_deactivated_tenant_rejected_at_dispatch(self, platform):
+        headers = login(platform, "globex")
+        ok = platform.gateway.submit(
+            "GET", "/tenants/globex/datasets",
+            headers=headers).result(30)
+        assert ok.status == 200
+        platform.tenants.deactivate("globex")
+        with pytest.raises(TenantError):
+            platform.tenants.require_active("globex")
+        handled_before = len(platform.web.access_log)
+        response = platform.gateway.submit(
+            "GET", "/tenants/globex/datasets",
+            headers=headers).result(30)
+        assert response.status == 403
+        assert "deactivated" in response.json()["error"]
+        # Rejected at dispatch: the web stack never saw the request.
+        assert len(platform.web.access_log) == handled_before
+        assert platform.gateway.dispatch_log[-1] == \
+            ("/tenants/globex/datasets", "rejected")
+        # The other tenant is unaffected.
+        acme = platform.gateway.submit(
+            "GET", "/tenants/acme/datasets",
+            headers=login(platform, "acme")).result(30)
+        assert acme.status == 200
+
+    def test_unknown_tenant_rejected_at_dispatch(self, platform):
+        response = platform.gateway.submit(
+            "GET", "/tenants/nobody/datasets",
+            headers=login(platform, "acme")).result(30)
+        assert response.status == 404
+        assert "unknown tenant" in response.json()["error"]
+
+    def test_reactivation_restores_dispatch(self, platform):
+        platform.tenants.deactivate("acme")
+        headers = login(platform, "acme")
+        assert platform.gateway.submit(
+            "GET", "/tenants/acme/datasets",
+            headers=headers).result(30).status == 403
+        platform.tenants.context("acme").active = True
+        assert platform.tenants.require_active("acme")
+        assert platform.gateway.submit(
+            "GET", "/tenants/acme/datasets",
+            headers=headers).result(30).status == 200
+
+
+class TestIsolatedModeGateway:
+    def test_isolated_tenants_use_private_databases(self):
+        platform = OdbisPlatform(mode=TenancyMode.ISOLATED)
+        try:
+            for tenant in TENANTS:
+                platform.provisioning.provision(tenant,
+                                                tenant.title())
+            assert platform.tenants.database_count() == len(TENANTS)
+            headers = {tenant: login(platform, tenant)
+                       for tenant in TENANTS}
+            requests = [{
+                "method": "GET",
+                "path": f"/tenants/{tenant}/datasources",
+                "headers": headers[tenant],
+            } for tenant in TENANTS for _ in range(6)]
+            responses = platform.gateway.dispatch_all(requests)
+            assert all(r.status == 200 for r in responses)
+        finally:
+            platform.gateway.shutdown()
+
+
+class TestConcurrentControlPlane:
+    def test_concurrent_registration_is_race_free(self):
+        manager = TenantManager(TenancyMode.ISOLATED)
+        winners = []
+
+        def worker(wid):
+            try:
+                manager.register("dup", f"from-{wid}")
+                winners.append(wid)
+            except TenantError:
+                pass
+
+        threads = [threading.Thread(target=worker, args=(wid,))
+                   for wid in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(winners) == 1
+        assert len(manager) == 1
+
+    def test_concurrent_metering_mints_unique_event_ids(self, platform):
+        def worker(wid):
+            for _ in range(20):
+                platform.billing.meter("acme", "query", 1)
+
+        threads = [threading.Thread(target=worker, args=(wid,))
+                   for wid in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        ids = platform.billing.database.query(
+            "SELECT id FROM usage_events WHERE tenant = 'acme'")
+        values = [row["id"] for row in ids]
+        assert len(values) == 160
+        assert len(set(values)) == 160
+        assert platform.billing.usage("acme")["query"] == 160
+
+
+class TestGatewayUnit:
+    def test_tenant_of(self):
+        assert RequestGateway.tenant_of("/tenants/acme/datasets") == \
+            "acme"
+        assert RequestGateway.tenant_of("/ping") is None
+        assert RequestGateway.tenant_of("/tenants") is None
+
+    def test_context_manager_shuts_pool_down(self):
+        platform = OdbisPlatform()
+        platform.provisioning.provision("acme", "Acme")
+        with platform.gateway as gateway:
+            assert gateway.submit("GET", "/ping").result(30).ok
+        assert gateway._pool is None

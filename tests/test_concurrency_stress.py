@@ -1,0 +1,315 @@
+"""Deterministic concurrency stress harness (``pytest -m stress``).
+
+Barrier-orchestrated interleavings of mixed read/write/DDL/transaction
+workloads across ≥8 worker threads, doubling as the race regression
+suite: every scenario is phase-aligned with :class:`threading.Barrier`
+so each phase's *observable* results are deterministic even though the
+statement interleaving inside a phase is not.  Each engine scenario
+runs twice — ``Database(compile=True)`` and ``compile=False`` — and
+the two per-thread result logs must be identical, so compiled plans
+and the interpreted executor agree under contention.
+
+These tests run in the tier-1 suite; a race that corrupts state or
+deadlocks (the barrier/join timeouts catch hangs) fails the build.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import Database, ReadWriteLock
+from repro.core.tenancy import TenancyMode, TenantManager
+
+pytestmark = pytest.mark.stress
+
+N_WORKERS = 8
+WAIT = 60.0  # barrier/join timeout: a deadlock fails, not hangs
+
+
+def run_workers(worker, n_workers=N_WORKERS):
+    """Run ``worker(wid)`` on n threads; re-raise the first failure."""
+    errors = []
+
+    def guarded(wid):
+        try:
+            worker(wid)
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append((wid, exc))
+
+    threads = [threading.Thread(target=guarded, args=(wid,),
+                                name=f"stress-{wid}")
+               for wid in range(n_workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=WAIT)
+    alive = [thread.name for thread in threads if thread.is_alive()]
+    assert not alive, f"workers deadlocked: {alive}"
+    if errors:
+        wid, exc = errors[0]
+        raise AssertionError(f"worker {wid} failed: {exc!r}") from exc
+
+
+class TestReadWriteLock:
+    def test_readers_overlap(self):
+        """All readers must be inside the lock at the same time."""
+        lock = ReadWriteLock()
+        inside = threading.Barrier(N_WORKERS)
+
+        def worker(wid):
+            with lock.shared():
+                # If readers excluded each other this barrier could
+                # never fill and the wait would raise BrokenBarrier.
+                inside.wait(timeout=WAIT)
+
+        run_workers(worker)
+
+    def test_writer_excludes_everyone(self):
+        lock = ReadWriteLock()
+        counter = {"value": 0, "max_inside": 0}
+
+        def worker(wid):
+            for _ in range(200):
+                with lock.exclusive():
+                    counter["value"] += 1
+                    counter["max_inside"] = max(
+                        counter["max_inside"], 1)
+
+        run_workers(worker)
+        assert counter["value"] == N_WORKERS * 200
+
+    def test_writer_is_reentrant(self):
+        lock = ReadWriteLock()
+        with lock.exclusive():
+            with lock.exclusive():
+                with lock.shared():
+                    assert lock.owned_exclusively()
+        assert not lock.owned_exclusively()
+
+
+def _stress_scenario(compile):
+    """One full mixed workload; returns (db, per-thread result logs)."""
+    database = Database("stress", compile=compile)
+    database.execute(
+        "CREATE TABLE items (id INTEGER PRIMARY KEY, owner TEXT, "
+        "qty INTEGER)")
+    database.execute(
+        "CREATE TABLE audit (aid INTEGER PRIMARY KEY, actor TEXT)")
+    barrier = threading.Barrier(N_WORKERS)
+    logs = [[] for _ in range(N_WORKERS)]
+
+    def worker(wid):
+        log = logs[wid]
+        owner = f"w{wid}"
+        # Phase 1 — concurrent writes on disjoint key ranges.
+        barrier.wait(timeout=WAIT)
+        for i in range(20):
+            database.execute("INSERT INTO items VALUES (?, ?, ?)",
+                             (wid * 100 + i, owner, i))
+        # Phase 2 — all threads read the now-settled state at once.
+        barrier.wait(timeout=WAIT)
+        log.append(database.query(
+            "SELECT COUNT(*) AS n FROM items"))
+        log.append(database.query(
+            "SELECT owner, SUM(qty) AS total FROM items "
+            "GROUP BY owner ORDER BY owner"))
+        log.append(database.query(
+            "SELECT qty FROM items WHERE id = ?", (wid * 100 + 5,)))
+        # Phase 3 — DDL under contention: worker 0 reshapes the table
+        # while the others run point reads (explicit column lists, so
+        # the added column cannot change any logged result).
+        barrier.wait(timeout=WAIT)
+        if wid == 0:
+            database.execute(
+                "CREATE INDEX idx_owner ON items (owner)")
+            database.execute(
+                "ALTER TABLE items ADD COLUMN note TEXT")
+        else:
+            for i in range(10):
+                log.append(database.query(
+                    "SELECT id, qty FROM items WHERE id = ?",
+                    (wid * 100 + i,)))
+        # Phase 4 — even workers run exclusive transaction scopes;
+        # odd workers read rows no transaction touches.
+        barrier.wait(timeout=WAIT)
+        if wid % 2 == 0:
+            with database.transaction():
+                database.execute(
+                    "UPDATE items SET qty = qty + 100 "
+                    "WHERE owner = ?", (owner,))
+                database.execute(
+                    "INSERT INTO audit VALUES (?, ?)", (wid, owner))
+        else:
+            log.append(database.query(
+                "SELECT id, qty FROM items WHERE owner = ? "
+                "ORDER BY id", (owner,)))
+        # Phase 5 — odd workers roll back a destructive transaction;
+        # even workers read their own (untouched) partitions.
+        barrier.wait(timeout=WAIT)
+        if wid % 2 == 1:
+            with pytest.raises(RuntimeError):
+                with database.transaction():
+                    database.execute(
+                        "DELETE FROM items WHERE owner = ?", (owner,))
+                    raise RuntimeError("forced rollback")
+        else:
+            log.append(database.query(
+                "SELECT COUNT(*) AS n FROM items WHERE owner = ?",
+                (owner,)))
+
+    run_workers(worker)
+    return database, logs
+
+
+class TestEngineStress:
+    def test_mixed_workload_compiled_equals_interpreted(self):
+        compiled_db, compiled_logs = _stress_scenario(compile=True)
+        interpreted_db, interpreted_logs = _stress_scenario(
+            compile=False)
+        # The race regression core: under contention, the compiled
+        # and interpreted engines must produce identical logs.
+        assert compiled_logs == interpreted_logs
+        for database in (compiled_db, interpreted_db):
+            assert database.query_value(
+                "SELECT COUNT(*) FROM items") == N_WORKERS * 20
+            # Even owners got +100 per row inside their transactions;
+            # odd owners' deletes all rolled back.
+            sums = {row["owner"]: row["total"] for row in database.query(
+                "SELECT owner, SUM(qty) AS total FROM items "
+                "GROUP BY owner")}
+            base = sum(range(20))
+            for wid in range(N_WORKERS):
+                expected = base + (2000 if wid % 2 == 0 else 0)
+                assert sums[f"w{wid}"] == expected
+            actors = database.query(
+                "SELECT actor FROM audit ORDER BY actor")
+            assert [row["actor"] for row in actors] == \
+                [f"w{wid}" for wid in range(0, N_WORKERS, 2)]
+            assert not database.in_transaction
+
+    def test_transaction_scopes_prevent_lost_updates(self):
+        """Read-modify-write in a transaction scope must not race."""
+        database = Database("counter")
+        database.execute(
+            "CREATE TABLE counter (id INTEGER PRIMARY KEY, "
+            "v INTEGER)")
+        database.execute("INSERT INTO counter VALUES (1, 0)")
+        rounds = 25
+
+        def worker(wid):
+            for _ in range(rounds):
+                with database.transaction():
+                    value = database.query_value(
+                        "SELECT v FROM counter WHERE id = 1")
+                    database.execute(
+                        "UPDATE counter SET v = ? WHERE id = 1",
+                        (value + 1,))
+
+        run_workers(worker)
+        assert database.query_value(
+            "SELECT v FROM counter WHERE id = 1") == \
+            N_WORKERS * rounds
+
+    def test_plan_and_statement_caches_survive_ddl_churn(self):
+        """Concurrent first-parse/first-plan races + invalidation."""
+        database = Database("churn")
+        database.execute(
+            "CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+        database.executemany(
+            "INSERT INTO t VALUES (?, ?)",
+            [(key, key * 7) for key in range(1, 201)])
+        rounds = 12
+        barrier = threading.Barrier(N_WORKERS)
+
+        def worker(wid):
+            for round_no in range(rounds):
+                barrier.wait(timeout=WAIT)
+                if wid == 0:
+                    # DDL invalidates every cached plan mid-round.
+                    database.execute(
+                        f"CREATE INDEX churn_{round_no} ON t (v)")
+                else:
+                    key = (wid * 31 + round_no) % 200 + 1
+                    value = database.query_value(
+                        "SELECT v FROM t WHERE k = ?", (key,))
+                    assert value == key * 7
+
+        run_workers(worker)
+        # The shared statement object means one cache entry per text.
+        assert len(database._statement_cache) <= 3 + rounds
+
+    def test_statistics_are_not_lost_under_contention(self):
+        database = Database("stats")
+        database.execute(
+            "CREATE TABLE t (k INTEGER PRIMARY KEY)")
+        database.execute("INSERT INTO t VALUES (1)")
+        before = database.statistics["statements"]
+        per_worker = 50
+
+        def worker(wid):
+            for _ in range(per_worker):
+                database.query("SELECT k FROM t WHERE k = 1")
+
+        run_workers(worker)
+        assert database.statistics["statements"] == \
+            before + N_WORKERS * per_worker
+        assert database.statistics["rows_returned"] >= \
+            N_WORKERS * per_worker
+
+
+class TestTenantStress:
+    def test_shared_mode_tenants_serialize_writes_correctly(self):
+        """8 tenants on one shared operational database."""
+        manager = TenantManager(TenancyMode.SHARED)
+        for wid in range(N_WORKERS):
+            manager.register(f"t{wid}", f"Tenant {wid}")
+        shared = manager.platform_db
+        shared.execute(
+            "CREATE TABLE orders (id INTEGER PRIMARY KEY, "
+            "tenant TEXT, amount INTEGER)")
+        barrier = threading.Barrier(N_WORKERS)
+
+        def worker(wid):
+            context = manager.require_active(f"t{wid}")
+            database = context.operational_db
+            assert database is shared
+            barrier.wait(timeout=WAIT)
+            for i in range(25):
+                database.execute(
+                    "INSERT INTO orders VALUES (?, ?, ?)",
+                    (wid * 1000 + i, f"t{wid}", i))
+            # Tenant-discriminated reads overlap on the shared side.
+            rows = database.query(
+                "SELECT COUNT(*) AS n FROM orders WHERE tenant = ?",
+                (f"t{wid}",))
+            assert rows[0]["n"] == 25
+
+        run_workers(worker)
+        assert shared.query_value(
+            "SELECT COUNT(*) FROM orders") == N_WORKERS * 25
+        assert manager.database_count() == 1
+
+    def test_isolated_mode_tenants_run_in_parallel(self):
+        """Private databases: all 8 readers inside their engines at
+        once — the barrier can only fill if no cross-tenant lock
+        serializes them."""
+        manager = TenantManager(TenancyMode.ISOLATED)
+        for wid in range(N_WORKERS):
+            context = manager.register(f"t{wid}", f"Tenant {wid}")
+            context.operational_db.execute(
+                "CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)")
+            context.operational_db.execute(
+                "INSERT INTO kv VALUES (1, 'x')")
+        assert manager.database_count() == N_WORKERS
+        inside = threading.Barrier(N_WORKERS)
+
+        def worker(wid):
+            database = manager.require_active(
+                f"t{wid}").operational_db
+            with database._lock.shared():
+                inside.wait(timeout=WAIT)
+            for _ in range(50):
+                assert database.query_value(
+                    "SELECT v FROM kv WHERE k = 1") == "x"
+
+        run_workers(worker)
