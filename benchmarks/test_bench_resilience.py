@@ -1,0 +1,144 @@
+"""E14 — serving throughput under injected faults (resilience kernel).
+
+The PR 4 tentpole claims the platform *degrades* instead of failing:
+with storage/ESB/gateway fault injection at realistic rates, every
+request still resolves to a typed outcome and the serving layer keeps
+most of its throughput.  This experiment sweeps the injected fault
+rate (0% / 10% / 30%) over the same gateway workload and measures:
+
+* requests/s at each fault rate (retries and dead-lettering included);
+* the cost of a degraded answer (open breaker, stale cache) versus a
+  full backend round trip.
+
+All platform clocks are fake and the bus retry policy uses zero base
+delay, so the sweep measures work, not sleeps.  Timings land in
+``benchmarks/out/BENCH_resilience.json``; the sweep table is the
+E14 artefact.
+"""
+
+import time
+
+import pytest
+
+from repro.core import OdbisPlatform
+from repro.core.resilience import FakeClock
+from repro.web import JsonResponse
+
+from _util import emit, format_table, write_bench_json
+
+pytestmark = pytest.mark.perfsmoke
+
+TENANTS = ("acme", "globex")
+REQUESTS_PER_RATE = 120
+FAULT_RATES = (0.0, 0.1, 0.3)
+FAULT_SITES = ("esb.publish", "esb.deliver", "gateway.handle")
+
+
+def build_platform():
+    platform = OdbisPlatform(clock=FakeClock())
+    platform.resources.bus.service_activator(
+        "platform-events", lambda message: None)
+
+    def touch(request):
+        platform.resources.publish_event(request.tenant, "touch")
+        return JsonResponse({"tenant": request.tenant, "ok": True})
+
+    platform.web.get("/tenants/{tenant}/touch", touch)
+    headers = {}
+    for tenant in TENANTS:
+        platform.provisioning.provision(tenant, tenant.title(),
+                                        plan="team")
+        response = platform.web.request(
+            "POST", "/login",
+            body={"username": f"admin@{tenant}",
+                  "password": "changeme"})
+        headers[tenant] = {"x-auth-token": response.json()["token"]}
+    return platform, headers
+
+
+def drive(platform, headers, requests):
+    """Sequential gateway workload; returns status counts."""
+    counts = {}
+    for index in range(requests):
+        tenant = TENANTS[index % len(TENANTS)]
+        response = platform.gateway.submit(
+            "GET", f"/tenants/{tenant}/touch",
+            headers=headers[tenant]).result(30)
+        counts[response.status] = counts.get(response.status, 0) + 1
+    return counts
+
+
+def test_bench_resilience_fault_rate_sweep():
+    sweep_rows = []
+    bench_cases = {}
+    for rate in FAULT_RATES:
+        platform, headers = build_platform()
+        for offset, site in enumerate(FAULT_SITES):
+            if rate > 0.0:
+                platform.faults.inject(site, rate=rate,
+                                       seed=100 + offset)
+        started = time.perf_counter()
+        counts = drive(platform, headers, REQUESTS_PER_RATE)
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        platform.gateway.shutdown()
+
+        # Every request resolved to a typed outcome — the acceptance
+        # bar for "keeps serving" — and under chaos some succeeded.
+        assert sum(counts.values()) == REQUESTS_PER_RATE
+        assert set(counts) <= {200, 429, 500, 503, 504}
+        assert counts.get(200, 0) > 0
+        if rate == 0.0:
+            assert counts == {200: REQUESTS_PER_RATE}
+
+        throughput = REQUESTS_PER_RATE / (wall_ms / 1000.0)
+        injected = len(platform.faults.history)
+        dead = len(platform.resources.bus.dead_letters)
+        sweep_rows.append((f"{int(rate * 100)}%", wall_ms,
+                           throughput, counts.get(200, 0),
+                           injected, dead))
+        bench_cases[f"faults_{int(rate * 100)}pct_wall_ms"] = wall_ms
+        bench_cases[f"faults_{int(rate * 100)}pct_req_per_s"] = \
+            throughput
+
+    # Degraded-mode overhead: trip acme's breaker, then compare the
+    # stale-cache short-circuit against a normal backend round trip.
+    platform, headers = build_platform()
+    path = "/tenants/acme/touch"
+
+    def one_request():
+        return platform.gateway.submit(
+            "GET", path, headers=headers["acme"]).result(30)
+
+    assert one_request().status == 200  # primes the stale cache
+    started = time.perf_counter()
+    for _ in range(50):
+        assert one_request().status == 200
+    normal_ms = (time.perf_counter() - started) * 1000.0
+
+    platform.faults.inject("gateway.handle", rate=1.0, seed=0)
+    for _ in range(platform.gateway.breaker_threshold):
+        one_request()
+    assert platform.gateway.breaker("acme").state == "open"
+    started = time.perf_counter()
+    for _ in range(50):
+        response = one_request()
+        assert response.degraded and response.stale
+    degraded_ms = (time.perf_counter() - started) * 1000.0
+    platform.gateway.shutdown()
+
+    bench_cases["normal_50req_wall_ms"] = normal_ms
+    bench_cases["degraded_50req_wall_ms"] = degraded_ms
+    # The short-circuit skips the worker pool and the backend; it must
+    # never cost more than a real round trip (loose 1.5x bound so a
+    # loaded machine cannot flake the build).
+    assert degraded_ms < normal_ms * 1.5, (
+        f"degraded {degraded_ms:.2f}ms vs normal {normal_ms:.2f}ms")
+
+    emit("E14_resilience", format_table(
+        ("fault rate", "wall ms", "req/s", "200s", "injected",
+         "dead letters"),
+        sweep_rows) + "\n" + format_table(
+        ("case", "wall ms (50 req)"),
+        [("normal backend round trip", normal_ms),
+         ("degraded (stale cache, breaker open)", degraded_ms)]))
+    write_bench_json("resilience", bench_cases)

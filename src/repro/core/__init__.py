@@ -21,8 +21,21 @@ Multi-tenancy (:mod:`repro.core.tenancy`) and provisioning
 from repro.core.admin_service import AdminService
 from repro.core.analysis_service import AnalysisService
 from repro.core.delivery_service import Channel, InformationDeliveryService
-from repro.core.gateway import RequestGateway
+from repro.core.gateway import DegradedResponse, RequestGateway
 from repro.core.integration_service import IntegrationService
+from repro.core.resilience import (
+    Bulkhead,
+    CircuitBreaker,
+    Clock,
+    Deadline,
+    DegradedResult,
+    FakeClock,
+    FaultInjector,
+    HealthReport,
+    MonotonicClock,
+    RetryPolicy,
+    TenantHealth,
+)
 from repro.core.mddws import MddwsService
 from repro.core.metadata_service import MetadataService
 from repro.core.platform import OdbisPlatform, TechnicalResourcesLayer
@@ -36,18 +49,30 @@ __all__ = [
     "AdminService",
     "AnalysisService",
     "BillingService",
+    "Bulkhead",
     "Channel",
+    "CircuitBreaker",
+    "Clock",
+    "Deadline",
+    "DegradedResponse",
+    "DegradedResult",
+    "FakeClock",
+    "FaultInjector",
+    "HealthReport",
     "InformationDeliveryService",
     "IntegrationService",
     "MddwsService",
     "MetadataService",
+    "MonotonicClock",
     "OdbisPlatform",
     "Plan",
     "ProvisioningService",
     "ReportingService",
     "RequestGateway",
+    "RetryPolicy",
     "TechnicalResourcesLayer",
     "TenancyMode",
     "TenantContext",
+    "TenantHealth",
     "TenantManager",
 ]

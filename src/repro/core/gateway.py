@@ -8,6 +8,20 @@ overlap: each request is admission-checked against the tenant registry
 worker thread or database time is spent — and then handled on a pool
 thread through the normal middleware chain.
 
+The gateway is also where the resilience kernel meets traffic:
+
+* every accepted request carries a :class:`Deadline` (its remaining
+  budget is checked after queue wait, so a request that aged out in
+  the queue is answered 504 without burning a backend call),
+* each tenant has a :class:`Bulkhead` concurrency cap — a hot tenant
+  sheds load with a typed 429 instead of occupying every worker,
+* each tenant has a :class:`CircuitBreaker`; while it is open the
+  gateway answers from the stale-response cache with a typed
+  :class:`DegradedResponse` (staleness marker included) instead of
+  hammering the broken backend,
+* no exception escapes to callers: worker failures become typed 500
+  responses and count against the tenant's breaker.
+
 Data-plane serialization is the engine's job, not the gateway's: every
 :class:`~repro.engine.database.Database` carries a reader-writer lock
 keyed off the statement class, so ISOLATED-mode tenants (private
@@ -22,12 +36,55 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.resilience import (
+    Bulkhead,
+    CircuitBreaker,
+    Clock,
+    Deadline,
+    FaultInjector,
+    MonotonicClock,
+    TenantHealth,
+)
 from repro.core.tenancy import TenantManager
-from repro.errors import TenantError
+from repro.errors import GatewayShutdownError, TenantError
 from repro.web import JsonResponse, Response, WebApplication
 
 #: Default worker-pool width (the paper's "many concurrent tenants").
 DEFAULT_WORKERS = 8
+
+#: Per-tenant consecutive 5xx/exception count that opens the breaker.
+DEFAULT_BREAKER_THRESHOLD = 5
+
+#: Seconds (on the gateway clock) an open breaker stays open.
+DEFAULT_BREAKER_COOLDOWN = 30.0
+
+
+class DegradedResponse(JsonResponse):
+    """A typed "serving degraded" answer — never an exception.
+
+    When a tenant's breaker is open the gateway returns the last
+    known-good body for the path with ``stale=True`` and a staleness
+    marker (the gateway-clock time the cache entry was written), or a
+    503-status degraded notice when nothing is cached.  ``degraded``
+    is always True so callers can branch without parsing the body.
+    """
+
+    degraded = True
+
+    def __init__(self, reason: str, payload: Any = None,
+                 stale: bool = False,
+                 stale_as_of: Optional[float] = None,
+                 status: Optional[int] = None):
+        self.reason = reason
+        self.stale = stale
+        self.stale_as_of = stale_as_of
+        body = {"degraded": True, "reason": reason, "stale": stale}
+        if stale:
+            body["stale_as_of"] = stale_as_of
+            body["data"] = payload
+        super().__init__(
+            body, status=status if status is not None
+            else (200 if stale else 503))
 
 
 class RequestGateway:
@@ -37,17 +94,38 @@ class RequestGateway:
     to the :class:`~repro.web.Response`; ``dispatch_all`` fans a batch
     out and gathers responses in request order.  The ``dispatch_log``
     records one ``(path, decision)`` pair per submission — the
-    observable that admission control happened at dispatch time.
+    observable that admission control happened at dispatch time; the
+    decisions are ``accepted``, ``rejected`` (admission), ``shed``
+    (bulkhead full) and ``degraded`` (breaker open).
     """
 
     def __init__(self, web: WebApplication, tenants: TenantManager,
-                 max_workers: int = DEFAULT_WORKERS):
+                 max_workers: int = DEFAULT_WORKERS,
+                 clock: Optional[Clock] = None,
+                 faults: Optional[FaultInjector] = None,
+                 deadline_seconds: Optional[float] = None,
+                 bulkhead_capacity: Optional[int] = None,
+                 breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN):
         self.web = web
         self.tenants = tenants
         self.max_workers = max_workers
+        self.clock = clock or MonotonicClock()
+        self.faults = faults or FaultInjector()
+        self.deadline_seconds = deadline_seconds
+        self.bulkhead_capacity = bulkhead_capacity or max_workers
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
         self.dispatch_log: List[Tuple[str, str]] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._bulkheads: Dict[str, Bulkhead] = {}
+        self._guard_lock = threading.Lock()
+        self._stale_cache: Dict[Tuple[str, str], Tuple[Any, float]] = {}
+        self._draining = False
+        self._inflight = 0
+        self._drain = threading.Condition()
 
     # -- pool lifecycle ---------------------------------------------------------
 
@@ -60,10 +138,25 @@ class RequestGateway:
             return self._pool
 
     def shutdown(self, wait: bool = True) -> None:
+        """Drain in-flight requests, then tear the pool down.
+
+        New submissions observe the draining flag *before* the pool is
+        touched and are rejected with a typed
+        :class:`~repro.errors.GatewayShutdownError` — they can no
+        longer race the teardown.
+        """
+        with self._drain:
+            self._draining = True
+        if wait:
+            with self._drain:
+                while self._inflight > 0:
+                    self._drain.wait(timeout=0.1)
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=wait)
+        with self._drain:
+            self._draining = False
 
     def __enter__(self) -> "RequestGateway":
         return self
@@ -97,21 +190,171 @@ class RequestGateway:
                 status=403)
         return None
 
+    # -- per-tenant resilience state ---------------------------------------------
+
+    def breaker(self, tenant_id: str) -> CircuitBreaker:
+        """The tenant's circuit breaker (created on first use)."""
+        with self._guard_lock:
+            if tenant_id not in self._breakers:
+                self._breakers[tenant_id] = CircuitBreaker(
+                    failure_threshold=self.breaker_threshold,
+                    cooldown=self.breaker_cooldown,
+                    clock=self.clock, name=f"tenant:{tenant_id}")
+            return self._breakers[tenant_id]
+
+    def bulkhead(self, tenant_id: str) -> Bulkhead:
+        """The tenant's concurrency cap (created on first use)."""
+        with self._guard_lock:
+            if tenant_id not in self._bulkheads:
+                self._bulkheads[tenant_id] = Bulkhead(
+                    self.bulkhead_capacity, name=f"tenant:{tenant_id}")
+            return self._bulkheads[tenant_id]
+
+    def tenant_health(self) -> Dict[str, TenantHealth]:
+        """Breaker + bulkhead posture per tenant seen so far."""
+        with self._guard_lock:
+            tenant_ids = set(self._breakers) | set(self._bulkheads)
+        health: Dict[str, TenantHealth] = {}
+        for tenant_id in sorted(tenant_ids):
+            breaker = self.breaker(tenant_id)
+            bulkhead = self.bulkhead(tenant_id)
+            health[tenant_id] = TenantHealth(
+                tenant=tenant_id,
+                breaker_state=breaker.state,
+                consecutive_failures=breaker.consecutive_failures,
+                bulkhead_in_use=bulkhead.in_use,
+                bulkhead_capacity=bulkhead.capacity)
+        return health
+
     # -- dispatch ---------------------------------------------------------------
 
     def submit(self, method: str, path: str, body: Any = None,
                headers: Optional[Dict[str, str]] = None,
                query: Optional[Dict[str, Any]] = None) -> "Future[Response]":
         """Admission-check one request and hand it to the pool."""
+        with self._drain:
+            if self._draining:
+                raise GatewayShutdownError(
+                    f"gateway is shutting down; rejected "
+                    f"{method} {path}")
+            self._inflight += 1
+        accepted = False
+        try:
+            future = self._submit_guarded(method, path, body,
+                                          headers, query)
+            accepted = True
+            return future
+        finally:
+            if not accepted:
+                self._request_done()
+
+    def _request_done(self) -> None:
+        with self._drain:
+            self._inflight -= 1
+            self._drain.notify_all()
+
+    def _resolved(self, path: str, decision: str,
+                  response: Response) -> "Future[Response]":
+        self.dispatch_log.append((path, decision))
+        future: "Future[Response]" = Future()
+        future.set_result(response)
+        self._request_done()
+        return future
+
+    def _submit_guarded(self, method: str, path: str, body: Any,
+                        headers: Optional[Dict[str, str]],
+                        query: Optional[Dict[str, Any]]) \
+            -> "Future[Response]":
         rejection = self._admit(path)
         if rejection is not None:
-            self.dispatch_log.append((path, "rejected"))
-            future: "Future[Response]" = Future()
-            future.set_result(rejection)
-            return future
+            return self._resolved(path, "rejected", rejection)
+
+        tenant_id = self.tenant_of(path)
+        breaker = bulkhead = None
+        if tenant_id is not None:
+            breaker = self.breaker(tenant_id)
+            if not breaker.allow():
+                return self._resolved(
+                    path, "degraded",
+                    self._degraded_response(tenant_id, path, breaker))
+            bulkhead = self.bulkhead(tenant_id)
+            if not bulkhead.try_acquire():
+                return self._resolved(path, "shed", JsonResponse(
+                    {"error": f"tenant {tenant_id!r} is over its "
+                              f"concurrency cap of {bulkhead.capacity}",
+                     "code": "bulkhead_rejected"}, status=429))
+
         self.dispatch_log.append((path, "accepted"))
+        deadline = None
+        if self.deadline_seconds is not None:
+            deadline = Deadline(self.deadline_seconds, clock=self.clock)
         return self._ensure_pool().submit(
-            self.web.request, method, path, body, headers, query)
+            self._run_request, method, path, body, headers, query,
+            tenant_id, breaker, bulkhead, deadline)
+
+    def _degraded_response(self, tenant_id: str, path: str,
+                           breaker: CircuitBreaker) \
+            -> DegradedResponse:
+        reason = (f"tenant {tenant_id!r} breaker is "
+                  f"{breaker.state}; retry in "
+                  f"{breaker.retry_after():.1f}s")
+        cached = self._stale_cache.get((tenant_id, path))
+        if cached is not None:
+            payload, written_at = cached
+            return DegradedResponse(reason, payload=payload,
+                                    stale=True,
+                                    stale_as_of=written_at)
+        return DegradedResponse(reason)
+
+    def _run_request(self, method: str, path: str, body: Any,
+                     headers: Optional[Dict[str, str]],
+                     query: Optional[Dict[str, Any]],
+                     tenant_id: Optional[str],
+                     breaker: Optional[CircuitBreaker],
+                     bulkhead: Optional[Bulkhead],
+                     deadline: Optional[Deadline]) -> Response:
+        """The worker-side wrapper: budget, faults, typed failures."""
+        try:
+            if deadline is not None and deadline.expired:
+                return JsonResponse(
+                    {"error": f"request exceeded its "
+                              f"{deadline.budget_seconds:.3f}s budget "
+                              f"waiting for a worker",
+                     "code": "deadline_exceeded"}, status=504)
+            try:
+                self.faults.fire("gateway.handle")
+                response = self.web.request(method, path, body,
+                                            headers, query)
+            except Exception as exc:
+                if breaker is not None:
+                    breaker.record_failure()
+                return JsonResponse(
+                    {"error": str(exc),
+                     "code": "internal_failure"}, status=500)
+            if deadline is not None and deadline.expired:
+                if breaker is not None:
+                    breaker.record_failure()
+                return JsonResponse(
+                    {"error": f"request exceeded its "
+                              f"{deadline.budget_seconds:.3f}s budget",
+                     "code": "deadline_exceeded"}, status=504)
+            if breaker is not None:
+                if response.status >= 500:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+            if tenant_id is not None and response.ok:
+                try:
+                    payload = response.json()
+                except ValueError:
+                    payload = response.body  # non-JSON channel output
+                self._stale_cache[(tenant_id, path)] = (
+                    payload, self.clock.now())
+            return response
+        finally:
+            if bulkhead is not None:
+                bulkhead.release()
+            self._request_done()
 
     def dispatch_all(self, requests: List[Dict[str, Any]]) \
             -> List[Response]:

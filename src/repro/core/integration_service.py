@@ -14,7 +14,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.resources import TechnicalResourcesLayer
 from repro.core.subscription import BillingService
 from repro.core.tenancy import TenantManager
-from repro.errors import ServiceError
+from repro.errors import JobQuarantinedError, ServiceError
 from repro.etl import (
     EtlJob,
     JobGraph,
@@ -32,6 +32,9 @@ from repro.etl import (
 class IntegrationService:
     """Per-tenant ETL job management and scheduling."""
 
+    #: Consecutive scheduled failures before a job is quarantined.
+    QUARANTINE_AFTER = 3
+
     def __init__(self, tenants: TenantManager,
                  resources: TechnicalResourcesLayer,
                  billing: Optional[BillingService] = None):
@@ -39,8 +42,10 @@ class IntegrationService:
         self.resources = resources
         self.billing = billing
         self._jobs: Dict[Tuple[str, str], EtlJob] = {}
-        self._runner = JobRunner(error_policy="skip")
-        self.scheduler = Scheduler(self._runner)
+        self._runner = JobRunner(error_policy="skip",
+                                 faults=resources.faults)
+        self.scheduler = Scheduler(
+            self._runner, quarantine_after=self.QUARANTINE_AFTER)
         self._run_journal: List[Dict[str, Any]] = []
 
     # -- job definition ---------------------------------------------------------------
@@ -94,11 +99,27 @@ class IntegrationService:
     # -- execution ---------------------------------------------------------------------
 
     def run_job(self, tenant_id: str, name: str) -> JobResult:
-        """Run a job now; meters the rows written."""
+        """Run a job now; meters the rows written.
+
+        A job the scheduler has quarantined is refused with a typed
+        :class:`~repro.errors.JobQuarantinedError` until
+        :meth:`unquarantine_job` readmits it — manual runs must not
+        silently bypass the platform's failure containment.
+        """
         job = self.job(tenant_id, name)
+        if job.name in self.scheduler.quarantined_jobs():
+            raise JobQuarantinedError(
+                f"job {name!r} of tenant {tenant_id!r} is "
+                f"quarantined after repeated failures; "
+                f"unquarantine it first")
         result = self._runner.run(job)
         self._journal(tenant_id, name, result)
         return result
+
+    def unquarantine_job(self, tenant_id: str, name: str) -> None:
+        """Readmit a quarantined scheduled job."""
+        self.job(tenant_id, name)  # validates ownership
+        self.scheduler.unquarantine(f"{tenant_id}:{name}")
 
     def run_graph(self, tenant_id: str,
                   dependencies: Dict[str, Sequence[str]]) \
@@ -165,14 +186,40 @@ class IntegrationService:
     # -- scheduling --------------------------------------------------------------------
 
     def schedule_job(self, tenant_id: str, name: str,
-                     schedule: Schedule) -> None:
+                     schedule: Schedule, retry_policy=None) -> None:
         job = self.job(tenant_id, name)
-        self.scheduler.add(job, schedule, owner=tenant_id)
+        self.scheduler.add(job, schedule, owner=tenant_id,
+                           retry_policy=retry_policy)
 
     def advance_clock(self, minutes: int) -> int:
-        """Drive the virtual clock; returns the number of runs fired."""
+        """Drive the virtual clock; returns the number of runs fired.
+
+        Failed and quarantine-skipped runs are journalled too (with
+        zero row counts) so the tenant's run history shows *why* data
+        is missing, but only completed runs meter billing.
+        """
         records = self.scheduler.advance(minutes)
+        fired = 0
         for record in records:
             tenant_id, name = record.job.split(":", 1)
-            self._journal(tenant_id, name, record.result)
-        return len(records)
+            if record.result is not None:
+                self._journal(tenant_id, name, record.result)
+                fired += 1
+            else:
+                self._run_journal.append({
+                    "tenant": tenant_id,
+                    "job": name,
+                    "rows_read": 0,
+                    "rows_written": 0,
+                    "rows_rejected": 0,
+                    "status": record.status,
+                    "error": record.error,
+                })
+        return fired
+
+    def quarantined_jobs(self, tenant_id: str) -> List[str]:
+        """This tenant's quarantined scheduled jobs (short names)."""
+        prefix = f"{tenant_id}:"
+        return [name[len(prefix):]
+                for name in self.scheduler.quarantined_jobs()
+                if name.startswith(prefix)]

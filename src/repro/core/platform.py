@@ -22,6 +22,12 @@ from repro.core.mddws import MddwsService
 from repro.core.metadata_service import MetadataService
 from repro.core.provisioning import ProvisioningService
 from repro.core.reporting_service import ReportingService
+from repro.core.resilience import (
+    Clock,
+    FaultInjector,
+    HealthReport,
+    MonotonicClock,
+)
 from repro.core.resources import TechnicalResourcesLayer
 from repro.core.subscription import BillingService
 from repro.core.tenancy import TenancyMode, TenantManager
@@ -45,9 +51,19 @@ class OdbisPlatform:
     """The assembled on-demand BI platform."""
 
     def __init__(self, mode: TenancyMode = TenancyMode.SHARED,
-                 use_olap_cache: bool = True):
+                 use_olap_cache: bool = True,
+                 faults: Optional[FaultInjector] = None,
+                 clock: Optional[Clock] = None,
+                 deadline_seconds: Optional[float] = None,
+                 bulkhead_capacity: Optional[int] = None):
+        # Cross-cutting: the resilience kernel's shared pieces.  One
+        # injector serves every instrumented site so a chaos run has a
+        # single deterministic fault history.
+        self.faults = faults or FaultInjector()
+        self.clock = clock or MonotonicClock()
         # Layer 5: technical resources.
-        self.resources = TechnicalResourcesLayer()
+        self.resources = TechnicalResourcesLayer(
+            faults=self.faults, clock=self.clock)
         # Tenancy + layer 3: administration and configuration.
         self.tenants = TenantManager(mode)
         self.billing = BillingService(self.tenants.platform_db)
@@ -75,7 +91,10 @@ class OdbisPlatform:
         # request gateway.  Layer traces are per-thread so overlapping
         # requests do not clobber each other's traversal record.
         self.web = WebApplication("odbis")
-        self.gateway = RequestGateway(self.web, self.tenants)
+        self.gateway = RequestGateway(
+            self.web, self.tenants, clock=self.clock,
+            faults=self.faults, deadline_seconds=deadline_seconds,
+            bulkhead_capacity=bulkhead_capacity)
         self._trace_local = threading.local()
         self.last_trace = []
         self._install_middleware()
@@ -151,6 +170,7 @@ class OdbisPlatform:
         web.get("/tenants/{tenant}/project", self._handle_project)
         web.post("/tenants/{tenant}/design", self._handle_design)
         web.get("/admin/usage", self._handle_usage)
+        web.get("/admin/health", self._handle_health)
 
     # -- route handlers ----------------------------------------------------------------
 
@@ -285,3 +305,31 @@ class OdbisPlatform:
             raise HttpError(403, "PLATFORM_ADMIN authority required")
         self._trace("administration")
         return JsonResponse(self.admin.usage_report())
+
+    def _handle_health(self, request: Request) -> Response:
+        if request.principal is None \
+                or not request.principal.has_authority("PLATFORM_ADMIN"):
+            raise HttpError(403, "PLATFORM_ADMIN authority required")
+        self._trace("administration")
+        return JsonResponse(self.health_report().to_dict())
+
+    # -- resilience observability ------------------------------------------------------
+
+    def health_report(self) -> HealthReport:
+        """Aggregate breaker/bulkhead/quarantine state per tenant.
+
+        The administration layer's SLA/monitoring view (Fig. 1): one
+        report covering the gateway's per-tenant circuit breakers and
+        bulkheads, the integration service's quarantined jobs, the
+        bus dead-letter backlog, and the faults injected so far (zero
+        outside chaos runs).
+        """
+        report = HealthReport(
+            dead_letters=len(self.resources.bus.dead_letters),
+            fault_sites=self.faults.summary())
+        for tenant_id, health in self.gateway.tenant_health().items():
+            report.tenants[tenant_id] = health
+        for name in self.integration.scheduler.quarantined_jobs():
+            tenant_id, job = name.split(":", 1)
+            report.tenant(tenant_id).quarantined_jobs.append(job)
+        return report

@@ -11,22 +11,43 @@ every core service resolves physical resources through it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.resilience import Clock, FaultInjector, RetryPolicy
 from repro.engine.database import Database
-from repro.errors import TenantError
+from repro.errors import EsbError, TenantError
 from repro.esb import MessageBus
 
 #: Channel carrying resource-level events (deploys, loads, queries).
 EVENTS_CHANNEL = "platform-events"
 
+#: Endpoint/publish retries before a message dead-letters.  Zero base
+#: delay: the bus is synchronous and in-process, so backoff buys
+#: nothing but latency — the retry *count* is what absorbs transient
+#: (injected) faults.
+DEFAULT_BUS_RETRIES = 3
+
 
 class TechnicalResourcesLayer:
-    """Named databases per tenant plus the integration bus."""
+    """Named databases per tenant plus the integration bus.
 
-    def __init__(self) -> None:
+    The bus ships with a retry-then-dead-letter policy wired in:
+    transient endpoint failures (including injected chaos at the
+    ``esb.*`` sites) are retried ``DEFAULT_BUS_RETRIES`` times and
+    then parked on the dead-letter channel with correlation intact —
+    a flaky subscriber can never fail the platform operation that
+    published the event.
+    """
+
+    def __init__(self, faults: Optional[FaultInjector] = None,
+                 clock: Optional[Clock] = None) -> None:
         self._databases: Dict[Tuple[str, str], Database] = {}
-        self.bus = MessageBus()
+        self.faults = faults or FaultInjector()
+        self.bus = MessageBus(
+            retry_policy=RetryPolicy(
+                attempts=DEFAULT_BUS_RETRIES, base_delay=0.0,
+                non_retryable=(EsbError,)),
+            clock=clock, faults=self.faults)
         self.bus.create_channel(EVENTS_CHANNEL)
 
     # -- databases -----------------------------------------------------------------

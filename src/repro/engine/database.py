@@ -8,6 +8,7 @@ ODBIS data layer hands JDBC-style connections to the services above it.
 
 from __future__ import annotations
 
+import os
 import pickle
 import threading
 from pathlib import Path
@@ -28,7 +29,12 @@ from repro.engine.parser import (
 from repro.engine.schema import Catalog, TableSchema
 from repro.engine.storage import TableStorage
 from repro.engine.transactions import Transaction
-from repro.errors import CatalogError, EngineError, TransactionError
+from repro.errors import (
+    CatalogError,
+    EngineError,
+    SnapshotError,
+    TransactionError,
+)
 
 
 class Database:
@@ -314,8 +320,19 @@ class Database:
 
     # -- persistence ------------------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Snapshot the whole database to ``path``."""
+    def save(self, path: Union[str, Path], faults=None) -> None:
+        """Snapshot the whole database to ``path``, atomically.
+
+        The payload is written to a sibling temp file and then
+        renamed over the target, so a crash (or an injected fault at
+        the ``storage.write`` site) mid-write can never leave a torn
+        snapshot behind: either the old snapshot survives intact or
+        the new one is complete.  ``faults`` is an optional
+        :class:`~repro.core.resilience.FaultInjector` (duck-typed);
+        when its ``storage.write`` rule fires, the write is torn
+        half-way through the temp file to simulate a crashed writer,
+        and the temp file is discarded.
+        """
         if self.in_transaction:
             raise TransactionError("cannot snapshot during a transaction")
         with self._lock.shared():
@@ -337,21 +354,54 @@ class Database:
                     for storage in self._storages.values()
                 ],
             }
-        with open(path, "wb") as handle:
-            pickle.dump(payload, handle)
+        data = pickle.dumps(payload)
+        target = Path(path)
+        scratch = target.with_name(target.name + ".tmp")
+        try:
+            with open(scratch, "wb") as handle:
+                if faults is not None:
+                    try:
+                        faults.fire("storage.write")
+                    except BaseException:
+                        # Simulate the torn write the rename protects
+                        # against: half the bytes land, then the
+                        # writer dies.
+                        handle.write(data[: len(data) // 2])
+                        raise
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(scratch, target)
+        except BaseException:
+            scratch.unlink(missing_ok=True)
+            raise
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "Database":
+    def load(cls, path: Union[str, Path], faults=None) -> "Database":
         """Restore a database from a snapshot produced by :meth:`save`.
 
         Constructor state survives the round trip: the ``compile``
         flag and the statistics counters are restored rather than
         reset to defaults, and every view is revalidated against the
         restored catalog so a snapshot whose views no longer resolve
-        fails here, not on first use.
+        fails here, not on first use.  A truncated or corrupt snapshot
+        raises :class:`~repro.errors.SnapshotError` instead of a raw
+        pickle error.
         """
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+        if faults is not None:
+            faults.fire("storage.read")
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                IndexError) as exc:
+            raise SnapshotError(
+                f"snapshot {str(path)!r} is truncated or corrupt: "
+                f"{exc}") from exc
+        if not isinstance(payload, dict) or "name" not in payload \
+                or "tables" not in payload:
+            raise SnapshotError(
+                f"snapshot {str(path)!r} has no database payload")
         database = cls(payload["name"],
                        compile=payload.get("compile", True))
         for entry in payload["tables"]:

@@ -50,6 +50,10 @@ class TransactionError(EngineError):
     """Invalid use of the transaction API (double commit, etc.)."""
 
 
+class SnapshotError(EngineError):
+    """A database snapshot file is truncated, corrupt or malformed."""
+
+
 # --- ORM -------------------------------------------------------------------
 
 class OrmError(ReproError):
@@ -118,6 +122,10 @@ class SchedulerError(EtlError):
     """Invalid schedule definition or scheduler state."""
 
 
+class JobQuarantinedError(EtlError):
+    """The job is quarantined after repeated consecutive failures."""
+
+
 # --- OLAP ------------------------------------------------------------------
 
 class OlapError(ReproError):
@@ -170,6 +178,60 @@ class AnalysisError(ReproError):
     """Misuse of the static-analysis subsystem (unknown artifact kind,
     malformed artifact payload, ...).  Findings about *artifacts* are
     reported as diagnostics, not exceptions."""
+
+
+# --- resilience ------------------------------------------------------------
+
+class ResilienceError(ReproError):
+    """Base class for reliability-kernel errors."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """Every permitted attempt failed; the last error is chained.
+
+    ``attempts`` is how many times the operation ran; ``last_error``
+    is the exception raised by the final attempt.
+    """
+
+    def __init__(self, message: str, attempts: int,
+                 last_error: "BaseException | None" = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(ResilienceError):
+    """The circuit breaker is open; the call was not attempted.
+
+    ``retry_after`` is the cooldown remaining in seconds (on the
+    breaker's injected clock) before the breaker will half-open.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ResilienceError):
+    """The request's time budget ran out before the operation finished."""
+
+
+class BulkheadRejectedError(ResilienceError):
+    """The bulkhead's concurrency cap is full; the call was shed."""
+
+
+class InjectedFault(ResilienceError):
+    """A deliberate failure raised by the :class:`FaultInjector`.
+
+    Chaos tests use this class to tell injected infrastructure
+    failures apart from genuine bugs; production code treats it like
+    any other transient infrastructure error.
+    """
+
+    def __init__(self, site: str, sequence: int):
+        super().__init__(f"injected fault at {site!r} (#{sequence})")
+        self.site = site
+        self.sequence = sequence
 
 
 # --- security --------------------------------------------------------------
@@ -225,3 +287,7 @@ class SubscriptionError(PlatformError):
 
 class ServiceError(PlatformError):
     """A core BI service rejected an operation."""
+
+
+class GatewayShutdownError(PlatformError):
+    """The request gateway is draining; new submissions are rejected."""

@@ -11,16 +11,20 @@ endpoint attached to it in registration order.  Endpoints are:
 
 A handler exception routes the message to the dead-letter channel with
 the error recorded in its headers — the bus never drops a message
-silently.
+silently.  A bus built with a :class:`~repro.core.resilience.RetryPolicy`
+retries each failing endpoint (deterministic seeded backoff on the
+injected clock) before dead-lettering; the dead letter then records
+the attempt count alongside the error, and the correlation id of the
+originating message always survives the retry → dead-letter path.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import EsbError
+from repro.errors import EsbError, RetryExhaustedError
 
 DEAD_LETTER_CHANNEL = "dead-letter"
 
@@ -65,15 +69,31 @@ class _Endpoint:
 
 
 class MessageBus:
-    """A synchronous integration bus with named channels."""
+    """A synchronous integration bus with named channels.
 
-    def __init__(self, max_hops: int = 100):
+    ``retry_policy`` (a :class:`~repro.core.resilience.RetryPolicy`,
+    duck-typed to keep this layer dependency-free), ``clock`` and
+    ``faults`` are optional resilience hooks: when set, each endpoint
+    invocation is retried per the policy (backoff slept on the
+    injected clock) before the message is dead-lettered, and the
+    :class:`~repro.core.resilience.FaultInjector` is consulted at the
+    ``esb.publish`` / ``esb.deliver`` sites.
+    """
+
+    def __init__(self, max_hops: int = 100, retry_policy=None,
+                 clock=None, faults=None):
         self._channels: Dict[str, List[_Endpoint]] = {
             DEAD_LETTER_CHANNEL: [],
         }
         self.max_hops = max_hops
+        self.retry_policy = retry_policy
+        self.clock = clock
+        self.faults = faults
         self.dead_letters: List[Message] = []
         self.delivery_log: List[str] = []
+        #: One ``(channel, message_id, attempts)`` triple per endpoint
+        #: invocation that needed more than one attempt.
+        self.retry_log: List[Tuple[str, int, int]] = []
 
     # -- topology -------------------------------------------------------------------
 
@@ -117,10 +137,71 @@ class MessageBus:
 
     def send(self, channel: str, payload: Any,
              headers: Optional[Dict[str, Any]] = None) -> Message:
-        """Send a payload into a channel; returns the message."""
+        """Send a payload into a channel; returns the message.
+
+        With a fault injector attached, the ``esb.publish`` site may
+        fail; the publish is then retried under the bus retry policy
+        and, once attempts are exhausted, the message lands in the
+        dead-letter channel (correlation preserved) instead of the
+        error escaping to the caller — on-demand BI keeps serving.
+        """
         message = Message(payload=payload, headers=dict(headers or {}))
-        self._deliver(channel, message, hops=0)
+        try:
+            self._invoke(channel, message,
+                         lambda: self._publish_once(channel, message))
+        except EsbError:
+            raise
+        except Exception as exc:
+            self._dead_letter(channel, message, exc)
         return message
+
+    #: Alias: the service-bus verb the platform layers use.
+    def publish(self, channel: str, payload: Any,
+                headers: Optional[Dict[str, Any]] = None) -> Message:
+        return self.send(channel, payload, headers)
+
+    def _publish_once(self, channel: str, message: Message) -> None:
+        if self.faults is not None:
+            self.faults.fire("esb.publish")
+            self.faults.fire(f"esb.publish.{channel}")
+        self._deliver(channel, message, hops=0)
+
+    def _invoke(self, channel: str, message: Message,
+                attempt: Callable[[], Any]) -> Any:
+        """Run one endpoint attempt under the bus retry policy."""
+        if self.retry_policy is None:
+            return attempt()
+        attempts_used = [1]
+
+        def count_retry(attempt_number: int, _error: BaseException) \
+                -> None:
+            attempts_used[0] = attempt_number + 1
+
+        try:
+            result = self.retry_policy.call(
+                attempt, clock=self.clock, on_retry=count_retry)
+        finally:
+            if attempts_used[0] > 1:
+                self.retry_log.append(
+                    (channel, message.message_id, attempts_used[0]))
+        return result
+
+    def _dead_letter(self, channel: str, message: Message,
+                     error: Exception) -> None:
+        """Record a failed delivery on the dead-letter channel."""
+        headers = {**message.headers,
+                   "correlation_id": message.correlation_id,
+                   "error": str(error),
+                   "failed_channel": channel}
+        if isinstance(error, RetryExhaustedError):
+            headers["attempts"] = error.attempts
+            if error.last_error is not None:
+                headers["error"] = str(error.last_error)
+        failed = Message(payload=message.payload, headers=headers)
+        # Dead-letter delivery sits outside the hop budget: a failure
+        # on the final permitted hop must record the original error,
+        # not trip the routing-loop guard.
+        self._deliver(DEAD_LETTER_CHANNEL, failed, 0)
 
     def _deliver(self, channel: str, message: Message,
                  hops: int) -> None:
@@ -133,17 +214,22 @@ class MessageBus:
             self.dead_letters.append(message)
         for endpoint in self._channel(channel):
             try:
-                if endpoint.kind == "wiretap":
-                    endpoint.handler(message)
-                elif endpoint.kind == "activator":
-                    endpoint.handler(message)
+                if endpoint.kind in ("wiretap", "activator"):
+                    self._invoke(channel, message,
+                                 lambda: self._run_endpoint(
+                                     channel, endpoint, message))
                 elif endpoint.kind == "transformer":
                     transformed = message.with_payload(
-                        endpoint.handler(message.payload))
+                        self._invoke(channel, message,
+                                     lambda: self._run_endpoint(
+                                         channel, endpoint, message)))
                     self._deliver(endpoint.output_channel,
                                   transformed, hops + 1)
                 elif endpoint.kind == "router":
-                    target = endpoint.handler(message)
+                    target = self._invoke(
+                        channel, message,
+                        lambda: self._run_endpoint(
+                            channel, endpoint, message))
                     if target is not None:
                         self._deliver(target, message, hops + 1)
             except EsbError:
@@ -155,6 +241,10 @@ class MessageBus:
                              "correlation_id": message.correlation_id,
                              "error": str(exc),
                              "failed_channel": channel})
+                if isinstance(exc, RetryExhaustedError):
+                    failed.headers["attempts"] = exc.attempts
+                    if exc.last_error is not None:
+                        failed.headers["error"] = str(exc.last_error)
                 if channel == DEAD_LETTER_CHANNEL:
                     # A failing dead-letter handler keeps consuming
                     # the hop budget so it cannot recurse forever.
@@ -165,3 +255,13 @@ class MessageBus:
                     # must record the original error, not trip the
                     # routing-loop guard.
                     self._deliver(DEAD_LETTER_CHANNEL, failed, 0)
+
+    def _run_endpoint(self, channel: str, endpoint: _Endpoint,
+                      message: Message) -> Any:
+        """One attempt of one endpoint (the retried unit)."""
+        if self.faults is not None:
+            self.faults.fire("esb.deliver")
+            self.faults.fire(f"esb.deliver.{channel}")
+        if endpoint.kind == "transformer":
+            return endpoint.handler(message.payload)
+        return endpoint.handler(message)

@@ -27,7 +27,7 @@ from repro.etl.operators import (
     TypeCast,
     Validate,
 )
-from repro.etl.scheduler import Schedule, Scheduler
+from repro.etl.scheduler import ExecutionRecord, Schedule, Scheduler
 from repro.etl.sources import (
     CallableSource,
     CsvSource,
@@ -44,6 +44,7 @@ __all__ = [
     "Deduplicate",
     "Derive",
     "EtlJob",
+    "ExecutionRecord",
     "Filter",
     "JobGraph",
     "JobResult",

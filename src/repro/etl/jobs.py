@@ -100,6 +100,7 @@ class JobResult:
     rows_written: int = 0
     rows_rejected: int = 0
     duration_seconds: float = 0.0
+    attempts: int = 1
     errors: List[str] = field(default_factory=list)
     output: List[Row] = field(default_factory=list)
 
@@ -114,17 +115,62 @@ class JobRunner:
     * ``error_policy='fail'`` — the first bad row aborts the run and
       nothing is committed (the load runs inside a transaction).
     * ``error_policy='skip'`` — bad rows are counted and skipped.
+
+    Every failure mode — bad rows, a throwing operator, a load-step
+    write error, an injected infrastructure fault — surfaces as
+    :class:`~repro.errors.JobExecutionError` with the original
+    exception chained, so callers (the scheduler, the integration
+    service) have exactly one failure type to handle.
+
+    ``retry_policy`` (a :class:`~repro.core.resilience.RetryPolicy`,
+    duck-typed) re-runs the whole job on failure: each attempt
+    rebuilds the row stream from the source, and the load step's
+    per-attempt transaction guarantees a failed attempt leaves
+    nothing behind.  ``faults`` is consulted at the ``etl.job`` site.
     """
 
-    def __init__(self, error_policy: str = "fail"):
+    def __init__(self, error_policy: str = "fail", retry_policy=None,
+                 clock=None, faults=None):
         if error_policy not in ("fail", "skip"):
             raise JobValidationError(
                 f"error policy must be 'fail' or 'skip', "
                 f"got {error_policy!r}")
         self.error_policy = error_policy
+        self.retry_policy = retry_policy
+        self.clock = clock
+        self.faults = faults
         self.history: List[JobResult] = []
 
-    def run(self, job: EtlJob) -> JobResult:
+    def run(self, job: EtlJob, retry_policy=None) -> JobResult:
+        """Run ``job`` (retrying per policy); returns the final result."""
+        policy = retry_policy if retry_policy is not None \
+            else self.retry_policy
+        attempts = [0]
+
+        def attempt() -> JobResult:
+            attempts[0] += 1
+            return self._attempt(job)
+
+        if policy is None:
+            result = attempt()
+        else:
+            try:
+                result = policy.call(attempt, clock=self.clock)
+            except JobExecutionError:
+                raise
+            except Exception as exc:
+                # RetryExhaustedError (or a policy misconfiguration):
+                # keep the one-failure-type contract.
+                last = getattr(exc, "last_error", None) or exc
+                raise JobExecutionError(
+                    f"job {job.name!r} failed after {attempts[0]} "
+                    f"attempts: {last}") from last
+        result.attempts = attempts[0]
+        self.history.append(result)
+        return result
+
+    def _attempt(self, job: EtlJob) -> JobResult:
+        """One complete source → operators → load pass."""
         result = JobResult(job=job.name)
         started = time.perf_counter()
 
@@ -144,6 +190,9 @@ class JobRunner:
             stream = operator.process(stream)
 
         try:
+            if self.faults is not None:
+                self.faults.fire("etl.job")
+                self.faults.fire(f"etl.job.{job.name}")
             if job.load is None:
                 result.output = list(stream)
                 result.rows_written = len(result.output)
@@ -161,7 +210,7 @@ class JobRunner:
                 else:
                     if own_transaction:
                         database.commit()
-        except RowError as exc:
+        except Exception as exc:
             raise JobExecutionError(
                 f"job {job.name!r} failed: {exc}") from exc
         finally:
@@ -169,7 +218,6 @@ class JobRunner:
                 operator.error_sink = None
             result.duration_seconds = time.perf_counter() - started
 
-        self.history.append(result)
         return result
 
 

@@ -71,36 +71,61 @@ class ScheduledJob:
     owner: str
     next_run: int
     runs: int = 0
+    retry_policy: Optional[object] = None  # duck-typed RetryPolicy
+    consecutive_failures: int = 0
+    quarantined: bool = False
 
 
 @dataclass
 class ExecutionRecord:
-    """One scheduler-triggered run."""
+    """One scheduler-triggered run (or the reported skip of one).
+
+    ``status`` is ``"ok"`` (``result`` holds the statistics),
+    ``"failed"`` (``error`` holds the normalized failure message) or
+    ``"quarantined"`` (the job was skipped-and-reported because it
+    crossed the consecutive-failure threshold).
+    """
 
     minute: int
     owner: str
     job: str
-    result: JobResult
+    result: Optional[JobResult]
+    status: str = "ok"
+    error: Optional[str] = None
 
 
 class Scheduler:
-    """A virtual-clock scheduler with round-robin fairness across owners."""
+    """A virtual-clock scheduler with round-robin fairness across owners.
+
+    Ticks are failure-isolated: a job that raises records a failed
+    :class:`ExecutionRecord` and the tick continues for the remaining
+    owners, so one broken tenant job can never starve the round-robin.
+    After ``quarantine_after`` *consecutive* failures a job is
+    quarantined — on each due minute it is skipped-and-reported (a
+    ``"quarantined"`` record, never a silent drop) until
+    :meth:`unquarantine` readmits it.
+    """
 
     def __init__(self, runner: Optional[JobRunner] = None,
-                 start_minute: int = 0):
+                 start_minute: int = 0,
+                 quarantine_after: Optional[int] = None):
+        if quarantine_after is not None and quarantine_after < 1:
+            raise SchedulerError("quarantine_after must be >= 1")
         self.runner = runner or JobRunner(error_policy="skip")
         self.now = start_minute
+        self.quarantine_after = quarantine_after
         self._entries: Dict[str, ScheduledJob] = {}
         self.log: List[ExecutionRecord] = []
         self._rotation: List[str] = []  # owner round-robin order
 
     def add(self, job: EtlJob, schedule: Schedule,
-            owner: str = "default") -> None:
+            owner: str = "default", retry_policy=None) -> None:
         if job.name in self._entries:
             raise SchedulerError(f"job {job.name!r} already scheduled")
         self._entries[job.name] = ScheduledJob(
             job=job, schedule=schedule, owner=owner,
-            next_run=schedule.next_run_after(self.now))
+            next_run=schedule.next_run_after(self.now),
+            retry_policy=retry_policy)
         if owner not in self._rotation:
             self._rotation.append(owner)
 
@@ -126,16 +151,51 @@ class Scheduler:
             tick = min(entry.next_run for entry in due)
             due_now = [entry for entry in due if entry.next_run == tick]
             for entry in self._fair_order(due_now):
-                result = self.runner.run(entry.job)
-                record = ExecutionRecord(
-                    minute=tick, owner=entry.owner,
-                    job=entry.job.name, result=result)
+                record = self._run_due(entry, tick)
                 self.log.append(record)
                 executed.append(record)
-                entry.runs += 1
                 entry.next_run = entry.schedule.next_run_after(tick)
         self.now = target
         return executed
+
+    def _run_due(self, entry: ScheduledJob,
+                 tick: int) -> ExecutionRecord:
+        """Run (or skip-and-report) one due entry, never raising."""
+        if entry.quarantined:
+            return ExecutionRecord(
+                minute=tick, owner=entry.owner, job=entry.job.name,
+                result=None, status="quarantined",
+                error=f"quarantined after "
+                      f"{entry.consecutive_failures} consecutive "
+                      f"failures")
+        try:
+            result = self.runner.run(
+                entry.job, retry_policy=entry.retry_policy)
+        except Exception as exc:
+            entry.consecutive_failures += 1
+            if self.quarantine_after is not None and \
+                    entry.consecutive_failures >= self.quarantine_after:
+                entry.quarantined = True
+            return ExecutionRecord(
+                minute=tick, owner=entry.owner, job=entry.job.name,
+                result=None, status="failed", error=str(exc))
+        entry.consecutive_failures = 0
+        entry.runs += 1
+        return ExecutionRecord(
+            minute=tick, owner=entry.owner, job=entry.job.name,
+            result=result)
+
+    def quarantined_jobs(self) -> List[str]:
+        return sorted(name for name, entry in self._entries.items()
+                      if entry.quarantined)
+
+    def unquarantine(self, job_name: str) -> None:
+        """Readmit a quarantined job (resets its failure count)."""
+        entry = self._entries.get(job_name)
+        if entry is None:
+            raise SchedulerError(f"job {job_name!r} is not scheduled")
+        entry.quarantined = False
+        entry.consecutive_failures = 0
 
     def _fair_order(self, entries: List[ScheduledJob]) \
             -> List[ScheduledJob]:
@@ -154,7 +214,9 @@ class Scheduler:
         return ordered
 
     def runs_by_owner(self) -> Dict[str, int]:
+        """Dispatched runs per owner (quarantine skips don't count)."""
         counts: Dict[str, int] = {}
         for record in self.log:
-            counts[record.owner] = counts.get(record.owner, 0) + 1
+            if record.status != "quarantined":
+                counts[record.owner] = counts.get(record.owner, 0) + 1
         return counts

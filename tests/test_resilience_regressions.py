@@ -1,0 +1,358 @@
+"""Regression tests for the failure paths the resilience PR hardened.
+
+Each test here failed before the fix it covers:
+
+* ``JobRunner`` let non-``RowError`` exceptions (operator bugs,
+  load-step write errors) escape raw instead of normalizing them into
+  :class:`JobExecutionError`,
+* ``Scheduler.advance`` aborted the whole round-robin tick when one
+  job raised, silently starving later owners of their due runs,
+* ``RequestGateway.shutdown`` let new submissions race the pool
+  teardown instead of rejecting them with a typed error,
+* the ESB dead-letter path was untested for handlers that fail *while
+  dead-lettering*, for retry-exhausted publishes, and for correlation
+  survival through retry → dead-letter.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.gateway import RequestGateway
+from repro.core.resilience import FakeClock, RetryPolicy
+from repro.core.tenancy import TenantManager
+from repro.engine.database import Database
+from repro.errors import (
+    EsbError,
+    GatewayShutdownError,
+    JobExecutionError,
+)
+from repro.esb import MessageBus
+from repro.etl import (
+    Derive,
+    EtlJob,
+    JobRunner,
+    Load,
+    RowsSource,
+    Schedule,
+    Scheduler,
+)
+from repro.etl.sources import CallableSource
+from repro.web import JsonResponse, WebApplication
+
+
+def warehouse():
+    database = Database("wh")
+    database.execute(
+        "CREATE TABLE facts (id INTEGER PRIMARY KEY, amount INTEGER)")
+    return database
+
+
+class TestJobFailureNormalization:
+    def test_throwing_operator_is_wrapped_not_raw(self):
+        def explode(row):
+            raise ValueError("operator bug")
+
+        job = EtlJob("boom", RowsSource([{"id": 1}]),
+                     operators=[Derive("x", explode)])
+        with pytest.raises(JobExecutionError) as info:
+            JobRunner().run(job)
+        assert "'boom' failed" in str(info.value)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_load_write_error_is_wrapped_not_raw(self):
+        database = warehouse()
+        # Second row violates the PRIMARY KEY: the write step raises
+        # a ConstraintViolation, which must surface as a chained
+        # JobExecutionError, and the transaction must roll back.
+        job = EtlJob("dup", RowsSource([{"id": 1, "amount": 10},
+                                        {"id": 1, "amount": 20}]),
+                     load=Load(database, "facts"))
+        with pytest.raises(JobExecutionError) as info:
+            JobRunner().run(job)
+        assert "'dup' failed" in str(info.value)
+        assert info.value.__cause__ is not None
+        assert database.query("SELECT * FROM facts") == []
+
+    def test_throwing_source_is_wrapped_not_raw(self):
+        def bad_source():
+            raise OSError("source system down")
+
+        job = EtlJob("down", CallableSource(bad_source))
+        with pytest.raises(JobExecutionError) as info:
+            JobRunner().run(job)
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_retry_policy_reruns_the_whole_job(self):
+        calls = []
+
+        def flaky_rows():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient extract failure")
+            return [{"id": 1, "amount": 5}]
+
+        database = warehouse()
+        job = EtlJob("flaky", CallableSource(flaky_rows),
+                     load=Load(database, "facts"))
+        runner = JobRunner(clock=FakeClock())
+        result = runner.run(job, retry_policy=RetryPolicy(
+            attempts=3, base_delay=1.0))
+        assert result.attempts == 3
+        assert result.rows_written == 1
+        # Failed attempts rolled back; exactly one row landed.
+        assert len(database.query("SELECT * FROM facts")) == 1
+
+    def test_retry_exhaustion_is_still_a_job_execution_error(self):
+        def always_down():
+            raise OSError("hard down")
+
+        job = EtlJob("dead", CallableSource(always_down))
+        runner = JobRunner(clock=FakeClock())
+        with pytest.raises(JobExecutionError) as info:
+            runner.run(job, retry_policy=RetryPolicy(attempts=2))
+        assert "after 2 attempts" in str(info.value)
+
+
+class TestSchedulerTickIsolation:
+    def failing_job(self, name="bad"):
+        def explode():
+            raise OSError("mid-tick failure")
+        return EtlJob(name, CallableSource(explode))
+
+    def healthy_job(self, name="good"):
+        return EtlJob(name, RowsSource([{"x": 1}]))
+
+    def test_failed_job_records_and_tick_continues(self):
+        scheduler = Scheduler()
+        scheduler.add(self.failing_job(), Schedule(every_minutes=10),
+                      owner="acme")
+        scheduler.add(self.healthy_job(), Schedule(every_minutes=10),
+                      owner="globex")
+        records = scheduler.advance(10)
+        # Both owners got their due run: the failure did not abort
+        # the round-robin.
+        assert {record.owner for record in records} == \
+            {"acme", "globex"}
+        by_job = {record.job: record for record in records}
+        assert by_job["bad"].status == "failed"
+        assert by_job["bad"].result is None
+        assert "mid-tick failure" in by_job["bad"].error
+        assert by_job["good"].status == "ok"
+        assert by_job["good"].result.rows_written == 1
+
+    def test_later_ticks_keep_running_after_failures(self):
+        scheduler = Scheduler()
+        scheduler.add(self.failing_job(), Schedule(every_minutes=10),
+                      owner="acme")
+        scheduler.add(self.healthy_job(), Schedule(every_minutes=10),
+                      owner="globex")
+        scheduler.advance(30)
+        good_runs = [record for record in scheduler.log
+                     if record.job == "good"
+                     and record.status == "ok"]
+        assert len(good_runs) == 3  # minutes 10, 20, 30 all served
+
+    def test_quarantine_after_consecutive_failures(self):
+        scheduler = Scheduler(quarantine_after=2)
+        scheduler.add(self.failing_job(), Schedule(every_minutes=10),
+                      owner="acme")
+        scheduler.advance(40)
+        statuses = [record.status for record in scheduler.log]
+        # Two real failures, then skipped-and-reported — never dropped.
+        assert statuses == ["failed", "failed",
+                            "quarantined", "quarantined"]
+        assert scheduler.quarantined_jobs() == ["bad"]
+
+    def test_unquarantine_readmits_the_job(self):
+        scheduler = Scheduler(quarantine_after=1)
+        scheduler.add(self.failing_job(), Schedule(every_minutes=10),
+                      owner="acme")
+        scheduler.advance(20)
+        assert scheduler.quarantined_jobs() == ["bad"]
+        scheduler.unquarantine("bad")
+        assert scheduler.quarantined_jobs() == []
+        scheduler.advance(10)
+        assert scheduler.log[-1].status == "failed"  # ran again
+
+    def test_success_resets_the_consecutive_failure_count(self):
+        flag = {"fail": True}
+
+        def sometimes():
+            if flag["fail"]:
+                raise OSError("flaky")
+            return [{"x": 1}]
+
+        scheduler = Scheduler(quarantine_after=2)
+        scheduler.add(EtlJob("flappy", CallableSource(sometimes)),
+                      Schedule(every_minutes=10), owner="acme")
+        scheduler.advance(10)   # failure #1
+        flag["fail"] = False
+        scheduler.advance(10)   # success: counter resets
+        flag["fail"] = True
+        scheduler.advance(10)   # failure #1 again, not #2
+        assert scheduler.quarantined_jobs() == []
+
+
+class TestGatewayShutdown:
+    def build(self):
+        web = WebApplication("test")
+        web.get("/ping", lambda r: JsonResponse({"status": "up"}))
+        return RequestGateway(web, TenantManager(), max_workers=2)
+
+    def test_submit_during_shutdown_raises_typed_error(self):
+        gateway = self.build()
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow(request):
+            entered.set()
+            release.wait(30)
+            return JsonResponse({"status": "done"})
+
+        gateway.web.get("/slow", slow)
+        inflight = gateway.submit("GET", "/slow")
+        assert entered.wait(30)
+
+        closer = threading.Thread(target=gateway.shutdown)
+        closer.start()
+        try:
+            # The drain flag is visible before the pool is touched:
+            # this submit can no longer race the teardown.
+            deadline = threading.Event()
+            raised = []
+            while not raised and not deadline.wait(0.01):
+                try:
+                    gateway.submit("GET", "/ping")
+                except GatewayShutdownError:
+                    raised.append(True)
+            assert raised
+        finally:
+            release.set()
+            closer.join(30)
+        # The in-flight request drained to completion, not cancelled.
+        assert inflight.result(30).json() == {"status": "done"}
+
+    def test_gateway_serves_again_after_clean_shutdown(self):
+        gateway = self.build()
+        assert gateway.submit("GET", "/ping").result(30).ok
+        gateway.shutdown()
+        assert gateway.submit("GET", "/ping").result(30).ok
+        gateway.shutdown()
+
+
+class TestEsbDeadLetterPaths:
+    def test_failing_dead_letter_handler_is_bounded(self):
+        bus = MessageBus(max_hops=5)
+        bus.create_channel("orders")
+
+        def broken(message):
+            raise ValueError("handler down")
+
+        bus.service_activator("orders", broken)
+        bus.service_activator("dead-letter", broken)
+        # The failing dead-letter handler consumes the hop budget and
+        # trips the loop guard — bounded, never infinite recursion.
+        with pytest.raises(EsbError):
+            bus.send("orders", {"id": 1})
+        # Every hop still parked its message on the dead-letter queue,
+        # and every dead letter correlates with the one origin.
+        assert 1 <= len(bus.dead_letters) <= bus.max_hops + 1
+        origins = {dead.correlation_id for dead in bus.dead_letters}
+        assert len(origins) == 1
+
+    def test_failing_dead_letter_handler_bounded_under_retry(self):
+        bus = MessageBus(
+            max_hops=3,
+            retry_policy=RetryPolicy(attempts=2,
+                                     non_retryable=(EsbError,)),
+            clock=FakeClock())
+        bus.create_channel("orders")
+        calls = []
+
+        def broken(message):
+            calls.append(1)
+            raise ValueError("handler down")
+
+        bus.service_activator("orders", broken)
+        bus.service_activator("dead-letter", broken)
+        with pytest.raises(EsbError):
+            bus.send("orders", {"id": 1})
+        # Retries multiply the handler invocations but the recursion
+        # is still capped by the hop budget.
+        assert len(calls) <= 2 * (bus.max_hops + 2)
+
+    def test_retry_exhausted_publish_dead_letters_with_attempts(self):
+        clock = FakeClock()
+        bus = MessageBus(
+            retry_policy=RetryPolicy(attempts=3, base_delay=1.0,
+                                     non_retryable=(EsbError,)),
+            clock=clock)
+        bus.create_channel("orders")
+        calls = []
+
+        def always_down(message):
+            calls.append(1)
+            raise ValueError("endpoint down")
+
+        bus.service_activator("orders", always_down)
+        bus.send("orders", {"id": 7})
+        assert len(calls) == 3  # retried, then gave up
+        assert len(bus.dead_letters) == 1
+        dead = bus.dead_letters[0]
+        assert dead.headers["attempts"] == 3
+        assert dead.headers["error"] == "endpoint down"
+        assert dead.headers["failed_channel"] == "orders"
+        # Backoff went through the injected clock, not time.sleep.
+        assert clock.slept == [1.0, 2.0]
+        assert bus.retry_log == [("orders", dead.correlation_id, 3)]
+
+    def test_transient_failure_recovers_within_retry_budget(self):
+        bus = MessageBus(
+            retry_policy=RetryPolicy(attempts=3,
+                                     non_retryable=(EsbError,)),
+            clock=FakeClock())
+        bus.create_channel("orders")
+        calls = []
+
+        def flaky(message):
+            calls.append(1)
+            if len(calls) < 2:
+                raise ValueError("transient")
+
+        bus.service_activator("orders", flaky)
+        bus.send("orders", {"id": 1})
+        assert len(calls) == 2
+        assert bus.dead_letters == []  # recovered, nothing parked
+
+    def test_correlation_survives_retry_then_dead_letter(self):
+        bus = MessageBus(
+            retry_policy=RetryPolicy(attempts=2,
+                                     non_retryable=(EsbError,)),
+            clock=FakeClock())
+        bus.create_channel("raw")
+        bus.create_channel("cooked")
+        bus.transformer("raw", lambda payload: {**payload,
+                                                "cooked": True},
+                        "cooked")
+
+        def always_down(message):
+            raise ValueError("sink down")
+
+        bus.service_activator("cooked", always_down)
+        origin = bus.send("raw", {"id": 9})
+        assert len(bus.dead_letters) == 1
+        dead = bus.dead_letters[0]
+        # The dead letter correlates with the *originating* message,
+        # across the transformer hop, the retries and the failure.
+        assert dead.correlation_id == origin.message_id
+        assert dead.payload == {"id": 9, "cooked": True}
+        assert dead.headers["attempts"] == 2
+
+    def test_unknown_channel_still_raises_esb_error(self):
+        bus = MessageBus(
+            retry_policy=RetryPolicy(attempts=3,
+                                     non_retryable=(EsbError,)),
+            clock=FakeClock())
+        with pytest.raises(EsbError):
+            bus.send("nope", {})
