@@ -1,0 +1,137 @@
+"""E15 — durability overhead and recovery time (the PR-5 tentpole).
+
+The write-ahead log buys crash consistency; this experiment prices
+it.  The E12 micro workload (autocommit single-row inserts) runs
+against the same engine with no WAL, then with each fsync policy, and
+the amortized ``batch`` policy must stay within 3x of the no-WAL
+engine — the bound that makes durable-by-default tenancy viable.
+Recovery is timed against growing logs so the checkpoint story
+("snapshot + short tail") stays honest.
+"""
+
+import shutil
+import time
+
+import pytest
+
+from repro.engine.database import Database
+
+from _util import emit, format_table, write_bench_json
+
+pytestmark = pytest.mark.perfsmoke
+
+N_ROWS = 3_000
+
+
+def best(fn, repeats=3):
+    timings = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - started)
+    return min(timings) * 1000.0
+
+
+def insert_workload(db, rows=N_ROWS):
+    db.execute("CREATE TABLE micro (id INTEGER PRIMARY KEY, "
+               "v INTEGER)")
+    for i in range(rows):
+        db.execute("INSERT INTO micro (id, v) VALUES (?, ?)",
+                   (i, i % 97))
+
+
+def timed_variant(tmp_path, label, fsync):
+    """Best-of-3 wall time of the insert workload for one variant."""
+    def run():
+        directory = tmp_path / label
+        if directory.exists():
+            shutil.rmtree(directory)
+        directory.mkdir()
+        if fsync is None:
+            db = Database("micro")
+        else:
+            db = Database.recover(directory, "micro", fsync=fsync)
+        insert_workload(db)
+        db.close()
+    return best(run)
+
+
+def test_bench_e15_commit_overhead(tmp_path):
+    cases = {}
+    table = []
+    baseline = timed_variant(tmp_path, "nowal", None)
+    cases["insert_no_wal"] = baseline
+    table.append(("no WAL", baseline, 1.0))
+    for fsync in ("off", "batch", "always"):
+        elapsed = timed_variant(tmp_path, fsync, fsync)
+        cases[f"insert_fsync_{fsync}"] = elapsed
+        table.append((f"fsync={fsync}", elapsed, elapsed / baseline))
+
+    # Recovery time as the log grows (no snapshot: worst case).
+    for transactions in (500, 2_000):
+        directory = tmp_path / f"recover{transactions}"
+        directory.mkdir()
+        db = Database.recover(directory, "micro", fsync="off")
+        insert_workload(db, rows=transactions)
+        db.close()
+
+        recovered = {}
+
+        def recover():
+            again = Database.recover(directory, "micro", fsync="off")
+            recovered["info"] = again.recovery_info
+            again.close()
+
+        elapsed = best(recover)
+        assert recovered["info"]["transactions_replayed"] \
+            == transactions + 1  # the CREATE TABLE plus each insert
+        cases[f"recover_{transactions}_txns"] = elapsed
+        table.append((f"recover {transactions} txns", elapsed,
+                      elapsed / baseline))
+
+    # And the checkpoint payoff: the same log after a checkpoint
+    # recovers from the snapshot with nothing to replay.
+    directory = tmp_path / "recover2000"
+    db = Database.recover(directory, "micro", fsync="off")
+    db.checkpoint()
+    db.close()
+
+    def recover_snapshot():
+        again = Database.recover(directory, "micro", fsync="off")
+        assert again.recovery_info["transactions_replayed"] == 0
+        again.close()
+
+    elapsed = best(recover_snapshot)
+    cases["recover_after_checkpoint"] = elapsed
+    table.append(("recover after checkpoint", elapsed,
+                  elapsed / baseline))
+
+    emit("E15_durability", format_table(
+        ("case", "best-of-3 ms", "vs no-WAL"), table))
+    write_bench_json("durability", cases)
+
+    # The acceptance bound: amortized batch fsync within 3x of the
+    # bare engine on the micro workload.
+    assert cases["insert_fsync_batch"] <= 3.0 * baseline, \
+        f"batch policy {cases['insert_fsync_batch']:.1f}ms vs " \
+        f"no-WAL {baseline:.1f}ms exceeds the 3x E15 bound"
+    # Sanity ordering: "off" cannot beat the bare engine by more
+    # than noise, and "always" is the most expensive policy.
+    assert cases["insert_fsync_always"] >= cases["insert_fsync_off"]
+
+
+def test_e15_policies_agree_on_state(tmp_path):
+    """The fsync knob changes the durability window, not the data."""
+    fingerprints = {}
+    for fsync in ("off", "batch", "always"):
+        directory = tmp_path / fsync
+        directory.mkdir()
+        db = Database.recover(directory, "micro", fsync=fsync)
+        insert_workload(db, rows=200)
+        live = db.state_fingerprint()
+        db.close()
+        recovered = Database.recover(directory, "micro", fsync=fsync)
+        assert recovered.state_fingerprint() == live
+        fingerprints[fsync] = live
+        recovered.close()
+    assert len(set(fingerprints.values())) == 1

@@ -48,10 +48,15 @@ class AdminService:
         self._install_defaults()
 
     def _install_defaults(self) -> None:
+        # Idempotent: a platform recovered from a data directory hands
+        # this service a platform database that already holds the
+        # defaults (they were WAL-committed before the crash).
         for authority in DEFAULT_AUTHORITIES:
-            self.security.create_authority(authority)
+            if not self.security.has_authority(authority):
+                self.security.create_authority(authority)
         for role, authorities in DEFAULT_ROLES.items():
-            self.security.create_role(role, authorities)
+            if not self.security.has_role(role):
+                self.security.create_role(role, authorities)
 
     # -- account management -----------------------------------------------------------
 

@@ -33,6 +33,7 @@ overlap in both modes.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -57,6 +58,9 @@ DEFAULT_BREAKER_THRESHOLD = 5
 
 #: Seconds (on the gateway clock) an open breaker stays open.
 DEFAULT_BREAKER_COOLDOWN = 30.0
+
+#: Entries kept in the stale-response cache before LRU eviction.
+DEFAULT_STALE_CACHE_CAPACITY = 1024
 
 
 class DegradedResponse(JsonResponse):
@@ -106,7 +110,9 @@ class RequestGateway:
                  deadline_seconds: Optional[float] = None,
                  bulkhead_capacity: Optional[int] = None,
                  breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
-                 breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN):
+                 breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+                 stale_cache_capacity: int =
+                 DEFAULT_STALE_CACHE_CAPACITY):
         self.web = web
         self.tenants = tenants
         self.max_workers = max_workers
@@ -122,7 +128,15 @@ class RequestGateway:
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._bulkheads: Dict[str, Bulkhead] = {}
         self._guard_lock = threading.Lock()
-        self._stale_cache: Dict[Tuple[str, str], Tuple[Any, float]] = {}
+        # LRU-bounded last-known-good bodies for degraded serving: an
+        # unbounded dict here grows with every distinct (tenant, path)
+        # pair for the life of the gateway.
+        if stale_cache_capacity < 1:
+            raise ValueError("stale_cache_capacity must be >= 1")
+        self.stale_cache_capacity = stale_cache_capacity
+        self._stale_cache: "OrderedDict[Tuple[str, str], Tuple[Any, float]]" \
+            = OrderedDict()
+        self._stale_lock = threading.Lock()
         self._draining = False
         self._inflight = 0
         self._drain = threading.Condition()
@@ -298,13 +312,27 @@ class RequestGateway:
         reason = (f"tenant {tenant_id!r} breaker is "
                   f"{breaker.state}; retry in "
                   f"{breaker.retry_after():.1f}s")
-        cached = self._stale_cache.get((tenant_id, path))
+        with self._stale_lock:
+            cached = self._stale_cache.get((tenant_id, path))
+            if cached is not None:
+                # A hit is a use: keep entries that still serve
+                # degraded traffic away from the eviction end.
+                self._stale_cache.move_to_end((tenant_id, path))
         if cached is not None:
             payload, written_at = cached
             return DegradedResponse(reason, payload=payload,
                                     stale=True,
                                     stale_as_of=written_at)
         return DegradedResponse(reason)
+
+    def _stale_cache_put(self, tenant_id: str, path: str,
+                         payload: Any) -> None:
+        with self._stale_lock:
+            self._stale_cache[(tenant_id, path)] = (
+                payload, self.clock.now())
+            self._stale_cache.move_to_end((tenant_id, path))
+            while len(self._stale_cache) > self.stale_cache_capacity:
+                self._stale_cache.popitem(last=False)
 
     def _run_request(self, method: str, path: str, body: Any,
                      headers: Optional[Dict[str, str]],
@@ -348,8 +376,7 @@ class RequestGateway:
                     payload = response.json()
                 except ValueError:
                     payload = response.body  # non-JSON channel output
-                self._stale_cache[(tenant_id, path)] = (
-                    payload, self.clock.now())
+                self._stale_cache_put(tenant_id, path, payload)
             return response
         finally:
             if bulkhead is not None:

@@ -37,16 +37,27 @@ class IntegrationService:
 
     def __init__(self, tenants: TenantManager,
                  resources: TechnicalResourcesLayer,
-                 billing: Optional[BillingService] = None):
+                 billing: Optional[BillingService] = None,
+                 journal=None):
         self.tenants = tenants
         self.resources = resources
         self.billing = billing
         self._jobs: Dict[Tuple[str, str], EtlJob] = {}
         self._runner = JobRunner(error_policy="skip",
                                  faults=resources.faults)
+        # One shared JournalLog carries both vocabularies: the
+        # scheduler's ("sched"/"clock"/"unquarantine") records and
+        # this service's ("run", {...}) history — each reader skips
+        # the other's kinds.
+        self.journal = journal
         self.scheduler = Scheduler(
-            self._runner, quarantine_after=self.QUARANTINE_AFTER)
+            self._runner, quarantine_after=self.QUARANTINE_AFTER,
+            journal=journal)
         self._run_journal: List[Dict[str, Any]] = []
+        if journal is not None:
+            for record in journal.recovered:
+                if record and record[0] == "run":
+                    self._run_journal.append(dict(record[1]))
 
     # -- job definition ---------------------------------------------------------------
 
@@ -146,13 +157,16 @@ class IntegrationService:
         if self.billing is not None:
             self.billing.meter(tenant_id, "etl_rows",
                                result.rows_written)
-        self._run_journal.append({
+        entry = {
             "tenant": tenant_id,
             "job": name,
             "rows_read": result.rows_read,
             "rows_written": result.rows_written,
             "rows_rejected": result.rows_rejected,
-        })
+        }
+        self._run_journal.append(entry)
+        if self.journal is not None:
+            self.journal.append(("run", entry))
         self.resources.publish_event(
             tenant_id, "etl-run",
             f"{name}: {result.rows_written} rows")
@@ -206,7 +220,7 @@ class IntegrationService:
                 self._journal(tenant_id, name, record.result)
                 fired += 1
             else:
-                self._run_journal.append({
+                entry = {
                     "tenant": tenant_id,
                     "job": name,
                     "rows_read": 0,
@@ -214,7 +228,10 @@ class IntegrationService:
                     "rows_rejected": 0,
                     "status": record.status,
                     "error": record.error,
-                })
+                }
+                self._run_journal.append(entry)
+                if self.journal is not None:
+                    self.journal.append(("run", entry))
         return fired
 
     def quarantined_jobs(self, tenant_id: str) -> List[str]:

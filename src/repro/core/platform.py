@@ -11,7 +11,8 @@ observable artefact experiments E1 and E4 regenerate.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.admin_service import AdminService
 from repro.core.analysis_service import AnalysisService
@@ -31,6 +32,8 @@ from repro.core.resilience import (
 from repro.core.resources import TechnicalResourcesLayer
 from repro.core.subscription import BillingService
 from repro.core.tenancy import TenancyMode, TenantManager
+from repro.engine.database import Database
+from repro.engine.wal import JournalLog
 from repro.errors import HttpError, ReproError
 from repro.security import AccessDecisionManager
 from repro.web import JsonResponse, Request, Response, WebApplication
@@ -48,30 +51,74 @@ _PUBLIC_PATHS = ("/ping", "/login")
 
 
 class OdbisPlatform:
-    """The assembled on-demand BI platform."""
+    """The assembled on-demand BI platform.
+
+    ``data_dir`` switches the platform into *durable* mode: every
+    tenant database lives under ``data_dir/tenants/`` as a snapshot +
+    write-ahead log pair (created via
+    :meth:`~repro.engine.database.Database.recover`, so constructing
+    the platform over an existing directory IS crash recovery), the
+    tenant registry, the ETL scheduler history and the ESB dead-letter
+    queue journal to ``platform.journal`` / ``etl.journal`` /
+    ``esb.journal``, and recovered tenants are re-provisioned from the
+    registry journal with all journals suspended so replay never
+    re-journals itself.  ``fsync`` is the WAL policy for every log
+    (``always`` / ``batch`` / ``off``).
+    """
 
     def __init__(self, mode: TenancyMode = TenancyMode.SHARED,
                  use_olap_cache: bool = True,
                  faults: Optional[FaultInjector] = None,
                  clock: Optional[Clock] = None,
                  deadline_seconds: Optional[float] = None,
-                 bulkhead_capacity: Optional[int] = None):
+                 bulkhead_capacity: Optional[int] = None,
+                 data_dir: Optional[Union[str, Path]] = None,
+                 fsync: str = "always"):
         # Cross-cutting: the resilience kernel's shared pieces.  One
         # injector serves every instrumented site so a chaos run has a
         # single deterministic fault history.
         self.faults = faults or FaultInjector()
         self.clock = clock or MonotonicClock()
+        # Durability: data directory, journals and database factory.
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.fsync = fsync
+        self._journals: List[JournalLog] = []
+        tenant_journal = etl_journal = bus_journal = None
+        database_factory = None
+        if self.data_dir is not None:
+            tenants_dir = self.data_dir / "tenants"
+            tenants_dir.mkdir(parents=True, exist_ok=True)
+            tenant_journal = JournalLog(
+                self.data_dir / "platform.journal", fsync=fsync,
+                faults=self.faults, site="journal.platform")
+            etl_journal = JournalLog(
+                self.data_dir / "etl.journal", fsync=fsync,
+                faults=self.faults, site="journal.etl")
+            bus_journal = JournalLog(
+                self.data_dir / "esb.journal", fsync=fsync,
+                faults=self.faults, site="journal.esb")
+            self._journals = [tenant_journal, etl_journal, bus_journal]
+
+            def database_factory(name: str) -> Database:
+                return Database.recover(tenants_dir, name,
+                                        fsync=fsync,
+                                        faults=self.faults)
+
         # Layer 5: technical resources.
         self.resources = TechnicalResourcesLayer(
-            faults=self.faults, clock=self.clock)
+            faults=self.faults, clock=self.clock,
+            bus_journal=bus_journal)
         # Tenancy + layer 3: administration and configuration.
-        self.tenants = TenantManager(mode)
+        self.tenants = TenantManager(
+            mode, database_factory=database_factory,
+            journal=tenant_journal)
         self.billing = BillingService(self.tenants.platform_db)
         self.admin = AdminService(self.tenants, self.billing)
         # Layer 4: core BI services.
         self.metadata = MetadataService(self.tenants, self.resources)
         self.integration = IntegrationService(
-            self.tenants, self.resources, self.billing)
+            self.tenants, self.resources, self.billing,
+            journal=etl_journal)
         self.analysis = AnalysisService(
             self.tenants, self.resources, self.billing,
             use_cache=use_olap_cache,
@@ -99,6 +146,12 @@ class OdbisPlatform:
         self.last_trace = []
         self._install_middleware()
         self._install_routes()
+        # With a data directory, re-provision the tenants the registry
+        # journal remembers — after every service is wired, so replay
+        # runs through the same provisioning path as the original
+        # registrations did.
+        if tenant_journal is not None:
+            self._recover_tenants(tenant_journal)
 
     @property
     def last_trace(self) -> List[str]:
@@ -112,6 +165,64 @@ class OdbisPlatform:
     @last_trace.setter
     def last_trace(self, value: List[str]) -> None:
         self._trace_local.trace = value
+
+    # -- durability ---------------------------------------------------------------------
+
+    def _recover_tenants(self, tenant_journal: JournalLog) -> None:
+        """Replay journaled tenant registrations through provisioning.
+
+        All journals are suspended for the duration so the replay
+        cannot append the records it is reading (or re-journal the
+        provisioning events it re-fires).
+        """
+        records = [record for record in tenant_journal.recovered
+                   if record and record[0] == "tenant"]
+        if not records:
+            return
+        for journal in self._journals:
+            journal.suspended = True
+        try:
+            for _, tenant_id, display_name, plan in records:
+                self.provisioning.provision(
+                    tenant_id, display_name, plan=plan, exist_ok=True)
+        finally:
+            for journal in self._journals:
+                journal.suspended = False
+
+    def checkpoint(self) -> Dict[str, int]:
+        """Snapshot every durable database and truncate its WAL.
+
+        Returns ``{database name: checkpoint ordinal}``.  Requires a
+        ``data_dir`` platform; recovery after a checkpoint loads the
+        fresh snapshots and replays only what came after.
+        """
+        if self.data_dir is None:
+            raise ReproError(
+                "checkpoint requires a platform with a data_dir")
+        ordinals: Dict[str, int] = {}
+        for database in self._durable_databases():
+            ordinals[database.name] = database.checkpoint()
+        return ordinals
+
+    def close(self) -> None:
+        """Flush and close every WAL and journal (a clean shutdown)."""
+        for database in self._durable_databases():
+            database.close()
+        for journal in self._journals:
+            journal.close()
+
+    def _durable_databases(self) -> List[Database]:
+        """Distinct databases carrying a WAL, platform db included."""
+        seen: Dict[int, Database] = {}
+        candidates = [self.tenants.platform_db]
+        for tenant_id in self.tenants.tenant_ids():
+            context = self.tenants.context(tenant_id)
+            candidates.extend(
+                [context.operational_db, context.warehouse_db])
+        for database in candidates:
+            if database.wal is not None:
+                seen.setdefault(id(database), database)
+        return list(seen.values())
 
     # -- access layer wiring ---------------------------------------------------------
 
@@ -332,4 +443,26 @@ class OdbisPlatform:
         for name in self.integration.scheduler.quarantined_jobs():
             tenant_id, job = name.split(":", 1)
             report.tenant(tenant_id).quarantined_jobs.append(job)
+        if self.data_dir is not None:
+            for tenant_id in self.tenants.tenant_ids():
+                context = self.tenants.context(tenant_id)
+                databases = {id(db): db for db in
+                             (context.operational_db,
+                              context.warehouse_db)
+                             if db.wal is not None}
+                if not databases:
+                    continue
+                health = report.tenant(tenant_id)
+                # Committed-but-not-checkpointed transactions across
+                # this tenant's databases (the shared operational db
+                # counts for every tenant using it), plus the newest
+                # checkpoint ordinal — the durability posture an
+                # operator reads off /admin/health.
+                health.wal_lag = sum(
+                    db.wal_lag or 0 for db in databases.values())
+                checkpoints = [db.last_checkpoint
+                               for db in databases.values()
+                               if db.last_checkpoint is not None]
+                health.last_checkpoint = (
+                    max(checkpoints) if checkpoints else None)
         return report

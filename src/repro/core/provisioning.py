@@ -46,12 +46,18 @@ class ProvisioningService:
     def provision(self, tenant_id: str, display_name: str,
                   plan: str = "starter",
                   admin_username: Optional[str] = None,
-                  admin_password: str = "changeme") -> TenantContext:
+                  admin_password: str = "changeme",
+                  exist_ok: bool = False) -> TenantContext:
         """On-board one tenant across all platform layers.
 
         Steps: validate the plan, register the tenancy, attach the
         warehouse database to the technical-resources layer, register
         the default data source, and create the tenant-admin account.
+
+        ``exist_ok=True`` is the crash-recovery replay mode: the
+        tenant's recovered databases may already hold the datasource
+        row and the admin account (they were WAL-committed before the
+        crash), so those steps are skipped instead of failing.
         """
         self.billing.plan(plan)  # unknown plan fails before any change
         context = self.tenants.register(tenant_id, display_name, plan)
@@ -61,15 +67,22 @@ class ProvisioningService:
             tenant_id, "warehouse", context.warehouse_db)
         steps.append("warehouse-attached")
 
-        self.metadata.create_datasource(
-            tenant_id, "warehouse", "repro://warehouse")
-        steps.append("default-datasource")
+        existing_sources = ()
+        if exist_ok:
+            existing_sources = [source["name"] for source in
+                                self.metadata.datasources(tenant_id)]
+        if "warehouse" not in existing_sources:
+            self.metadata.create_datasource(
+                tenant_id, "warehouse", "repro://warehouse")
+            steps.append("default-datasource")
 
         username = admin_username or f"admin@{tenant_id}"
-        self.admin.create_account(
-            username, admin_password, tenant=tenant_id,
-            roles=["tenant-admin"])
-        steps.append("admin-account")
+        if not (exist_ok and
+                self.admin.security.find_user(username) is not None):
+            self.admin.create_account(
+                username, admin_password, tenant=tenant_id,
+                roles=["tenant-admin"])
+            steps.append("admin-account")
 
         self.resources.publish_event(tenant_id, "provisioned",
                                      display_name)

@@ -43,6 +43,7 @@ from typing import (
 from repro.errors import (
     BulkheadRejectedError,
     CircuitOpenError,
+    CrashPoint,
     DeadlineExceededError,
     InjectedFault,
     ResilienceError,
@@ -440,6 +441,9 @@ class FaultInjector:
         self._sequence = 0
         self._lock = threading.Lock()
         self.enabled = True
+        # site -> absolute byte offset at which the next log write
+        # must "kill the process" (one-shot; see crash_cut/crash).
+        self._crash_points: Dict[str, int] = {}
 
     def inject(self, site: str, rate: float = 1.0, seed: int = 0,
                error: Optional[Callable[[str, int], BaseException]]
@@ -455,7 +459,50 @@ class FaultInjector:
         with self._lock:
             self._rules.clear()
             self.history.clear()
+            self._crash_points.clear()
             self._sequence = 0
+
+    # -- crash points (write-ahead-log process death) -----------------------------
+
+    def crash_at(self, site: str, offset: int) -> None:
+        """Arm a one-shot crash at byte ``offset`` of ``site``'s log.
+
+        The next append whose byte window reaches ``offset`` writes
+        exactly the bytes before it, then dies with
+        :class:`~repro.errors.CrashPoint` — the torn-tail shape of a
+        real ``kill -9`` mid-write.  One crash point per site; arming
+        again replaces it.
+        """
+        if offset < 0:
+            raise ResilienceError("crash offset must be >= 0")
+        with self._lock:
+            self._crash_points[site] = offset
+
+    def crash_cut(self, site: str, start: int,
+                  end: int) -> Optional[int]:
+        """Where (if anywhere) this ``[start, end)`` write must cut.
+
+        Returns the absolute offset to stop at, or None when the write
+        may complete.  An armed offset at or before ``start`` cuts
+        immediately (the process should already be dead); one beyond
+        ``end`` leaves this write alone.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            offset = self._crash_points.get(site)
+        if offset is None or offset > end:
+            return None
+        return max(offset, start)
+
+    def crash(self, site: str, offset: int) -> None:
+        """Record and raise the armed crash (disarming it)."""
+        with self._lock:
+            self._crash_points.pop(site, None)
+            self._sequence += 1
+            sequence = self._sequence
+            self.history.append((site, sequence))
+        raise CrashPoint(site, sequence, offset)
 
     @property
     def active(self) -> bool:
@@ -518,6 +565,13 @@ class TenantHealth:
     bulkhead_in_use: int = 0
     bulkhead_capacity: int = 0
     quarantined_jobs: List[str] = field(default_factory=list)
+    #: Committed transactions in the tenant warehouse WAL since its
+    #: last checkpoint (None when the platform runs without a data
+    #: directory — nothing durable to lag behind).
+    wal_lag: Optional[int] = None
+    #: How many checkpoints the tenant warehouse has taken (0 =
+    #: recovery would replay the whole log); None without a data dir.
+    last_checkpoint: Optional[int] = None
 
     @property
     def healthy(self) -> bool:
@@ -525,7 +579,7 @@ class TenantHealth:
             and not self.quarantined_jobs
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "tenant": self.tenant,
             "breaker": self.breaker_state,
             "consecutive_failures": self.consecutive_failures,
@@ -534,6 +588,10 @@ class TenantHealth:
             "quarantined_jobs": list(self.quarantined_jobs),
             "healthy": self.healthy,
         }
+        if self.wal_lag is not None:
+            payload["wal_lag"] = self.wal_lag
+            payload["last_checkpoint"] = self.last_checkpoint
+        return payload
 
 
 @dataclass

@@ -40,14 +40,15 @@ class TechnicalResourcesLayer:
     """
 
     def __init__(self, faults: Optional[FaultInjector] = None,
-                 clock: Optional[Clock] = None) -> None:
+                 clock: Optional[Clock] = None,
+                 bus_journal=None) -> None:
         self._databases: Dict[Tuple[str, str], Database] = {}
         self.faults = faults or FaultInjector()
         self.bus = MessageBus(
             retry_policy=RetryPolicy(
                 attempts=DEFAULT_BUS_RETRIES, base_delay=0.0,
                 non_retryable=(EsbError,)),
-            clock=clock, faults=self.faults)
+            clock=clock, faults=self.faults, journal=bus_journal)
         self.bus.create_channel(EVENTS_CHANNEL)
 
     # -- databases -----------------------------------------------------------------

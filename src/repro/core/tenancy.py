@@ -22,9 +22,10 @@ from __future__ import annotations
 import enum
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.engine.database import Database
+from repro.engine.wal import JournalLog
 from repro.errors import TenantError
 
 
@@ -49,16 +50,31 @@ class TenantContext:
 
 
 class TenantManager:
-    """Registers tenants and hands out their contexts."""
+    """Registers tenants and hands out their contexts.
 
-    def __init__(self, mode: TenancyMode = TenancyMode.SHARED):
+    ``database_factory`` is the durability hook: when the platform
+    runs against a data directory it supplies a factory that recovers
+    each database from its snapshot + WAL instead of creating it
+    blank.  ``journal`` (a :class:`~repro.engine.wal.JournalLog`)
+    records one ``("tenant", ...)`` record per registration so a
+    restarted platform can re-provision the same tenants.
+    """
+
+    def __init__(self, mode: TenancyMode = TenancyMode.SHARED,
+                 database_factory: Optional[
+                     Callable[[str], Database]] = None,
+                 journal: Optional[JournalLog] = None):
         self.mode = mode
+        self._factory = database_factory or (
+            lambda name: Database(name))
+        self.journal = journal
         self._tenants: Dict[str, TenantContext] = {}
         # Registration is control-plane work that may run concurrently
         # with request dispatch; guard the check-then-insert.
         self._registry_lock = threading.Lock()
         if mode is TenancyMode.SHARED:
-            self._shared_db: Optional[Database] = Database("platform")
+            self._shared_db: Optional[Database] = \
+                self._factory("platform")
         else:
             self._shared_db = None
 
@@ -70,7 +86,7 @@ class TenantManager:
         # In isolated mode platform state still needs one home.
         with self._registry_lock:
             if not hasattr(self, "_platform_only_db"):
-                self._platform_only_db = Database("platform")
+                self._platform_only_db = self._factory("platform")
             return self._platform_only_db
 
     def register(self, tenant_id: str, display_name: str,
@@ -82,15 +98,18 @@ class TenantManager:
             if self.mode is TenancyMode.SHARED:
                 operational = self._shared_db
             else:
-                operational = Database(f"op-{tenant_id}")
+                operational = self._factory(f"op-{tenant_id}")
             context = TenantContext(
                 tenant_id=tenant_id,
                 display_name=display_name,
                 plan=plan,
                 operational_db=operational,
-                warehouse_db=Database(f"dw-{tenant_id}"),
+                warehouse_db=self._factory(f"dw-{tenant_id}"),
             )
             self._tenants[tenant_id] = context
+            if self.journal is not None:
+                self.journal.append(
+                    ("tenant", tenant_id, display_name, plan))
             return context
 
     def deactivate(self, tenant_id: str) -> None:

@@ -29,6 +29,7 @@ from repro.engine.schema import (
     make_schema,
 )
 from repro.engine.types import SqlType
+from repro.engine.wal import JournalLog, WriteAheadLog
 
 __all__ = [
     "Catalog",
@@ -36,10 +37,12 @@ __all__ = [
     "ColumnType",
     "Connection",
     "Database",
+    "JournalLog",
     "ReadWriteLock",
     "ResultSet",
     "SqlType",
     "TableSchema",
+    "WriteAheadLog",
     "make_schema",
     "parse_sql",
 ]

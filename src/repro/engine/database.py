@@ -8,11 +8,13 @@ ODBIS data layer hands JDBC-style connections to the services above it.
 
 from __future__ import annotations
 
+import copy
 import os
 import pickle
 import threading
+import zlib
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.executor import Executor, ResultSet
 from repro.engine.locking import EXCLUSIVE, SHARED, ReadWriteLock
@@ -29,11 +31,19 @@ from repro.engine.parser import (
 from repro.engine.schema import Catalog, TableSchema
 from repro.engine.storage import TableStorage
 from repro.engine.transactions import Transaction
+from repro.engine.wal import (
+    MAGIC,
+    WriteAheadLog,
+    _fsync_directory,
+    committed_transactions,
+    read_log,
+)
 from repro.errors import (
     CatalogError,
     EngineError,
     SnapshotError,
     TransactionError,
+    WalError,
 )
 
 
@@ -68,6 +78,20 @@ class Database:
         self._lock = ReadWriteLock()
         self._state_lock = threading.Lock()
         self._plan_generation = 0
+        # Durability: a WriteAheadLog attached via attach_wal (or
+        # recover) receives one commit record per transaction.  The
+        # autocommit buffer collects redo ops of a single statement
+        # outside any explicit transaction; _suppress_redo silences
+        # recording while recovery replays the log into this database.
+        self._wal: Optional[WriteAheadLog] = None
+        self._snapshot_path: Optional[Path] = None
+        self._autocommit_redo: List[Any] = []
+        self._suppress_redo = False
+        self._checkpoints = 0
+        # Highest WAL commit number already contained in the snapshot
+        # this database was loaded from (0 = everything must replay).
+        self._snapshot_wal_number = 0
+        self.recovery_info: Optional[Dict[str, Any]] = None
 
     def __repr__(self) -> str:
         return f"<Database {self.name!r} tables={self.catalog.table_names()}>"
@@ -82,6 +106,10 @@ class Database:
         storage = TableStorage(schema)
         self._storages[schema.name.lower()] = storage
         self.record_undo(("create_table", schema.name))
+        # Deep-copy the schema into the redo record: a later ALTER in
+        # the same transaction mutates the live schema in place, and
+        # replay must see the table as it was at CREATE time.
+        self.record_redo(("create_table", copy.deepcopy(schema)))
         self.invalidate_plans()
         return storage
 
@@ -90,6 +118,7 @@ class Database:
         storage = self._storages.pop(name.lower())
         if record:
             self.record_undo(("drop_table", name, storage))
+            self.record_redo(("drop_table", name))
         self.invalidate_plans()
 
     def attach_storage(self, storage: TableStorage) -> None:
@@ -147,16 +176,24 @@ class Database:
         if isinstance(statement, TransactionStatement):
             return self._execute_transaction(statement.action)
         with self._lock.held(self._lock_mode(statement)):
-            if isinstance(statement, ExplainStatement):
-                result: Any = self._explain(statement.statement)
-            else:
-                result = self._executor.execute(statement, tuple(params))
-                if not isinstance(statement, (
-                        SelectStatement, CompoundSelect, InsertStatement,
-                        UpdateStatement, DeleteStatement)):
-                    # DDL (CREATE/DROP/ALTER, CTAS, views, indexes) may
-                    # change schemas or indexes any cached plan relies on.
-                    self.invalidate_plans()
+            try:
+                if isinstance(statement, ExplainStatement):
+                    result: Any = self._explain(statement.statement)
+                else:
+                    result = self._executor.execute(statement, tuple(params))
+                    if not isinstance(statement, (
+                            SelectStatement, CompoundSelect, InsertStatement,
+                            UpdateStatement, DeleteStatement)):
+                        # DDL (CREATE/DROP/ALTER, CTAS, views, indexes) may
+                        # change schemas or indexes any cached plan relies on.
+                        self.invalidate_plans()
+            finally:
+                # Outside an explicit transaction every statement is
+                # its own commit: flush whatever redo it produced as
+                # one WAL commit record before the lock is released —
+                # even on error, so the log mirrors the in-memory
+                # effects of a partially applied statement.
+                self._flush_autocommit_redo()
         if isinstance(result, ResultSet):
             with self._state_lock:
                 self.statistics["rows_returned"] += len(result)
@@ -296,8 +333,13 @@ class Database:
         if not self.in_transaction:
             raise TransactionError("no transaction in progress")
         try:
+            redo = self._transaction.take_redo()
             self._transaction.commit()
             self._transaction = None
+            if self._wal is not None and redo:
+                # One atomic commit record for the whole scope, while
+                # the exclusive lock still serializes the log.
+                self._wal.commit(redo)
         finally:
             self._lock.release_write()
 
@@ -313,6 +355,24 @@ class Database:
     def record_undo(self, entry) -> None:
         if self.in_transaction:
             self._transaction.record(entry)
+
+    def record_redo(self, entry) -> None:
+        """Queue the forward image of one mutation for the WAL."""
+        if self._wal is None or self._suppress_redo:
+            return
+        if self.in_transaction:
+            self._transaction.record_redo(entry)
+        else:
+            self._autocommit_redo.append(entry)
+
+    def _flush_autocommit_redo(self) -> None:
+        if self._wal is None or self.in_transaction:
+            return
+        if not self._autocommit_redo:
+            return
+        ops, self._autocommit_redo = self._autocommit_redo, []
+        self._lock.require_exclusive("WAL commit")
+        self._wal.commit(ops)
 
     def transaction(self) -> "_TransactionScope":
         """Context manager: commit on success, roll back on exception."""
@@ -338,6 +398,13 @@ class Database:
         with self._lock.shared():
             payload = {
                 "name": self.name,
+                # With a WAL attached the snapshot records how much of
+                # the log it already contains, so recovery replays only
+                # commits numbered beyond it — even when the crash hit
+                # between a checkpoint's snapshot and its log reset.
+                "wal_commit_number": (
+                    self._wal.last_number if self._wal is not None
+                    else self._snapshot_wal_number),
                 "compile": self._compile_enabled,
                 "statistics": dict(self.statistics),
                 "views": dict(self.views),
@@ -372,6 +439,10 @@ class Database:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(scratch, target)
+            # The rename lives in the directory inode; without this
+            # (best-effort) fsync a power cut could forget the swap
+            # even though the data blocks were synced above.
+            _fsync_directory(target.parent)
         except BaseException:
             scratch.unlink(missing_ok=True)
             raise
@@ -418,7 +489,189 @@ class Database:
         for select in database.views.values():
             database._executor.execute_select(select, ())
         database.statistics.update(payload.get("statistics", {}))
+        database._snapshot_wal_number = \
+            payload.get("wal_commit_number") or 0
         return database
+
+    # -- write-ahead logging / crash recovery -------------------------------------
+
+    def attach_wal(self, wal: WriteAheadLog,
+                   snapshot_path: Optional[Union[str, Path]] = None) -> None:
+        """Start logging every committed mutation to ``wal``.
+
+        ``snapshot_path`` is where :meth:`checkpoint` writes the
+        snapshot that lets the log be truncated.
+        """
+        self._wal = wal
+        if snapshot_path is not None:
+            self._snapshot_path = Path(snapshot_path)
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        return self._wal
+
+    @property
+    def wal_lag(self) -> Optional[int]:
+        """Committed transactions in the log since the last checkpoint
+        (``None`` when no WAL is attached)."""
+        return None if self._wal is None else self._wal.commits
+
+    @property
+    def last_checkpoint(self) -> Optional[int]:
+        """Ordinal of the last checkpoint taken (``None`` if never)."""
+        return self._checkpoints or None
+
+    def checkpoint(self, path: Optional[Union[str, Path]] = None) -> int:
+        """Snapshot atomically, then truncate the WAL.
+
+        Returns the checkpoint ordinal.  Runs under the exclusive
+        lock so the snapshot and the log reset observe the same
+        state.  Crashing between the two is safe: the snapshot
+        records the WAL commit number it contains, so recovery skips
+        the logged transactions the snapshot already holds instead of
+        double-applying them.
+        """
+        if self._wal is None:
+            raise WalError("no write-ahead log attached")
+        target = Path(path) if path is not None else self._snapshot_path
+        if target is None:
+            raise WalError(
+                "checkpoint needs a snapshot path (attach_wal or "
+                "checkpoint(path=...))")
+        with self._lock.exclusive():
+            if self.in_transaction:
+                raise TransactionError(
+                    "cannot checkpoint during a transaction")
+            self.save(target)
+            self._snapshot_path = target
+            self._wal.reset()
+            self._checkpoints += 1
+            return self._checkpoints
+
+    def _apply_redo(self, ops: Sequence[Any]) -> None:
+        """Replay one committed transaction's forward images."""
+        for op in ops:
+            kind = op[0]
+            if kind == "insert":
+                _, table, rowid, row = op
+                self.storage(table).restore(rowid, list(row))
+            elif kind == "delete":
+                _, table, rowid = op
+                self.storage(table).delete(rowid)
+            elif kind == "update":
+                _, table, rowid, new_row = op
+                self.storage(table).update(rowid, list(new_row))
+            elif kind == "create_table":
+                self.create_storage(op[1])
+            elif kind == "drop_table":
+                self.drop_storage(op[1], record=False)
+            elif kind == "create_index":
+                _, table, index_name, columns, unique = op
+                self.storage(table).add_index(
+                    index_name, list(columns), unique=unique)
+                self.invalidate_plans()
+            elif kind == "add_column":
+                _, table, column = op
+                self.storage(table).add_column(column)
+                self.invalidate_plans()
+            elif kind == "create_view":
+                _, key, select = op
+                self.views[key] = select
+                self.invalidate_plans()
+            elif kind == "drop_view":
+                self.views.pop(op[1], None)
+                self.invalidate_plans()
+            else:
+                raise WalError(f"unknown redo op {kind!r}")
+
+    @classmethod
+    def recover(cls, directory: Union[str, Path], name: str = "main", *,
+                fsync: str = "always", compile: Optional[bool] = None,
+                faults=None) -> "Database":
+        """Rebuild a database from its data directory after a crash.
+
+        Loads the last snapshot (``<name>.snapshot``) when one exists,
+        replays every *committed* transaction from the WAL tail
+        (``<name>.wal``), discards torn/corrupt frames and intact but
+        uncommitted trailing ops, truncates the log back to the last
+        commit record (so later appends cannot resurrect them), then
+        re-attaches a live WAL so the database keeps logging.  Views
+        are revalidated against the recovered catalog; compiled plans
+        start cold.  ``compile=None`` keeps the snapshot's setting.
+        """
+        directory = Path(directory)
+        snapshot = directory / f"{name}.snapshot"
+        wal_path = directory / f"{name}.wal"
+        snapshot_loaded = snapshot.exists()
+        if snapshot_loaded:
+            database = cls.load(snapshot, faults=faults)
+            if compile is not None:
+                database._compile_enabled = bool(compile)
+        else:
+            database = cls(name, compile=True if compile is None
+                           else bool(compile))
+        entries, good_length, tail_reason = read_log(wal_path)
+        transactions, committed_length, dangling = \
+            committed_transactions(entries)
+        base = database._snapshot_wal_number
+        replayable = [ops for number, ops in transactions
+                      if number > base]
+        database._suppress_redo = True
+        try:
+            for ops in replayable:
+                database._apply_redo(ops)
+        finally:
+            database._suppress_redo = False
+        for select in database.views.values():
+            database._executor.execute_select(select, ())
+        discarded = 0
+        if wal_path.exists():
+            # Keep exactly the committed prefix: behind it may sit an
+            # intact-but-uncommitted op run and/or a torn tail, and
+            # both must go before new commits are appended.
+            keep = committed_length
+            if keep == 0 and good_length >= len(MAGIC):
+                keep = len(MAGIC)
+            size = wal_path.stat().st_size
+            if size > keep:
+                discarded = size - keep
+                with open(wal_path, "r+b") as handle:
+                    handle.truncate(keep)
+        wal = WriteAheadLog(wal_path, fsync=fsync, faults=faults)
+        wal.last_number = max(wal.last_number, base)
+        database.attach_wal(wal, snapshot)
+        database.recovery_info = {
+            "snapshot_loaded": snapshot_loaded,
+            "transactions_replayed": len(replayable),
+            "dangling_ops": dangling,
+            "tail_reason": tail_reason,
+            "discarded_bytes": discarded,
+        }
+        database.invalidate_plans()
+        return database
+
+    def state_fingerprint(self) -> Tuple[Any, ...]:
+        """A hashable identity of the full durable state.
+
+        Two databases with equal fingerprints hold identical tables
+        (rows, rowids, indexes) and identical views — the invariant
+        the crash-chaos battery asserts between a committed prefix
+        and its recovery.
+        """
+        with self._lock.shared():
+            return (
+                tuple(sorted(storage.fingerprint()
+                             for storage in self._storages.values())),
+                tuple(sorted(
+                    (key, zlib.crc32(pickle.dumps(select)))
+                    for key, select in self.views.items())),
+            )
+
+    def close(self) -> None:
+        """Flush and close the attached WAL (if any)."""
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
 
 
 class _TransactionScope:

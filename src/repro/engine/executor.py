@@ -212,6 +212,8 @@ class Executor:
             return self._execute_create_index(statement)
         if isinstance(statement, AlterTableAddColumn):
             self._db.storage(statement.table).add_column(statement.column)
+            self._db.record_redo(
+                ("add_column", statement.table, statement.column))
             return 0
         if isinstance(statement, CreateTableAsStatement):
             return self._execute_create_table_as(statement, params)
@@ -241,6 +243,9 @@ class Executor:
         storage = self._db.storage(statement.table)
         storage.add_index(statement.name, statement.columns,
                           unique=statement.unique)
+        self._db.record_redo(
+            ("create_index", statement.table, statement.name,
+             list(statement.columns), statement.unique))
         return 0
 
     def _execute_create_table_as(self, statement: CreateTableAsStatement,
@@ -290,6 +295,8 @@ class Executor:
             rowid = storage.insert(list(row))
             self._db.record_undo(
                 ("insert", schema.name, rowid, list(row)))
+            self._db.record_redo(
+                ("insert", schema.name, rowid, list(row)))
             count += 1
         return count
 
@@ -306,6 +313,7 @@ class Executor:
         # creation, not first use.
         self.execute_select(statement.select, ())
         self._db.views[key] = statement.select
+        self._db.record_redo(("create_view", key, statement.select))
         return 0
 
     def _execute_drop_view(self, statement: DropViewStatement) -> int:
@@ -315,6 +323,7 @@ class Executor:
                 return 0
             raise CatalogError(f"no such view: {statement.name!r}")
         del self._db.views[key]
+        self._db.record_redo(("drop_view", key))
         return 0
 
     # -- DML ----------------------------------------------------------------------
@@ -338,6 +347,10 @@ class Executor:
             row = schema.coerce_row(values)
             rowid = storage.insert(row)
             self._db.record_undo(("insert", schema.name, rowid, row))
+            # Copy the row into the redo image: ALTER TABLE later in
+            # the same transaction appends to the live list in place.
+            self._db.record_redo(
+                ("insert", schema.name, rowid, list(row)))
             count += 1
         return count
 
@@ -365,6 +378,8 @@ class Executor:
         for rowid, new_row in targets:
             old_row = storage.update(rowid, new_row)
             self._db.record_undo(("update", schema.name, rowid, old_row))
+            self._db.record_redo(
+                ("update", schema.name, rowid, list(new_row)))
             count += 1
         return count
 
@@ -383,6 +398,8 @@ class Executor:
             old_row = storage.delete(rowid)
             self._db.record_undo(
                 ("delete", storage.schema.name, rowid, old_row))
+            self._db.record_redo(
+                ("delete", storage.schema.name, rowid))
         return len(doomed)
 
     # -- SELECT ---------------------------------------------------------------------

@@ -109,6 +109,19 @@ class ReadWriteLock:
         with self._cond:
             return self._writer == threading.get_ident()
 
+    def require_exclusive(self, what: str) -> None:
+        """Assert the calling thread holds the exclusive side.
+
+        The durability layer leans on this: a WAL commit is only
+        correct while the writer lock serializes mutations, so the
+        flush path asserts the invariant instead of trusting every
+        caller to have taken the right mode.
+        """
+        if not self.owned_exclusively():
+            raise RuntimeError(
+                f"{what} requires the exclusive side of the "
+                f"database lock")
+
     @contextmanager
     def shared(self):
         self.acquire_read()

@@ -116,6 +116,39 @@ class TableStorage:
         for index in self.indexes.values():
             index.insert(rowid, row)
 
+    def unallocate(self, rowid: int) -> None:
+        """Roll the rowid counter back past an undone insert.
+
+        Rollback replays insert-undos in reverse allocation order, so
+        winding the counter to the lowest undone rowid restores the
+        pre-transaction value — keeping the live state identical to
+        what WAL recovery (which never sees the aborted inserts)
+        would rebuild.
+        """
+        self._next_rowid = min(self._next_rowid, rowid)
+
+    # -- state identity -------------------------------------------------------
+
+    def fingerprint(self) -> Tuple[Any, ...]:
+        """A hashable identity of this table's full durable state.
+
+        Covers rows (with rowids), the rowid watermark and the index
+        inventory — everything a crash/recover round trip must
+        reproduce exactly.  The chaos battery compares fingerprints
+        instead of re-querying so a torn row can never hide behind a
+        lenient SELECT.
+        """
+        return (
+            self.schema.name.lower(),
+            tuple(sorted(
+                (rowid, tuple(row))
+                for rowid, row in self.rows.items())),
+            self._next_rowid,
+            tuple(sorted(
+                (name, tuple(index.column_names), index.unique)
+                for name, index in self.indexes.items())),
+        )
+
     # -- scans ---------------------------------------------------------------
 
     def scan(self) -> Iterator[Tuple[int, List[Any]]]:

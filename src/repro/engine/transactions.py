@@ -1,10 +1,16 @@
-"""Undo-log transactions for the embedded engine.
+"""Undo-log transactions (with a redo log for the WAL) .
 
 The engine runs in auto-commit mode until ``BEGIN`` opens an explicit
 transaction.  While a transaction is open, every mutation appends an
 undo record; ``ROLLBACK`` replays the records in reverse, ``COMMIT``
 discards them.  DDL (create/drop table) participates too, so a rolled
 back transaction also removes tables it created.
+
+When the database has a write-ahead log attached, the transaction
+additionally accumulates *redo* records — the forward image of each
+mutation.  ``COMMIT`` hands the whole redo list to the WAL as one
+atomic commit record; ``ROLLBACK`` discards it, so nothing about an
+aborted transaction ever reaches disk.
 """
 
 from __future__ import annotations
@@ -21,18 +27,42 @@ from repro.errors import TransactionError
 #   ("drop_table", table, storage)         -> undo by re-attaching storage
 UndoRecord = Tuple[Any, ...]
 
+# Redo record shapes (the WAL vocabulary; replayed by
+# Database._apply_redo in log order):
+#   ("insert", table, rowid, row)
+#   ("delete", table, rowid)
+#   ("update", table, rowid, new_row)
+#   ("create_table", schema)               -> the pickled TableSchema
+#   ("drop_table", table)
+#   ("create_index", table, name, columns, unique)
+#   ("add_column", table, column)
+#   ("create_view", name, select)          -> the parsed SELECT
+#   ("drop_view", name)
+RedoRecord = Tuple[Any, ...]
+
 
 class Transaction:
-    """The undo log of one open transaction."""
+    """The undo log (and pending redo log) of one open transaction."""
 
     def __init__(self) -> None:
         self._log: List[UndoRecord] = []
+        self._redo: List[RedoRecord] = []
         self.active = True
 
     def record(self, entry: UndoRecord) -> None:
         if not self.active:
             raise TransactionError("transaction is no longer active")
         self._log.append(entry)
+
+    def record_redo(self, entry: RedoRecord) -> None:
+        if not self.active:
+            raise TransactionError("transaction is no longer active")
+        self._redo.append(entry)
+
+    def take_redo(self) -> List[RedoRecord]:
+        """Detach the redo list (called once, at commit)."""
+        redo, self._redo = self._redo, []
+        return redo
 
     def __len__(self) -> int:
         return len(self._log)
@@ -47,11 +77,14 @@ class Transaction:
         if not self.active:
             raise TransactionError("transaction already finished")
         self.active = False
+        self._redo.clear()  # nothing of an aborted txn reaches the WAL
         for entry in reversed(self._log):
             action = entry[0]
             if action == "insert":
                 _, table, rowid, _row = entry
-                database.storage(table).delete(rowid)
+                storage = database.storage(table)
+                storage.delete(rowid)
+                storage.unallocate(rowid)
             elif action == "delete":
                 _, table, rowid, old_row = entry
                 database.storage(table).restore(rowid, old_row)

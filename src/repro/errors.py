@@ -54,6 +54,13 @@ class SnapshotError(EngineError):
     """A database snapshot file is truncated, corrupt or malformed."""
 
 
+class WalError(EngineError):
+    """Misuse of the write-ahead log (bad magic, closed log, bad
+    fsync policy).  Torn or corrupt *tails* are not errors — recovery
+    discards them silently, because a torn tail is exactly what a
+    crash is expected to leave behind."""
+
+
 # --- ORM -------------------------------------------------------------------
 
 class OrmError(ReproError):
@@ -232,6 +239,24 @@ class InjectedFault(ResilienceError):
         super().__init__(f"injected fault at {site!r} (#{sequence})")
         self.site = site
         self.sequence = sequence
+
+
+class CrashPoint(InjectedFault):
+    """Simulated process death at an exact byte offset of a log file.
+
+    Raised by the :class:`FaultInjector` from inside a write-ahead-log
+    append: every byte before ``offset`` reached the file, everything
+    after is lost — the torn-tail shape a real ``kill -9`` leaves.
+    Code under test must treat the owning object as dead and recover
+    from disk; unlike other injected faults, a crash point is never
+    retried past.
+    """
+
+    def __init__(self, site: str, sequence: int, offset: int):
+        super().__init__(site, sequence)
+        self.offset = offset
+        self.args = (f"simulated crash at {site!r} byte offset "
+                     f"{offset} (#{sequence})",)
 
 
 # --- security --------------------------------------------------------------

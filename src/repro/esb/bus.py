@@ -81,7 +81,7 @@ class MessageBus:
     """
 
     def __init__(self, max_hops: int = 100, retry_policy=None,
-                 clock=None, faults=None):
+                 clock=None, faults=None, journal=None):
         self._channels: Dict[str, List[_Endpoint]] = {
             DEAD_LETTER_CHANNEL: [],
         }
@@ -89,8 +89,21 @@ class MessageBus:
         self.retry_policy = retry_policy
         self.clock = clock
         self.faults = faults
+        # ``journal`` (duck-typed JournalLog) makes the dead-letter
+        # queue crash-durable: every dead letter is appended as a
+        # ``("dead_letter", ...)`` record, and the intact prefix found
+        # at open time is restored here — an operator can still
+        # inspect and replay failures that predate the crash.
+        self.journal = journal
         self.dead_letters: List[Message] = []
         self.delivery_log: List[str] = []
+        if journal is not None:
+            for record in journal.recovered:
+                if record and record[0] == "dead_letter":
+                    _, message_id, payload, headers = record
+                    self.dead_letters.append(Message(
+                        payload=payload, headers=dict(headers),
+                        message_id=message_id))
         #: One ``(channel, message_id, attempts)`` triple per endpoint
         #: invocation that needed more than one attempt.
         self.retry_log: List[Tuple[str, int, int]] = []
@@ -212,6 +225,10 @@ class MessageBus:
         self.delivery_log.append(f"{channel}:{message.message_id}")
         if channel == DEAD_LETTER_CHANNEL:
             self.dead_letters.append(message)
+            if self.journal is not None:
+                self.journal.append(
+                    ("dead_letter", message.message_id,
+                     message.payload, dict(message.headers)))
         for endpoint in self._channel(channel):
             try:
                 if endpoint.kind in ("wiretap", "activator"):

@@ -10,7 +10,7 @@ property benchmark E10 measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import SchedulerError
 from repro.etl.jobs import EtlJob, JobResult, JobRunner
@@ -104,11 +104,22 @@ class Scheduler:
     quarantined — on each due minute it is skipped-and-reported (a
     ``"quarantined"`` record, never a silent drop) until
     :meth:`unquarantine` readmits it.
+
+    ``journal`` (a :class:`~repro.engine.wal.JournalLog`, duck-typed)
+    makes the execution history crash-durable: every
+    :class:`ExecutionRecord` and clock advance is appended, and a
+    scheduler built over the surviving journal restores its clock,
+    its run log and each job's quarantine posture.  Jobs themselves
+    (callables) cannot be journaled — re-adding a job under its old
+    name (as platform re-provisioning does) re-attaches the recovered
+    state.  Journaled history records carry ``result=None``; the
+    status/error fields are what survive.
     """
 
     def __init__(self, runner: Optional[JobRunner] = None,
                  start_minute: int = 0,
-                 quarantine_after: Optional[int] = None):
+                 quarantine_after: Optional[int] = None,
+                 journal=None):
         if quarantine_after is not None and quarantine_after < 1:
             raise SchedulerError("quarantine_after must be >= 1")
         self.runner = runner or JobRunner(error_policy="skip")
@@ -117,15 +128,57 @@ class Scheduler:
         self._entries: Dict[str, ScheduledJob] = {}
         self.log: List[ExecutionRecord] = []
         self._rotation: List[str] = []  # owner round-robin order
+        self.journal = journal
+        # job name -> state to re-attach when the job is re-added.
+        self._recovered_jobs: Dict[str, Dict[str, Any]] = {}
+        if journal is not None:
+            for record in journal.recovered:
+                self._replay_journal_record(record)
+
+    def _replay_journal_record(self, record: Any) -> None:
+        kind = record[0]
+        if kind == "sched":
+            data = record[1]
+            self.log.append(ExecutionRecord(
+                minute=data["minute"], owner=data["owner"],
+                job=data["job"], result=None,
+                status=data["status"], error=data.get("error")))
+            state = self._recovered_jobs.setdefault(
+                data["job"],
+                {"runs": 0, "consecutive_failures": 0,
+                 "quarantined": False})
+            if data["status"] == "ok":
+                state["runs"] += 1
+                state["consecutive_failures"] = 0
+            elif data["status"] == "failed":
+                state["consecutive_failures"] += 1
+                if self.quarantine_after is not None and \
+                        state["consecutive_failures"] \
+                        >= self.quarantine_after:
+                    state["quarantined"] = True
+        elif kind == "clock":
+            self.now = max(self.now, record[1])
+        elif kind == "unquarantine":
+            state = self._recovered_jobs.get(record[1])
+            if state is not None:
+                state["quarantined"] = False
+                state["consecutive_failures"] = 0
 
     def add(self, job: EtlJob, schedule: Schedule,
             owner: str = "default", retry_policy=None) -> None:
         if job.name in self._entries:
             raise SchedulerError(f"job {job.name!r} already scheduled")
-        self._entries[job.name] = ScheduledJob(
+        entry = ScheduledJob(
             job=job, schedule=schedule, owner=owner,
             next_run=schedule.next_run_after(self.now),
             retry_policy=retry_policy)
+        recovered = self._recovered_jobs.get(job.name)
+        if recovered is not None:
+            entry.runs = recovered["runs"]
+            entry.consecutive_failures = \
+                recovered["consecutive_failures"]
+            entry.quarantined = recovered["quarantined"]
+        self._entries[job.name] = entry
         if owner not in self._rotation:
             self._rotation.append(owner)
 
@@ -155,7 +208,17 @@ class Scheduler:
                 self.log.append(record)
                 executed.append(record)
                 entry.next_run = entry.schedule.next_run_after(tick)
+                if self.journal is not None:
+                    self.journal.append(("sched", {
+                        "minute": record.minute,
+                        "owner": record.owner,
+                        "job": record.job,
+                        "status": record.status,
+                        "error": record.error,
+                    }))
         self.now = target
+        if self.journal is not None and minutes:
+            self.journal.append(("clock", target))
         return executed
 
     def _run_due(self, entry: ScheduledJob,
@@ -196,6 +259,8 @@ class Scheduler:
             raise SchedulerError(f"job {job_name!r} is not scheduled")
         entry.quarantined = False
         entry.consecutive_failures = 0
+        if self.journal is not None:
+            self.journal.append(("unquarantine", job_name))
 
     def _fair_order(self, entries: List[ScheduledJob]) \
             -> List[ScheduledJob]:

@@ -129,6 +129,14 @@ class SecurityStore:
         self.session.flush()
         return authority
 
+    def has_authority(self, name: str) -> bool:
+        return self.session.find(AuthorityEntity) \
+            .filter_by(name=name).first() is not None
+
+    def has_role(self, name: str) -> bool:
+        return self.session.find(RoleEntity) \
+            .filter_by(name=name).first() is not None
+
     def create_role(self, name: str,
                     authorities: List[str] = ()) -> RoleEntity:
         role = RoleEntity(name=name)
