@@ -9,6 +9,11 @@ an 8-worker pool:
 * SHARED-mode concurrent writes — 8 tenants funneled through one
   operational database, serialized by its exclusive lock side.
 
+Each case also runs with the runtime concurrency sanitizer attached
+(``repro.analysis.concurrency``), so ``BENCH_concurrency.json``
+records what ``REPRO_SANITIZE=1`` costs — the overhead ratio is the
+number to watch before turning the sanitizer on in a long battery.
+
 Timings land in ``benchmarks/out/BENCH_concurrency.json``.  Pure
 Python threads share the GIL, so parallel wall time is *not* expected
 to beat serial on CPU-bound queries — the assertions pin correctness
@@ -19,6 +24,7 @@ throughput numbers give CI a trend line.
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.analysis.concurrency import reset_default_sanitizer
 from repro.engine import Database
 
 from _util import emit, format_table, write_bench_json
@@ -28,8 +34,8 @@ ROWS = 1_500
 QUERIES_PER_TENANT = 150
 
 
-def tenant_database(tenant_no):
-    database = Database(f"op-t{tenant_no}")
+def tenant_database(tenant_no, sanitize=False):
+    database = Database(f"op-t{tenant_no}", sanitize=sanitize)
     database.execute(
         "CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)")
     database.executemany(
@@ -53,8 +59,10 @@ def timed(fn):
     return result, (time.perf_counter() - started) * 1000.0
 
 
-def test_bench_concurrency_serving_layer():
-    databases = [tenant_database(n) for n in range(N_TENANTS)]
+def serving_layer_timings(sanitize):
+    """(serial_ms, parallel_ms, shared_write_ms) for one mode."""
+    databases = [tenant_database(n, sanitize=sanitize)
+                 for n in range(N_TENANTS)]
     expected = read_workload(databases[0])
 
     # ISOLATED mode, serial baseline: one tenant after another.
@@ -71,7 +79,7 @@ def test_bench_concurrency_serving_layer():
 
     # SHARED mode, concurrent writes: every tenant inserts into one
     # operational database; the exclusive lock serializes them.
-    shared = Database("platform")
+    shared = Database("platform", sanitize=sanitize)
     shared.execute(
         "CREATE TABLE orders (id INTEGER PRIMARY KEY, tenant TEXT)")
 
@@ -86,9 +94,28 @@ def test_bench_concurrency_serving_layer():
             pool.map(write_workload, range(N_TENANTS))))
     assert shared.query_value("SELECT COUNT(*) FROM orders") == \
         N_TENANTS * QUERIES_PER_TENANT
+    return serial_ms, parallel_ms, shared_write_ms
+
+
+def test_bench_concurrency_serving_layer():
+    serial_ms, parallel_ms, shared_write_ms = \
+        serving_layer_timings(sanitize=False)
+
+    # The same serving workload with the runtime sanitizer watching
+    # every acquisition and storage access.  A fresh sanitizer scopes
+    # the lock-order graph to this run; a clean workload must stay
+    # clean under observation.
+    sanitizer = reset_default_sanitizer()
+    _, parallel_sanitized_ms, shared_write_sanitized_ms = \
+        serving_layer_timings(sanitize=True)
+    sanitizer.assert_clean()
+    assert sanitizer.acquisitions > 0
+    reset_default_sanitizer()
 
     total_reads = N_TENANTS * QUERIES_PER_TENANT
     reads_per_s = total_reads / (parallel_ms / 1000.0)
+    read_overhead = parallel_sanitized_ms / parallel_ms
+    write_overhead = shared_write_sanitized_ms / shared_write_ms
     emit("E13_concurrency", format_table(
         ("case", "wall ms", "ops", "ops/s"),
         [("isolated reads, serial", serial_ms, total_reads,
@@ -96,15 +123,31 @@ def test_bench_concurrency_serving_layer():
          (f"isolated reads, {N_TENANTS} workers", parallel_ms,
           total_reads, reads_per_s),
          (f"shared writes, {N_TENANTS} workers", shared_write_ms,
-          total_reads, total_reads / (shared_write_ms / 1000.0))]))
+          total_reads, total_reads / (shared_write_ms / 1000.0)),
+         (f"isolated reads, {N_TENANTS} workers, sanitized",
+          parallel_sanitized_ms, total_reads,
+          total_reads / (parallel_sanitized_ms / 1000.0)),
+         (f"shared writes, {N_TENANTS} workers, sanitized",
+          shared_write_sanitized_ms, total_reads,
+          total_reads / (shared_write_sanitized_ms / 1000.0))]))
     write_bench_json("concurrency", {
         "isolated_read_serial": serial_ms,
         f"isolated_read_parallel_{N_TENANTS}w": parallel_ms,
         f"shared_write_parallel_{N_TENANTS}w": shared_write_ms,
         "parallel_read_throughput_per_s": reads_per_s,
+        f"isolated_read_parallel_{N_TENANTS}w_sanitized":
+            parallel_sanitized_ms,
+        f"shared_write_parallel_{N_TENANTS}w_sanitized":
+            shared_write_sanitized_ms,
+        "sanitizer_read_overhead_ratio": read_overhead,
+        "sanitizer_write_overhead_ratio": write_overhead,
     })
 
     # Locking overhead must stay bounded: with the GIL, 8 workers do
     # the same total work as the serial loop — allow 3x for lock and
     # scheduling overhead before calling it a regression.
     assert parallel_ms < serial_ms * 3.0
+    # The sanitizer is bookkeeping on top of each acquisition; it may
+    # not turn the serving layer pathological.
+    assert parallel_sanitized_ms < parallel_ms * 5.0
+    assert shared_write_sanitized_ms < shared_write_ms * 5.0

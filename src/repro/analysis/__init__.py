@@ -4,8 +4,20 @@ The analyzers in this package check artifacts *before* deployment —
 the design-time validation the platform's administration layer applies
 at provisioning time — and report findings as :class:`Diagnostic`
 records with stable ``ODBnnn`` codes.
+
+:mod:`repro.analysis.concurrency` additionally turns the lens on the
+platform's own source: a lock-discipline static analyzer plus an
+opt-in runtime race/deadlock sanitizer.
 """
 
+from repro.analysis.concurrency import (
+    ConcurrencyAnalyzer,
+    ConcurrencySanitizer,
+    SanitizerReport,
+    analyze_concurrency,
+    default_sanitizer,
+    sanitize_enabled,
+)
 from repro.analysis.diagnostics import (
     CODES,
     Diagnostic,
@@ -33,17 +45,23 @@ from repro.analysis.sql import (
 
 __all__ = [
     "CODES",
+    "ConcurrencyAnalyzer",
+    "ConcurrencySanitizer",
     "Diagnostic",
     "DiagnosticCollector",
     "ModelLinter",
     "ReportLinter",
     "RuleLinter",
+    "SanitizerReport",
     "Severity",
     "SourceSpan",
     "SqlAnalyzer",
+    "analyze_concurrency",
     "analyze_script",
     "catalog_from_script",
     "dataset_columns_from_sql",
+    "default_sanitizer",
+    "sanitize_enabled",
     "lint_cube_schema",
     "lint_dashboard",
     "lint_model",

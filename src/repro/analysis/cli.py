@@ -3,6 +3,12 @@
 Usage::
 
     python -m repro.analysis.cli <directory> [--no-warnings]
+    python -m repro.analysis.cli concurrency <path> [--no-warnings]
+
+The second form runs the lock-discipline analyzer
+(:mod:`repro.analysis.concurrency`) over a Python source tree (or a
+single ``.py`` file) instead of linting tenant artifacts; the repo
+keeps itself honest with ``concurrency src/repro``.
 
 File handling, by extension:
 
@@ -27,6 +33,7 @@ import sys
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
+from repro.analysis.concurrency import analyze_concurrency
 from repro.analysis.diagnostics import DiagnosticCollector
 from repro.analysis.reports import (
     dataset_columns_from_sql,
@@ -125,6 +132,20 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     if "--no-warnings" in args:
         show_warnings = False
         args.remove("--no-warnings")
+
+    if args and args[0] == "concurrency":
+        if len(args) != 2:
+            print("usage: python -m repro.analysis.cli concurrency "
+                  "<path> [--no-warnings]", file=sys.stderr)
+            return 2
+        target = Path(args[1])
+        if not target.exists():
+            print(f"no such path: {target}", file=sys.stderr)
+            return 2
+        collector = analyze_concurrency(target)
+        print(render_report(collector, show_warnings))
+        return 1 if collector.has_errors() else 0
+
     if len(args) != 1:
         print("usage: python -m repro.analysis.cli <directory> "
               "[--no-warnings]", file=sys.stderr)

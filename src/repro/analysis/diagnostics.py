@@ -8,7 +8,8 @@ Codes are grouped by artifact family:
 * ``ODB1xx`` — SQL semantic analysis,
 * ``ODB2xx`` — CWM/MDA model linting,
 * ``ODB3xx`` — rule-DSL linting,
-* ``ODB4xx`` — report/dashboard/cube validation.
+* ``ODB4xx`` — report/dashboard/cube validation,
+* ``ODB5xx`` — concurrency / lock-discipline analysis.
 
 Codes are *stable*: tooling and tests match on them, so a code is
 never renumbered or reused for a different finding.
@@ -81,6 +82,12 @@ CODES: Dict[str, str] = {
     "ODB403": "sort column not in report columns",
     "ODB404": "empty dashboard definition",
     "ODB405": "duplicate report element name",
+    # -- concurrency (ODB5xx) ------------------------------------------------
+    "ODB501": "lock-order inversion (potential deadlock)",
+    "ODB502": "guarded state mutated without its lock",
+    "ODB503": "blocking call while holding an exclusive lock",
+    "ODB504": "non-reentrant lock re-acquired while held",
+    "ODB505": "guarded-by annotation names an unknown lock",
 }
 
 

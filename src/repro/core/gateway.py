@@ -122,11 +122,16 @@ class RequestGateway:
         self.bulkhead_capacity = bulkhead_capacity or max_workers
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown = breaker_cooldown
-        self.dispatch_log: List[Tuple[str, str]] = []
-        self._pool: Optional[ThreadPoolExecutor] = None
+        # The dispatch log is appended by every submitting thread;
+        # list.append is atomic under the GIL but the discipline is
+        # declared (and checked) anyway so a richer log entry cannot
+        # silently introduce a torn write.
+        self.dispatch_log: List[Tuple[str, str]] = []  # guarded-by: _log_lock
+        self._log_lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _pool_lock
         self._pool_lock = threading.Lock()
-        self._breakers: Dict[str, CircuitBreaker] = {}
-        self._bulkheads: Dict[str, Bulkhead] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}  # guarded-by: _guard_lock
+        self._bulkheads: Dict[str, Bulkhead] = {}  # guarded-by: _guard_lock
         self._guard_lock = threading.Lock()
         # LRU-bounded last-known-good bodies for degraded serving: an
         # unbounded dict here grows with every distinct (tenant, path)
@@ -135,10 +140,10 @@ class RequestGateway:
             raise ValueError("stale_cache_capacity must be >= 1")
         self.stale_cache_capacity = stale_cache_capacity
         self._stale_cache: "OrderedDict[Tuple[str, str], Tuple[Any, float]]" \
-            = OrderedDict()
+            = OrderedDict()  # guarded-by: _stale_lock
         self._stale_lock = threading.Lock()
-        self._draining = False
-        self._inflight = 0
+        self._draining = False  # guarded-by: _drain
+        self._inflight = 0  # guarded-by: _drain
         self._drain = threading.Condition()
 
     # -- pool lifecycle ---------------------------------------------------------
@@ -269,7 +274,8 @@ class RequestGateway:
 
     def _resolved(self, path: str, decision: str,
                   response: Response) -> "Future[Response]":
-        self.dispatch_log.append((path, decision))
+        with self._log_lock:
+            self.dispatch_log.append((path, decision))
         future: "Future[Response]" = Future()
         future.set_result(response)
         self._request_done()
@@ -298,7 +304,8 @@ class RequestGateway:
                               f"concurrency cap of {bulkhead.capacity}",
                      "code": "bulkhead_rejected"}, status=429))
 
-        self.dispatch_log.append((path, "accepted"))
+        with self._log_lock:
+            self.dispatch_log.append((path, "accepted"))
         deadline = None
         if self.deadline_seconds is not None:
             deadline = Deadline(self.deadline_seconds, clock=self.clock)

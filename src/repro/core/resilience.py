@@ -219,9 +219,9 @@ class CircuitBreaker:
         self.cooldown = cooldown
         self.clock = clock or MonotonicClock()
         self.name = name
-        self._state = self.CLOSED
-        self._consecutive_failures = 0
-        self._opened_at = 0.0
+        self._state = self.CLOSED          # guarded-by: _lock
+        self._consecutive_failures = 0     # guarded-by: _lock
+        self._opened_at = 0.0              # guarded-by: _lock
         self._lock = threading.Lock()
 
     @property
@@ -235,7 +235,7 @@ class CircuitBreaker:
         with self._lock:
             return self._consecutive_failures
 
-    def _maybe_half_open(self) -> None:
+    def _maybe_half_open(self) -> None:  # requires: _lock
         if self._state == self.OPEN and \
                 self.clock.now() - self._opened_at >= self.cooldown:
             self._state = self.HALF_OPEN
@@ -345,7 +345,7 @@ class Bulkhead:
             raise ResilienceError("bulkhead capacity must be >= 1")
         self.capacity = capacity
         self.name = name
-        self._in_use = 0
+        self._in_use = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     @property
@@ -436,14 +436,14 @@ class FaultInjector:
     """
 
     def __init__(self) -> None:
-        self._rules: List[FaultRule] = []
-        self.history: List[Tuple[str, int]] = []
-        self._sequence = 0
+        self._rules: List[FaultRule] = []          # guarded-by: _lock
+        self.history: List[Tuple[str, int]] = []   # guarded-by: _lock
+        self._sequence = 0                         # guarded-by: _lock
         self._lock = threading.Lock()
         self.enabled = True
         # site -> absolute byte offset at which the next log write
         # must "kill the process" (one-shot; see crash_cut/crash).
-        self._crash_points: Dict[str, int] = {}
+        self._crash_points: Dict[str, int] = {}    # guarded-by: _lock
 
     def inject(self, site: str, rate: float = 1.0, seed: int = 0,
                error: Optional[Callable[[str, int], BaseException]]

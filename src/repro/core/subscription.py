@@ -90,9 +90,9 @@ class BillingService:
             "CREATE TABLE IF NOT EXISTS usage_events ("
             "id INTEGER, tenant TEXT NOT NULL, period TEXT NOT NULL, "
             "kind TEXT NOT NULL, units INTEGER NOT NULL)")
-        self._next_id = 1
         # Gateway workers meter concurrently; the id counter is a
         # check-then-increment that must not mint duplicates.
+        self._next_id = 1  # guarded-by: _meter_lock
         self._meter_lock = threading.Lock()
 
     def plan(self, name: str) -> Plan:

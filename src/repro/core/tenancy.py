@@ -68,9 +68,9 @@ class TenantManager:
         self._factory = database_factory or (
             lambda name: Database(name))
         self.journal = journal
-        self._tenants: Dict[str, TenantContext] = {}
         # Registration is control-plane work that may run concurrently
         # with request dispatch; guard the check-then-insert.
+        self._tenants: Dict[str, TenantContext] = {}  # guarded-by: _registry_lock
         self._registry_lock = threading.Lock()
         if mode is TenancyMode.SHARED:
             self._shared_db: Optional[Database] = \

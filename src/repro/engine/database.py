@@ -56,28 +56,54 @@ class Database:
     side, DML/DDL and transaction scopes take the exclusive side (an
     explicit transaction holds it from BEGIN to COMMIT/ROLLBACK).
     Statements are parsed once and cached by SQL text.
+
+    ``sanitize`` opts this database into the runtime concurrency
+    sanitizer (``repro.analysis.concurrency``): the lock is swapped
+    for a recording variant and storage access is checked against it.
+    ``None`` (the default) defers to the ``REPRO_SANITIZE``
+    environment variable, so whole test batteries can run sanitized
+    without touching call sites.
     """
 
-    def __init__(self, name: str = "main", compile: bool = True):
+    def __init__(self, name: str = "main", compile: bool = True,
+                 sanitize: Optional[bool] = None):
         self.name = name
         self.catalog = Catalog()
-        self._storages: Dict[str, TableStorage] = {}
+        self._storages: Dict[str, TableStorage] = {}  # guarded-by: _lock
         self.views: Dict[str, Any] = {}  # name -> SelectStatement
         self._executor = Executor(self)
-        self._transaction: Optional[Transaction] = None
-        self._statement_cache: Dict[str, Any] = {}
+        self._transaction: Optional[Transaction] = None  # guarded-by: _lock
+        self._statement_cache: Dict[str, Any] = {}  # guarded-by: _state_lock
         # Compiled plans keyed by statement identity; each entry keeps a
         # strong reference to its statement so ids cannot be recycled.
         # ``compile=False`` is the ablation knob: plans are never used
         # and every SELECT runs through the interpreted executor.
         self._compile_enabled = bool(compile)
-        self._plan_cache: Dict[int, Any] = {}
-        self.statistics = {"statements": 0, "rows_returned": 0}
+        self._plan_cache: Dict[int, Any] = {}  # guarded-by: _state_lock
+        self.statistics = {"statements": 0, "rows_returned": 0}  # guarded-by: _state_lock
+        if sanitize is None:
+            sanitize = os.environ.get(
+                "REPRO_SANITIZE", "").strip().lower() in (
+                    "1", "true", "yes", "on")
         # Statement-level reader-writer lock plus a short mutex over
         # the statement/plan caches and the statistics counters.
-        self._lock = ReadWriteLock()
+        if sanitize:
+            from repro.analysis.concurrency.sanitizer import (
+                SanitizedReadWriteLock,
+                StorageMonitor,
+                default_sanitizer,
+            )
+            self._sanitizer = default_sanitizer()
+            self._lock = SanitizedReadWriteLock(
+                f"db:{name}", self._sanitizer)
+            self._storage_monitor = StorageMonitor(
+                self, self._sanitizer)
+        else:
+            self._sanitizer = None
+            self._lock = ReadWriteLock()
+            self._storage_monitor = None
         self._state_lock = threading.Lock()
-        self._plan_generation = 0
+        self._plan_generation = 0  # guarded-by: _state_lock
         # Durability: a WriteAheadLog attached via attach_wal (or
         # recover) receives one commit record per transaction.  The
         # autocommit buffer collects redo ops of a single statement
@@ -85,7 +111,7 @@ class Database:
         # recording while recovery replays the log into this database.
         self._wal: Optional[WriteAheadLog] = None
         self._snapshot_path: Optional[Path] = None
-        self._autocommit_redo: List[Any] = []
+        self._autocommit_redo: List[Any] = []  # guarded-by: _lock
         self._suppress_redo = False
         self._checkpoints = 0
         # Highest WAL commit number already contained in the snapshot
@@ -98,12 +124,14 @@ class Database:
 
     # -- storage management ------------------------------------------------------
 
-    def create_storage(self, schema: TableSchema) -> TableStorage:
+    def create_storage(self, schema: TableSchema) -> TableStorage:  # requires: _lock
         if schema.name.lower() in self.views:
             raise CatalogError(
                 f"a view named {schema.name!r} already exists")
         self.catalog.add_table(schema)
         storage = TableStorage(schema)
+        if self._storage_monitor is not None:
+            storage.attach_monitor(self._storage_monitor)
         self._storages[schema.name.lower()] = storage
         self.record_undo(("create_table", schema.name))
         # Deep-copy the schema into the redo record: a later ALTER in
@@ -113,7 +141,7 @@ class Database:
         self.invalidate_plans()
         return storage
 
-    def drop_storage(self, name: str, record: bool = True) -> None:
+    def drop_storage(self, name: str, record: bool = True) -> None:  # requires: _lock
         self.catalog.drop_table(name)
         storage = self._storages.pop(name.lower())
         if record:
@@ -121,9 +149,11 @@ class Database:
             self.record_redo(("drop_table", name))
         self.invalidate_plans()
 
-    def attach_storage(self, storage: TableStorage) -> None:
+    def attach_storage(self, storage: TableStorage) -> None:  # requires: _lock
         """Re-attach a previously dropped storage (transaction rollback)."""
         self.catalog.add_table(storage.schema)
+        if self._storage_monitor is not None:
+            storage.attach_monitor(self._storage_monitor)
         self._storages[storage.schema.name.lower()] = storage
         self.invalidate_plans()
 
@@ -356,7 +386,7 @@ class Database:
         if self.in_transaction:
             self._transaction.record(entry)
 
-    def record_redo(self, entry) -> None:
+    def record_redo(self, entry) -> None:  # requires: _lock
         """Queue the forward image of one mutation for the WAL."""
         if self._wal is None or self._suppress_redo:
             return
@@ -485,6 +515,12 @@ class Database:
             for index_name, column_names, unique in entry["indexes"]:
                 storage.add_index(index_name, column_names, unique=unique)
             database._storages[schema.name.lower()] = storage
+        if database._storage_monitor is not None:
+            # Attach only after rows and indexes are rebuilt: the
+            # restore loop runs before the database is shared, so its
+            # raw writes are not lock-contract violations.
+            for storage in database._storages.values():
+                storage.attach_monitor(database._storage_monitor)
         database.views.update(payload.get("views", {}))
         for select in database.views.values():
             database._executor.execute_select(select, ())
@@ -509,6 +545,11 @@ class Database:
     @property
     def wal(self) -> Optional[WriteAheadLog]:
         return self._wal
+
+    @property
+    def sanitizer(self):
+        """The attached runtime concurrency sanitizer (or None)."""
+        return self._sanitizer
 
     @property
     def wal_lag(self) -> Optional[int]:

@@ -14,14 +14,24 @@ from the parsed statement class:
 The exclusive side is reentrant per thread, which is what lets an
 explicit transaction hold the lock across every statement it runs
 (``BEGIN`` acquires, ``COMMIT``/``ROLLBACK`` release), so no other
-thread can observe uncommitted state.  Waiting writers gate new
-readers, so heavy read traffic cannot starve DML.
+thread can observe uncommitted state.  The shared side is reentrant
+per thread too: readers are tracked per thread ident, so a thread
+already inside the shared side may re-enter it even while a writer is
+queued — under the old plain-count accounting that re-entry deadlocked
+against writer preference.  Waiting writers still gate *new* readers,
+so heavy read traffic cannot starve DML.
+
+The lock also exposes an introspection API (:meth:`mode`,
+:meth:`holders`) for the runtime concurrency sanitizer
+(``repro.analysis.concurrency``), so tooling never has to reach into
+the private state.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from typing import Dict, Optional, Tuple
 
 #: Lock acquisition modes, as chosen by ``Database._lock_mode``.
 SHARED = "shared"
@@ -29,21 +39,24 @@ EXCLUSIVE = "exclusive"
 
 
 class ReadWriteLock:
-    """A writer-preference reader-writer lock with a reentrant writer.
+    """A writer-preference reader-writer lock, reentrant on both sides.
 
     Invariants: either ``_writer`` is None and any number of readers
-    hold the shared side, or ``_writer`` names the one thread holding
-    the exclusive side ``_writer_depth`` times and ``_readers`` is 0.
-    A thread holding the exclusive side may re-acquire either side;
-    the hold is released when its depth returns to zero.
+    hold the shared side (per-thread reentry depth in ``_readers``),
+    or ``_writer`` names the one thread holding the exclusive side
+    ``_writer_depth`` times and ``_readers`` is empty.  A thread
+    holding the exclusive side may re-acquire either side; the hold is
+    released when its depth returns to zero.  Upgrading (shared →
+    exclusive in one thread) is refused loudly instead of deadlocking.
     """
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
-        self._readers = 0
-        self._writer: int | None = None
-        self._writer_depth = 0
-        self._waiting_writers = 0
+        # Thread ident -> shared-side reentry depth.
+        self._readers: Dict[int, int] = {}    # guarded-by: _cond
+        self._writer: Optional[int] = None    # guarded-by: _cond
+        self._writer_depth = 0                # guarded-by: _cond
+        self._waiting_writers = 0             # guarded-by: _cond
 
     # -- shared side -----------------------------------------------------------
 
@@ -55,9 +68,15 @@ class ReadWriteLock:
                 # on it (a transaction running SELECTs).
                 self._writer_depth += 1
                 return
+            if me in self._readers:
+                # Reentrant shared hold: never queue behind a waiting
+                # writer while already inside the shared side — that
+                # is a self-deadlock under writer preference.
+                self._readers[me] += 1
+                return
             while self._writer is not None or self._waiting_writers:
                 self._cond.wait()
-            self._readers += 1
+            self._readers[me] = 1
 
     def release_read(self) -> None:
         me = threading.get_ident()
@@ -65,10 +84,14 @@ class ReadWriteLock:
             if self._writer == me:
                 self._release_exclusive_hold()
                 return
-            if self._readers <= 0:
+            depth = self._readers.get(me, 0)
+            if depth <= 0:
                 raise RuntimeError("release_read without acquire_read")
-            self._readers -= 1
-            if self._readers == 0:
+            if depth == 1:
+                del self._readers[me]
+            else:
+                self._readers[me] = depth - 1
+            if not self._readers:
                 self._cond.notify_all()
 
     # -- exclusive side --------------------------------------------------------
@@ -79,6 +102,11 @@ class ReadWriteLock:
             if self._writer == me:
                 self._writer_depth += 1
                 return
+            if me in self._readers:
+                # Waiting for readers to drain would wait on ourselves.
+                raise RuntimeError(
+                    "cannot upgrade a shared hold to exclusive; "
+                    "release the shared side first")
             self._waiting_writers += 1
             try:
                 while self._writer is not None or self._readers:
@@ -96,13 +124,35 @@ class ReadWriteLock:
                     "the exclusive lock")
             self._release_exclusive_hold()
 
-    def _release_exclusive_hold(self) -> None:
+    def _release_exclusive_hold(self) -> None:  # requires: _cond
         self._writer_depth -= 1
         if self._writer_depth == 0:
             self._writer = None
             self._cond.notify_all()
 
     # -- introspection / scoping ----------------------------------------------
+
+    def mode(self) -> Optional[str]:
+        """``EXCLUSIVE``, ``SHARED`` or None (idle) — a snapshot."""
+        with self._cond:
+            if self._writer is not None:
+                return EXCLUSIVE
+            if self._readers:
+                return SHARED
+            return None
+
+    def holders(self) -> Tuple[int, ...]:
+        """Idents of the threads currently holding either side.
+
+        One entry per holding thread regardless of reentry depth: the
+        exclusive holder alone, or every distinct reader.  The runtime
+        sanitizer keys its acquisition history on these instead of
+        reaching into the private state.
+        """
+        with self._cond:
+            if self._writer is not None:
+                return (self._writer,)
+            return tuple(sorted(self._readers))
 
     def owned_exclusively(self) -> bool:
         """True when the calling thread holds the exclusive side."""

@@ -23,6 +23,10 @@ class TableStorage:
         self.rows: Dict[int, List[Any]] = {}
         self._next_rowid = 1
         self.indexes: Dict[str, Index] = {}
+        # Optional concurrency-sanitizer hook (duck-typed
+        # StorageMonitor); None in production, so the per-mutation
+        # cost is one attribute test.
+        self._monitor = None
         # Unique constraints (incl. the primary key) get an implicit index.
         for column in schema.columns:
             if column.unique:
@@ -35,10 +39,16 @@ class TableStorage:
     def __len__(self) -> int:
         return len(self.rows)
 
+    def attach_monitor(self, monitor) -> None:
+        """Start reporting reads/mutations to a sanitizer monitor."""
+        self._monitor = monitor
+
     # -- indexes ------------------------------------------------------------
 
     def add_index(self, name: str, column_names: List[str],
                   unique: bool = False) -> Index:
+        if self._monitor is not None:
+            self._monitor.on_write(self.schema.name)
         positions = [self.schema.column_index(c) for c in column_names]
         index = Index(name, column_names, positions, unique=unique)
         for rowid, row in self.rows.items():
@@ -63,6 +73,8 @@ class TableStorage:
         Existing rows take the column default; a NOT NULL column
         without a default is rejected when rows already exist.
         """
+        if self._monitor is not None:
+            self._monitor.on_write(self.schema.name)
         if column.default is None and not column.nullable and self.rows:
             raise ConstraintViolation(
                 f"cannot add NOT NULL column {column.name!r} without "
@@ -79,6 +91,8 @@ class TableStorage:
 
     def insert(self, row: List[Any]) -> int:
         """Insert a coerced row, returning its rowid."""
+        if self._monitor is not None:
+            self._monitor.on_write(self.schema.name)
         rowid = self._next_rowid
         for index in self.indexes.values():
             index.check_insert(rowid, row, self.schema.name)
@@ -90,6 +104,8 @@ class TableStorage:
 
     def delete(self, rowid: int) -> List[Any]:
         """Delete a row by rowid, returning the old row (for undo)."""
+        if self._monitor is not None:
+            self._monitor.on_write(self.schema.name)
         row = self.rows.pop(rowid)
         for index in self.indexes.values():
             index.delete(rowid, row)
@@ -97,6 +113,8 @@ class TableStorage:
 
     def update(self, rowid: int, new_row: List[Any]) -> List[Any]:
         """Replace a row in place, returning the old row (for undo)."""
+        if self._monitor is not None:
+            self._monitor.on_write(self.schema.name)
         old_row = self.rows[rowid]
         for index in self.indexes.values():
             index.check_update(rowid, old_row, new_row, self.schema.name)
@@ -108,6 +126,8 @@ class TableStorage:
 
     def restore(self, rowid: int, row: List[Any]) -> None:
         """Re-insert a previously deleted row under its original rowid."""
+        if self._monitor is not None:
+            self._monitor.on_write(self.schema.name)
         if rowid in self.rows:
             raise ConstraintViolation(
                 f"rowid {rowid} already present in {self.schema.name}")
@@ -153,6 +173,8 @@ class TableStorage:
 
     def scan(self) -> Iterator[Tuple[int, List[Any]]]:
         """Iterate ``(rowid, row)`` pairs in insertion order."""
+        if self._monitor is not None:
+            self._monitor.on_read(self.schema.name)
         # Copy the id list so callers may mutate during iteration.
         for rowid in list(self.rows):
             row = self.rows.get(rowid)

@@ -1,0 +1,302 @@
+"""Golden negative-path tests for the lock-discipline analyzer.
+
+Each test writes a small synthetic module that commits exactly one
+concurrency sin and asserts the analyzer reports the exact ``ODBnnn``
+code — and nothing else — so the diagnostic surface stays stable.
+"""
+
+import textwrap
+
+from repro.analysis.concurrency import analyze_concurrency
+from repro.analysis.diagnostics import Severity
+
+
+def run_on(tmp_path, source, name="synthetic.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return analyze_concurrency(path)
+
+
+def codes(collector):
+    return sorted(diag.code for diag in collector.diagnostics)
+
+
+class TestLockOrderInversion:
+    def test_conflicting_orders_are_odb501(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            import threading
+
+            class Transfer:
+                def __init__(self):
+                    self._accounts = threading.Lock()
+                    self._audit = threading.Lock()
+
+                def debit(self):
+                    with self._accounts:
+                        with self._audit:
+                            pass
+
+                def audit_sweep(self):
+                    with self._audit:
+                        with self._accounts:
+                            pass
+            """)
+        assert codes(collector) == ["ODB501"]
+        (diagnostic,) = collector.diagnostics
+        assert diagnostic.severity is Severity.ERROR
+        assert "Transfer._accounts" in diagnostic.message
+        assert "Transfer._audit" in diagnostic.message
+        # Both witness sites are named so the report is actionable.
+        assert "debit" in diagnostic.message
+        assert "audit_sweep" in diagnostic.message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            import threading
+
+            class Transfer:
+                def __init__(self):
+                    self._accounts = threading.Lock()
+                    self._audit = threading.Lock()
+
+                def debit(self):
+                    with self._accounts:
+                        with self._audit:
+                            pass
+
+                def credit(self):
+                    with self._accounts:
+                        with self._audit:
+                            pass
+            """)
+        assert codes(collector) == []
+
+    def test_inversion_through_method_call(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            import threading
+
+            class Ledger:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def outer(self):
+                    with self._a:
+                        self._log()
+
+                def _log(self):
+                    with self._b:
+                        pass
+
+                def reversed_outer(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """)
+        assert codes(collector) == ["ODB501"]
+
+
+class TestGuardedMutation:
+    SOURCE = """\
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {{}}  # guarded-by: _lock
+
+            def put(self, key, value):
+                {body}
+        """
+
+    def test_unguarded_write_is_odb502(self, tmp_path):
+        collector = run_on(tmp_path, self.SOURCE.format(
+            body="self._entries[key] = value"))
+        assert codes(collector) == ["ODB502"]
+        (diagnostic,) = collector.diagnostics
+        assert diagnostic.severity is Severity.ERROR
+        assert "_entries" in diagnostic.message
+        assert "_lock" in diagnostic.message
+
+    def test_guarded_write_is_clean(self, tmp_path):
+        collector = run_on(tmp_path, self.SOURCE.format(
+            body="with self._lock:\n"
+                 "                    self._entries[key] = value"))
+        assert codes(collector) == []
+
+    def test_mutating_method_call_is_odb502(self, tmp_path):
+        collector = run_on(tmp_path, self.SOURCE.format(
+            body="self._entries.update({key: value})"))
+        assert codes(collector) == ["ODB502"]
+
+    def test_requires_contract_exempts_the_body(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}  # guarded-by: _lock
+
+                def _put_locked(self, key, value):  # requires: _lock
+                    self._entries[key] = value
+            """)
+        assert codes(collector) == []
+
+    def test_init_writes_are_exempt(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}  # guarded-by: _lock
+                    self._entries["seed"] = 1
+            """)
+        assert codes(collector) == []
+
+
+class TestBlockingUnderLock:
+    def test_fsync_under_exclusive_lock_is_odb503(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            import os
+            import threading
+
+            class Journal:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def flush(self, fd):
+                    with self._lock:
+                        os.fsync(fd)
+            """)
+        assert codes(collector) == ["ODB503"]
+        (diagnostic,) = collector.diagnostics
+        assert diagnostic.severity is Severity.WARNING
+        assert "os.fsync" in diagnostic.message
+
+    def test_sleep_under_shared_side_is_clean(self, tmp_path):
+        # The shared side admits other readers; a sleeping reader is
+        # wasteful but does not serialize the platform.
+        collector = run_on(tmp_path, """\
+            import time
+            from repro.engine.locking import ReadWriteLock
+
+            class Poller:
+                def __init__(self):
+                    self._lock = ReadWriteLock()
+
+                def poll(self):
+                    with self._lock.shared():
+                        time.sleep(0.1)
+            """)
+        assert codes(collector) == []
+
+    def test_sleep_under_rwlock_exclusive_is_odb503(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            import time
+            from repro.engine.locking import ReadWriteLock
+
+            class Poller:
+                def __init__(self):
+                    self._lock = ReadWriteLock()
+
+                def rebuild(self):
+                    with self._lock.exclusive():
+                        time.sleep(0.1)
+            """)
+        assert codes(collector) == ["ODB503"]
+
+
+class TestReacquisitionAndAnnotations:
+    def test_nested_nonreentrant_lock_is_odb504(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            import threading
+
+            class Meter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def bump(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """)
+        assert codes(collector) == ["ODB504"]
+        (diagnostic,) = collector.diagnostics
+        assert diagnostic.severity is Severity.ERROR
+        assert "self-deadlock" in diagnostic.message
+
+    def test_nested_rlock_is_clean(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            import threading
+
+            class Meter:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def bump(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """)
+        assert codes(collector) == []
+
+    def test_unknown_guard_name_is_odb505(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}  # guarded-by: _lokc
+            """)
+        assert codes(collector) == ["ODB505"]
+        (diagnostic,) = collector.diagnostics
+        assert diagnostic.severity is Severity.WARNING
+        assert "_lokc" in diagnostic.message
+
+
+class TestEntryPoints:
+    def test_directory_and_file_inputs_agree(self, tmp_path):
+        source = """\
+            import threading
+
+            class Meter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def bump(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        from_file = run_on(tmp_path, source)
+        from_dir = analyze_concurrency(tmp_path)
+        assert codes(from_file) == codes(from_dir) == ["ODB504"]
+
+    def test_cli_concurrency_subcommand(self, tmp_path, capsys):
+        from repro.analysis.cli import main
+
+        (tmp_path / "bad.py").write_text(textwrap.dedent("""\
+            import threading
+
+            class Meter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def bump(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """))
+        assert main(["concurrency", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "ODB504" in out
+        assert "1 error(s)" in out
+
+    def test_cli_usage_errors(self, tmp_path, capsys):
+        from repro.analysis.cli import main
+
+        assert main(["concurrency"]) == 2
+        assert main(["concurrency", str(tmp_path / "missing")]) == 2

@@ -1,0 +1,57 @@
+"""The repo lints its own lock discipline (tier-1).
+
+Any new ``ODB5xx`` diagnostic against ``src/repro`` fails this test:
+either the flagged code is a real hazard (fix the code) or the
+analyzer misjudged an idiom (fix the analyzer) — both are bugs worth
+stopping a merge for.  The check also asserts the run is *non-vacuous*
+— the analyzer must actually have discovered the engine's locks — so
+a regression that blinds the scanner cannot masquerade as a clean
+pass.
+"""
+
+from pathlib import Path
+
+from repro.analysis.concurrency import ConcurrencyAnalyzer, analyze_concurrency
+
+SOURCE_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert SOURCE_ROOT.is_dir()
+
+
+def test_repo_lock_discipline_is_clean():
+    collector = analyze_concurrency(SOURCE_ROOT)
+    assert not collector.diagnostics, "\n".join(
+        str(diagnostic) for diagnostic in collector.sorted())
+
+
+def test_selfcheck_is_not_vacuous():
+    analyzer = ConcurrencyAnalyzer()
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        analyzer.add_file(path)
+    analyzer.run()
+    lock_owners = {
+        (scan.label, class_name)
+        for scan in analyzer._scans
+        for class_name, info in scan.classes.items()
+        if info.locks
+    }
+    guarded = sum(
+        len(info.guards)
+        for scan in analyzer._scans
+        for info in scan.classes.values()
+    )
+    # The engine's core locking surfaces must all be visible.
+    names = {class_name for _, class_name in lock_owners}
+    assert {"Database", "ReadWriteLock", "RequestGateway",
+            "TenantManager"} <= names, sorted(names)
+    assert guarded >= 20, guarded
+
+
+def test_cli_self_run_is_clean(capsys):
+    from repro.analysis.cli import main
+
+    assert main(["concurrency", str(SOURCE_ROOT)]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out

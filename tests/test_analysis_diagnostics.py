@@ -20,7 +20,7 @@ class TestDiagnostic:
 
     def test_every_code_family_is_populated(self):
         families = {code[:4] for code in CODES}
-        assert families == {"ODB1", "ODB2", "ODB3", "ODB4"}
+        assert families == {"ODB1", "ODB2", "ODB3", "ODB4", "ODB5"}
 
     def test_str_includes_source_span_severity_and_code(self):
         diagnostic = Diagnostic("ODB101", Severity.ERROR,

@@ -1,0 +1,350 @@
+"""Runtime race/deadlock sanitizer battery (``pytest -m sanitize``).
+
+Three layers:
+
+* unit tests for the :class:`ReadWriteLock` introspection API and the
+  reentrancy/upgrade semantics the sanitizer leans on;
+* unit tests that each sanitizer invariant actually fires on an
+  induced violation (a checker that can't fail is no checker);
+* full reruns of the PR 3 stress battery and the PR 5 crash-chaos
+  battery with ``REPRO_SANITIZE=1``, asserting the sanitizer observed
+  real traffic and recorded **zero** violations.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.concurrency import (
+    SANITIZE_ENV,
+    ConcurrencySanitizer,
+    SanitizedReadWriteLock,
+    StorageMonitor,
+    default_sanitizer,
+    reset_default_sanitizer,
+    sanitize_enabled,
+)
+from repro.engine.database import Database
+from repro.engine.locking import EXCLUSIVE, SHARED, ReadWriteLock
+
+import tests.test_concurrency_stress as stress
+import tests.test_crash_chaos as chaos
+
+pytestmark = pytest.mark.sanitize
+
+WAIT = 60.0
+
+
+@pytest.fixture
+def sanitized_env(monkeypatch):
+    """REPRO_SANITIZE=1 plus a fresh process-wide sanitizer."""
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    sanitizer = reset_default_sanitizer()
+    yield sanitizer
+    reset_default_sanitizer()
+
+
+# -- ReadWriteLock introspection and semantics --------------------------------------
+
+
+class TestReadWriteLockIntrospection:
+    def test_idle_lock_reports_nothing(self):
+        lock = ReadWriteLock()
+        assert lock.mode() is None
+        assert lock.holders() == ()
+
+    def test_shared_hold_is_visible(self):
+        lock = ReadWriteLock()
+        with lock.shared():
+            assert lock.mode() == SHARED
+            assert threading.get_ident() in lock.holders()
+        assert lock.mode() is None
+
+    def test_exclusive_hold_is_visible(self):
+        lock = ReadWriteLock()
+        with lock.exclusive():
+            assert lock.mode() == EXCLUSIVE
+            assert lock.holders() == (threading.get_ident(),)
+        assert lock.holders() == ()
+
+    def test_holders_lists_every_distinct_reader(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(3)
+        release = threading.Event()
+        seen = []
+
+        def reader():
+            with lock.shared():
+                inside.wait(timeout=WAIT)
+                seen.append(lock.holders())
+                release.wait(timeout=WAIT)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            deadline = time.monotonic() + WAIT
+            while len(seen) < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            release.set()
+            for thread in threads:
+                thread.join(timeout=WAIT)
+        assert seen and all(len(holders) == 3 for holders in seen)
+
+    def test_upgrade_attempt_raises_instead_of_deadlocking(self):
+        lock = ReadWriteLock()
+        with lock.shared():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                lock.acquire_write()
+        # The refused upgrade left the shared hold intact and
+        # releasable — and the lock ends up idle.
+        assert lock.mode() is None
+
+    def test_reader_reentry_while_writer_waits(self):
+        """The accounting fix: a thread already inside the shared side
+        may re-enter it even though a writer is queued (plain-count
+        accounting deadlocked here), and the writer still gets the
+        lock afterwards."""
+        lock = ReadWriteLock()
+        writer_done = threading.Event()
+
+        def writer():
+            with lock.exclusive():
+                writer_done.set()
+
+        lock.acquire_read()
+        thread = threading.Thread(target=writer)
+        thread.start()
+        deadline = time.monotonic() + WAIT
+        while lock._waiting_writers == 0 \
+                and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert lock._waiting_writers == 1, "writer never queued"
+
+        lock.acquire_read()  # re-entry: must not queue behind writer
+        assert lock.mode() == SHARED
+        lock.release_read()
+        lock.release_read()
+
+        thread.join(timeout=WAIT)
+        assert writer_done.is_set(), "writer starved after reentry"
+
+    def test_new_readers_still_wait_behind_a_queued_writer(self):
+        lock = ReadWriteLock()
+        reading = threading.Event()
+        release_reader = threading.Event()
+        order = []
+
+        def first_reader():
+            with lock.shared():
+                reading.set()
+                release_reader.wait(timeout=WAIT)
+
+        def writer():
+            with lock.exclusive():
+                order.append("writer")
+
+        def late_reader():
+            with lock.shared():
+                order.append("late-reader")
+
+        holder = threading.Thread(target=first_reader)
+        holder.start()
+        assert reading.wait(timeout=WAIT)
+        writing = threading.Thread(target=writer)
+        writing.start()
+        deadline = time.monotonic() + WAIT
+        while lock._waiting_writers == 0 \
+                and time.monotonic() < deadline:
+            time.sleep(0.01)
+        late = threading.Thread(target=late_reader)
+        late.start()
+        time.sleep(0.05)  # give the late reader a chance to jump
+        assert not order, "someone got in past the first reader"
+        release_reader.set()
+        for thread in (holder, writing, late):
+            thread.join(timeout=WAIT)
+        assert order[0] == "writer", order
+
+    def test_release_without_acquire_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+# -- sanitizer invariants fire on induced violations --------------------------------
+
+
+class TestSanitizerDetections:
+    def test_lock_order_inversion_is_reported(self):
+        sanitizer = ConcurrencySanitizer()
+        lock_a = SanitizedReadWriteLock("A", sanitizer)
+        lock_b = SanitizedReadWriteLock("B", sanitizer)
+        with lock_a.exclusive():
+            with lock_b.exclusive():
+                pass
+        assert not sanitizer.reports  # one order alone is fine
+        with lock_b.exclusive():
+            with lock_a.exclusive():
+                pass
+        kinds = [report.kind for report in sanitizer.reports]
+        assert kinds == ["lock-order-inversion"]
+        message = sanitizer.reports[0].message
+        assert "A" in message and "B" in message
+        with pytest.raises(AssertionError):
+            sanitizer.assert_clean()
+
+    def test_inversion_reported_once_not_per_acquisition(self):
+        sanitizer = ConcurrencySanitizer()
+        lock_a = SanitizedReadWriteLock("A", sanitizer)
+        lock_b = SanitizedReadWriteLock("B", sanitizer)
+        for _ in range(5):
+            with lock_a.exclusive(), lock_b.exclusive():
+                pass
+            with lock_b.exclusive(), lock_a.exclusive():
+                pass
+        assert len(sanitizer.reports) == 1
+
+    def test_reentrant_holds_do_not_make_edges(self):
+        sanitizer = ConcurrencySanitizer()
+        lock = SanitizedReadWriteLock("solo", sanitizer)
+        with lock.exclusive():
+            with lock.exclusive():
+                with lock.shared():  # piggyback read
+                    pass
+        sanitizer.assert_clean()
+        assert sanitizer.acquisitions == 3
+
+    def test_unsynchronized_write_is_reported(self, sanitized_env):
+        db = Database("rogue-write")
+        db.execute("CREATE TABLE t (id INTEGER, v TEXT)")
+        sanitized_env.assert_clean()
+        db._storages["t"].insert([999, "rogue"])
+        kinds = [report.kind for report in sanitized_env.reports]
+        assert kinds == ["unsynchronized-write"]
+        details = dict(sanitized_env.reports[0].details)
+        assert details["table"] == "t"
+        assert details["database"] == "rogue-write"
+
+    def test_reader_sees_writer_is_reported(self, sanitized_env):
+        db = Database("torn-read")
+        db.execute("CREATE TABLE t (id INTEGER, v TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'a')")
+        sanitized_env.assert_clean()
+
+        holding = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with db._lock.exclusive():
+                holding.set()
+                release.wait(timeout=WAIT)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            assert holding.wait(timeout=WAIT)
+            list(db._storages["t"].scan())  # lockless dirty read
+        finally:
+            release.set()
+            thread.join(timeout=WAIT)
+        kinds = [report.kind for report in sanitized_env.reports]
+        assert "reader-sees-writer" in kinds
+
+    def test_recovery_replay_is_exempt(self, sanitized_env, tmp_path):
+        db = Database.recover(tmp_path, "main", fsync="off")
+        db.execute("CREATE TABLE t (id INTEGER, v TEXT)")
+        for i in range(10):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, "x"))
+        db.close()
+        recovered = Database.recover(tmp_path, "main", fsync="off")
+        assert recovered.sanitizer is sanitized_env
+        assert recovered.query(
+            "SELECT COUNT(*) AS n FROM t")[0]["n"] == 10
+        recovered.close()
+        sanitized_env.assert_clean()
+
+
+class TestEnvironmentGating:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        assert not sanitize_enabled()
+        db = Database("plain")
+        assert db.sanitizer is None
+        assert type(db._lock) is ReadWriteLock
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv(SANITIZE_ENV, value)
+        assert sanitize_enabled()
+
+    def test_env_var_sanitizes_databases(self, sanitized_env):
+        db = Database("gated")
+        assert db.sanitizer is sanitized_env
+        assert isinstance(db._lock, SanitizedReadWriteLock)
+        db.execute("CREATE TABLE t (id INTEGER)")
+        assert db._storages["t"]._monitor is not None
+
+    def test_explicit_flag_beats_environment(self, sanitized_env):
+        db = Database("opted-out", sanitize=False)
+        assert db.sanitizer is None
+
+    def test_reset_installs_a_fresh_default(self):
+        first = reset_default_sanitizer()
+        assert default_sanitizer() is first
+        second = reset_default_sanitizer()
+        assert second is not first
+        assert default_sanitizer() is second
+
+
+# -- the real batteries, sanitized --------------------------------------------------
+
+
+class TestStressBatterySanitized:
+    """PR 3's stress scenarios with every database sanitized."""
+
+    def test_engine_stress_runs_clean(self, sanitized_env):
+        battery = stress.TestEngineStress()
+        battery.test_mixed_workload_compiled_equals_interpreted()
+        battery.test_transaction_scopes_prevent_lost_updates()
+        battery.test_plan_and_statement_caches_survive_ddl_churn()
+        battery.test_statistics_are_not_lost_under_contention()
+        assert sanitized_env.acquisitions > 1000
+        sanitized_env.assert_clean()
+
+    def test_tenant_stress_runs_clean(self, sanitized_env):
+        battery = stress.TestTenantStress()
+        battery.test_shared_mode_tenants_serialize_writes_correctly()
+        battery.test_isolated_mode_tenants_run_in_parallel()
+        assert sanitized_env.acquisitions > 100
+        sanitized_env.assert_clean()
+
+
+class TestCrashBatterySanitized:
+    """PR 5's crash-chaos scenarios with every database sanitized."""
+
+    def test_golden_runs_are_still_deterministic(self, sanitized_env,
+                                                 tmp_path):
+        battery = chaos.TestKillAtEveryBoundary()
+        battery.test_same_seed_is_byte_identical(tmp_path)
+        assert sanitized_env.acquisitions > 100
+        sanitized_env.assert_clean()
+
+    def test_live_crash_injection_runs_clean(self, sanitized_env,
+                                             tmp_path):
+        battery = chaos.TestLiveCrashInjection()
+        battery.test_injected_crash_recovers_committed_prefix(
+            tmp_path, crash_offset=2_000)
+        sanitized_env.assert_clean()
+
+    def test_concurrent_round_trip_runs_clean(self, sanitized_env,
+                                              tmp_path):
+        battery = chaos.TestConcurrentWorkloadRoundTrip()
+        battery.test_recovery_round_trips_the_live_state(
+            tmp_path, compile=True)
+        assert sanitized_env.acquisitions > 100
+        sanitized_env.assert_clean()
