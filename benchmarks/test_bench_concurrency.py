@@ -21,6 +21,7 @@ under contention and bound the locking overhead, while the recorded
 throughput numbers give CI a trend line.
 """
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -32,6 +33,7 @@ from _util import emit, format_table, write_bench_json
 N_TENANTS = 8
 ROWS = 1_500
 QUERIES_PER_TENANT = 150
+READER_PROBES = 200
 
 
 def tenant_database(tenant_no, sanitize=False):
@@ -97,9 +99,81 @@ def serving_layer_timings(sanitize):
     return serial_ms, parallel_ms, shared_write_ms
 
 
+def read_probe_latencies(database):
+    """Per-query wall latencies (ms) for point reads on ``database``."""
+    latencies = []
+    for i in range(READER_PROBES):
+        key = (i * 37) % ROWS + 1
+        started = time.perf_counter()
+        value = database.query_value(
+            "SELECT v FROM kv WHERE k = ?", (key,))
+        latencies.append((time.perf_counter() - started) * 1000.0)
+        assert value == key * 3  # only committed state is visible
+    return latencies
+
+
+def reader_under_writer_timings():
+    """(baseline_ms, under_writer_ms, max_probe_ms) for point reads.
+
+    Before MVCC this scenario could not be *measured*: a reader's
+    shared acquisition parked behind the open transaction's exclusive
+    hold until COMMIT, so the probe loop below (which must finish
+    before the writer is released) deadlocked by construction.  The
+    probes completing at all — with the transaction verifiably still
+    open — is the tentpole's deterministic no-blocking proof; the
+    recorded latencies give CI the collapse trend line.
+    """
+    database = tenant_database(0)
+    baseline = read_probe_latencies(database)
+
+    writer_open = threading.Event()
+    release_writer = threading.Event()
+    writer_failures = []
+
+    def long_writer():
+        database.begin()
+        try:
+            for key in range(1, ROWS + 1, 3):
+                database.execute(
+                    "UPDATE kv SET v = v + 1000000 WHERE k = ?",
+                    (key,))
+            writer_open.set()
+            if not release_writer.wait(timeout=120):
+                writer_failures.append("probes never finished")
+            database.commit()
+        except Exception as exc:  # pragma: no cover
+            writer_failures.append(repr(exc))
+            database.rollback()
+
+    thread = threading.Thread(target=long_writer, name="long-writer")
+    thread.start()
+    try:
+        assert writer_open.wait(timeout=120)
+        assert database.in_transaction  # the txn really is open
+        under_writer = read_probe_latencies(database)
+    finally:
+        release_writer.set()
+        thread.join(timeout=120)
+    assert not thread.is_alive()
+    assert writer_failures == []
+    # After COMMIT the writer's effects become visible atomically.
+    assert database.query_value(
+        "SELECT v FROM kv WHERE k = 1") == 1 * 3 + 1_000_000
+    baseline_ms = sum(baseline)
+    under_writer_ms = sum(under_writer)
+    return baseline_ms, under_writer_ms, max(under_writer)
+
+
 def test_bench_concurrency_serving_layer():
     serial_ms, parallel_ms, shared_write_ms = \
         serving_layer_timings(sanitize=False)
+
+    # Reader-under-writer (the MVCC tentpole case): point-read
+    # latency while a long BEGIN..COMMIT transaction is open on
+    # another thread.  The probes finishing at all is the
+    # no-blocking proof — the writer only commits after they did.
+    reader_baseline_ms, reader_under_writer_ms, reader_max_probe_ms = \
+        reader_under_writer_timings()
 
     # The same serving workload with the runtime sanitizer watching
     # every acquisition and storage access.  A fresh sanitizer scopes
@@ -129,9 +203,25 @@ def test_bench_concurrency_serving_layer():
           total_reads / (parallel_sanitized_ms / 1000.0)),
          (f"shared writes, {N_TENANTS} workers, sanitized",
           shared_write_sanitized_ms, total_reads,
-          total_reads / (shared_write_sanitized_ms / 1000.0))]))
+          total_reads / (shared_write_sanitized_ms / 1000.0)),
+         ("point reads, idle engine", reader_baseline_ms,
+          READER_PROBES,
+          READER_PROBES / (reader_baseline_ms / 1000.0)),
+         ("point reads, open write txn", reader_under_writer_ms,
+          READER_PROBES,
+          READER_PROBES / (reader_under_writer_ms / 1000.0))]))
     write_bench_json("concurrency", {
         "isolated_read_serial": serial_ms,
+        "reader_baseline_ms": reader_baseline_ms,
+        "reader_under_open_write_txn_ms": reader_under_writer_ms,
+        "reader_under_open_write_txn_max_probe_ms":
+            reader_max_probe_ms,
+        "reader_under_writer_ratio":
+            reader_under_writer_ms / reader_baseline_ms,
+        # Pre-MVCC this case deadlocked (readers queued until
+        # COMMIT); completing the probes with the transaction open
+        # records "blocked on writer: no" as a measured fact.
+        "readers_blocked_on_writer": 0.0,
         f"isolated_read_parallel_{N_TENANTS}w": parallel_ms,
         f"shared_write_parallel_{N_TENANTS}w": shared_write_ms,
         "parallel_read_throughput_per_s": reads_per_s,

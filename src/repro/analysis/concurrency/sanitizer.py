@@ -17,9 +17,13 @@ watches three invariants while real workloads run:
   thread that holds the exclusive side of its database's lock
   (recovery replay, which is single-threaded by construction, is
   exempt via the database's ``_suppress_redo`` flag);
-* **reader-sees-writer** — a scan by a thread holding no side of the
-  lock while *another* thread holds the exclusive side has observed
-  state mid-mutation.
+* **reader-sees-writer** — a *raw* scan by a thread holding no side
+  of the lock while *another* thread holds the exclusive side has
+  observed state mid-mutation (MVCC snapshot reads are exempt: they
+  read version chains, not the live rows);
+* **snapshot-sees-future** — an MVCC snapshot read pinned at a commit
+  number the database has not yet published would observe effects of
+  an uncommitted (or unborn) transaction.
 
 Violations never raise into the workload: they accumulate as
 structured :class:`SanitizerReport` records on a
@@ -54,7 +58,7 @@ class SanitizerReport:
     """One observed violation of a runtime concurrency invariant."""
 
     kind: str       # lock-order-inversion | unsynchronized-write |
-                    # reader-sees-writer
+                    # reader-sees-writer | snapshot-sees-future
     message: str
     thread: str
     #: Extra context: lock labels, table/database names.
@@ -89,6 +93,10 @@ class ConcurrencySanitizer:
         #: Total acquisitions observed (cheap liveness signal for
         #: "the battery really ran sanitized" assertions).
         self.acquisitions = 0                      # guarded-by: _mutex
+        #: Total MVCC snapshot reads validated (liveness signal: under
+        #: MVCC the read path takes no lock, so acquisitions alone
+        #: would undercount how much the sanitizer actually watched).
+        self.snapshot_reads = 0                    # guarded-by: _mutex
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -154,6 +162,10 @@ class ConcurrencySanitizer:
         self._stack().append(id(lock))
         with self._mutex:
             self.acquisitions += 1
+
+    def count_snapshot_read(self) -> None:
+        with self._mutex:
+            self.snapshot_reads += 1
 
     def after_release(self, lock: "SanitizedReadWriteLock",
                       mode: str) -> None:
@@ -301,6 +313,26 @@ class StorageMonitor:
                 f"{self._database.name!r} scanned while another "
                 f"thread holds the exclusive lock",
                 database=self._database.name, table=table)
+
+    def on_snapshot_read(self, table: str, cn: int) -> None:
+        """Validate an MVCC snapshot read against the commit horizon.
+
+        Snapshot reads take no lock, so the pre-MVCC
+        reader-sees-writer check does not apply; what must hold
+        instead is that the snapshot is pinned at a commit number the
+        database has actually published — a snapshot "from the
+        future" would admit rows whose transaction has not committed.
+        """
+        self._sanitizer.count_snapshot_read()
+        if cn > self._database.committed_cn:
+            self._sanitizer.report(
+                "snapshot-sees-future",
+                f"table {table!r} of database "
+                f"{self._database.name!r} read through a snapshot "
+                f"pinned at cn={cn} beyond the committed horizon "
+                f"cn={self._database.committed_cn}",
+                database=self._database.name, table=table,
+                cn=str(cn))
 
 
 # -- the process-wide default sanitizer ----------------------------------------

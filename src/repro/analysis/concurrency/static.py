@@ -23,7 +23,14 @@ parses a source tree with :mod:`ast` and enforces three contracts:
    whose ``def`` line declares ``# requires: _lock`` (the caller-must-
    hold contract).  ``__init__`` is exempt — the object is not shared
    yet.  An annotation naming a lock the class does not own is
-   ``ODB505``.
+   ``ODB505`` — unless it names a *virtual guard* (see
+   ``VIRTUAL_GUARDS``): a discipline owned by another object, such as
+   ``engine-exclusive``, the owning database's exclusive lock that
+   every ``TableStorage`` mutation must run under.  The class cannot
+   construct a virtual guard, so the only way a mutation site passes
+   is the ``# requires:`` caller contract (or ``__init__``) — which
+   is exactly the shape the MVCC storage layer promises, and what the
+   runtime sanitizer's ``StorageMonitor`` checks dynamically.
 
 3. **No blocking under an exclusive lock** (``ODB503``).  ``fsync``,
    ``sleep`` and thread/pool joins made lexically inside an
@@ -81,8 +88,15 @@ MANUAL_HOLD_METHODS = {
     "require_exclusive",
 }
 
-_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
-_REQUIRES = re.compile(r"#\s*requires:\s*([A-Za-z_]\w*)")
+#: Guard names that are disciplines, not locks the class constructs:
+#: ``engine-exclusive`` means "the owning database's exclusive lock"
+#: (a TableStorage never sees that lock; its methods inherit the hold
+#: from Database via the ``# requires:`` caller contract).  Virtual
+#: guards are exempt from ODB505 but fully enforced by ODB502.
+VIRTUAL_GUARDS = {"engine-exclusive"}
+
+_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][\w-]*)")
+_REQUIRES = re.compile(r"#\s*requires:\s*([A-Za-z_][\w-]*)")
 
 
 @dataclass(frozen=True)
@@ -340,7 +354,8 @@ class ConcurrencyAnalyzer:
     def _check_annotations(self, scan: _ModuleScan, info: _ClassInfo,
                            collector: DiagnosticCollector) -> None:
         for note in info.guards:
-            if note.guard not in info.locks:
+            if note.guard not in info.locks \
+                    and note.guard not in VIRTUAL_GUARDS:
                 collector.warning(
                     "ODB505",
                     f"{info.name}.{note.attr} is guarded-by "
@@ -350,7 +365,8 @@ class ConcurrencyAnalyzer:
                     source=info.source)
         for method, required in info.requires.items():
             for guard in required:
-                if guard not in info.locks:
+                if guard not in info.locks \
+                        and guard not in VIRTUAL_GUARDS:
                     func = info.methods[method]
                     collector.warning(
                         "ODB505",
@@ -370,7 +386,8 @@ class ConcurrencyAnalyzer:
         if info is not None:
             guarded_attrs = {note.attr: note.guard
                              for note in info.guards
-                             if note.guard in info.locks}
+                             if note.guard in info.locks
+                             or note.guard in VIRTUAL_GUARDS}
             method_guards = self._method_held_guards(info, name, func)
         self._walk_body(list(ast.iter_child_nodes(func)), [],
                         scan, info, name, guarded_attrs,
@@ -389,6 +406,7 @@ class ConcurrencyAnalyzer:
         held: Set[str] = set()
         if name == "__init__":
             held.update(info.locks)
+            held.update(VIRTUAL_GUARDS)
         held.update(info.requires.get(name, ()))
         for node in ast.walk(func):
             if not isinstance(node, ast.Call):

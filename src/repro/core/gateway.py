@@ -47,6 +47,12 @@ from repro.core.resilience import (
     TenantHealth,
 )
 from repro.core.tenancy import TenantManager
+from repro.engine.parser import (
+    CompoundSelect,
+    ExplainStatement,
+    SelectStatement,
+    parse_sql,
+)
 from repro.errors import GatewayShutdownError, TenantError
 from repro.web import JsonResponse, Response, WebApplication
 
@@ -99,8 +105,16 @@ class RequestGateway:
     out and gathers responses in request order.  The ``dispatch_log``
     records one ``(path, decision)`` pair per submission — the
     observable that admission control happened at dispatch time; the
-    decisions are ``accepted``, ``rejected`` (admission), ``shed``
-    (bulkhead full) and ``degraded`` (breaker open).
+    decisions are ``accepted`` (plus the ``accepted-read`` /
+    ``accepted-write`` refinements when the body carries SQL),
+    ``rejected`` (admission), ``shed`` (bulkhead full) and
+    ``degraded`` (breaker open).
+
+    Read/write classification matters under MVCC: a read-only
+    statement — including ``EXPLAIN <anything>``, which only *plans*
+    — runs on the engine's lock-free snapshot path and never queues
+    behind an open write transaction, so the gateway no longer has a
+    reason to treat it as contended work.
     """
 
     def __init__(self, web: WebApplication, tenants: TenantManager,
@@ -281,6 +295,34 @@ class RequestGateway:
         self._request_done()
         return future
 
+    @staticmethod
+    def read_only_statement(sql: str) -> bool:
+        """True when ``sql`` dispatches as a lock-free snapshot read.
+
+        Mirrors the engine's shared/exclusive classification: the
+        decision is made on the *outermost* statement class, so
+        ``EXPLAIN UPDATE ...`` is read-only — EXPLAIN renders a plan,
+        it never executes the wrapped DML.  Unparseable SQL is
+        conservatively classified as a write (the engine will reject
+        it under the exclusive lock with a proper error).
+        """
+        try:
+            statement = parse_sql(sql)
+        except Exception:
+            return False
+        return isinstance(statement, (SelectStatement, CompoundSelect,
+                                      ExplainStatement))
+
+    @staticmethod
+    def _sql_of(body: Any) -> Optional[str]:
+        """The SQL text a request body carries, if any."""
+        if isinstance(body, dict):
+            for key in ("sql", "query"):
+                value = body.get(key)
+                if isinstance(value, str):
+                    return value
+        return None
+
     def _submit_guarded(self, method: str, path: str, body: Any,
                         headers: Optional[Dict[str, str]],
                         query: Optional[Dict[str, Any]]) \
@@ -304,8 +346,15 @@ class RequestGateway:
                               f"concurrency cap of {bulkhead.capacity}",
                      "code": "bulkhead_rejected"}, status=429))
 
+        sql = self._sql_of(body)
+        if sql is None:
+            decision = "accepted"
+        elif self.read_only_statement(sql):
+            decision = "accepted-read"
+        else:
+            decision = "accepted-write"
         with self._log_lock:
-            self.dispatch_log.append((path, "accepted"))
+            self.dispatch_log.append((path, decision))
         deadline = None
         if self.deadline_seconds is not None:
             deadline = Deadline(self.deadline_seconds, clock=self.clock)

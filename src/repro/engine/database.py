@@ -47,15 +47,61 @@ from repro.errors import (
 )
 
 
+class Snapshot:
+    """An immutable read view pinned at one WAL commit number.
+
+    Opened by :meth:`Database.open_snapshot` (or implicitly per
+    read-only statement), a snapshot sees exactly the row versions
+    whose ``(created_cn, deleted_cn)`` lifetime covers its commit
+    number — no lock is held while it is read, so writers appending
+    new versions under the exclusive lock never block it and it never
+    observes them.  Closing the snapshot (it is a context manager)
+    unpins it, letting the version garbage collector reclaim the
+    superseded versions it was holding alive.
+    """
+
+    def __init__(self, database: "Database", handle: int, cn: int):
+        self._db = database
+        self._handle = handle
+        #: The commit number this snapshot is pinned at.
+        self.cn = cn
+        self._closed = False
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<Snapshot cn={self.cn} {state}>"
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._db._release_snapshot(self._handle)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
 class Database:
     """An embedded SQL database.
 
-    Safe for concurrent use from many threads: every statement runs
-    under a per-database reader-writer lock whose mode is chosen from
-    the parsed statement class — SELECT/EXPLAIN overlap on the shared
-    side, DML/DDL and transaction scopes take the exclusive side (an
-    explicit transaction holds it from BEGIN to COMMIT/ROLLBACK).
-    Statements are parsed once and cached by SQL text.
+    Safe for concurrent use from many threads, with MVCC snapshot
+    isolation on the read side: committed transactions stamp their row
+    effects with the WAL's monotone commit number, and a read-only
+    statement (SELECT/EXPLAIN, including ``EXPLAIN <dml>``) runs
+    lock-free against a :class:`Snapshot` pinned at the current
+    committed number — readers never block on writers.  Anything that
+    may mutate takes the per-database lock's (now write-only)
+    exclusive side; an explicit transaction holds it from BEGIN to
+    COMMIT/ROLLBACK, and statements *inside* a transaction read the
+    live uncommitted state under that hold.  Statements are parsed
+    once and cached by SQL text.
 
     ``sanitize`` opts this database into the runtime concurrency
     sanitizer (``repro.analysis.concurrency``): the lock is swapped
@@ -104,6 +150,15 @@ class Database:
             self._storage_monitor = None
         self._state_lock = threading.Lock()
         self._plan_generation = 0  # guarded-by: _state_lock
+        # MVCC: the highest *published* commit number.  Writers stamp
+        # their effects with committed + 1 (they are serialized by the
+        # exclusive lock, so the number is known before commit) and
+        # publish under _state_lock, atomically with the snapshot
+        # registry below — so a snapshot can never open in the gap
+        # between a commit and the GC horizon moving past it.
+        self._committed_cn = 0  # guarded-by: _state_lock
+        self._open_snapshots: Dict[int, int] = {}  # guarded-by: _state_lock
+        self._snapshot_counter = 0  # guarded-by: _state_lock
         # Durability: a WriteAheadLog attached via attach_wal (or
         # recover) receives one commit record per transaction.  The
         # autocommit buffer collects redo ops of a single statement
@@ -130,6 +185,7 @@ class Database:
                 f"a view named {schema.name!r} already exists")
         self.catalog.add_table(schema)
         storage = TableStorage(schema)
+        storage.attach_clock(self._stamp_cn)
         if self._storage_monitor is not None:
             storage.attach_monitor(self._storage_monitor)
         self._storages[schema.name.lower()] = storage
@@ -152,6 +208,7 @@ class Database:
     def attach_storage(self, storage: TableStorage) -> None:  # requires: _lock
         """Re-attach a previously dropped storage (transaction rollback)."""
         self.catalog.add_table(storage.schema)
+        storage.attach_clock(self._stamp_cn)
         if self._storage_monitor is not None:
             storage.attach_monitor(self._storage_monitor)
         self._storages[storage.schema.name.lower()] = storage
@@ -172,6 +229,82 @@ class Database:
     def row_count(self, table: str) -> int:
         return len(self.storage(table))
 
+    # -- MVCC snapshots -----------------------------------------------------------
+
+    def _stamp_cn(self) -> int:
+        """The commit number the in-flight writer's effects commit as.
+
+        Writers are serialized by the exclusive lock, so the next
+        commit number is known before the commit happens; every effect
+        of the current statement/transaction is stamped with it.
+        """
+        return self._committed_cn + 1
+
+    def _publish_commit(self) -> None:  # requires: _lock
+        """Make the just-committed effects visible to new snapshots."""
+        with self._state_lock:
+            self._committed_cn += 1
+
+    @property
+    def committed_cn(self) -> int:
+        """The highest published commit number (new snapshots pin it)."""
+        return self._committed_cn
+
+    def open_snapshot(self) -> Snapshot:
+        """Pin a read view at the current committed commit number.
+
+        Lock-free with respect to writers; registration happens under
+        the same mutex that publishes commits, so the garbage
+        collector's horizon can never pass a snapshot mid-open.
+        """
+        with self._state_lock:
+            self._snapshot_counter += 1
+            handle = self._snapshot_counter
+            cn = self._committed_cn
+            self._open_snapshots[handle] = cn
+        return Snapshot(self, handle, cn)
+
+    def _release_snapshot(self, handle: int) -> None:
+        with self._state_lock:
+            self._open_snapshots.pop(handle, None)
+
+    def open_snapshot_count(self) -> int:
+        with self._state_lock:
+            return len(self._open_snapshots)
+
+    def version_horizon(self) -> int:
+        """The oldest commit number any live (or future) snapshot may
+        read at — versions dead at or before it are reclaimable."""
+        with self._state_lock:
+            if self._open_snapshots:
+                return min(min(self._open_snapshots.values()),
+                           self._committed_cn)
+            return self._committed_cn
+
+    def collect_versions(self) -> int:  # requires: _lock
+        """Reclaim row versions older than the oldest live snapshot.
+
+        Returns the number of versions collected.  Runs as part of
+        :meth:`checkpoint` and :meth:`vacuum`.
+        """
+        horizon = self.version_horizon()
+        reclaimed = 0
+        for storage in list(self._storages.values()):
+            reclaimed += storage.collect(horizon)
+        return reclaimed
+
+    def vacuum(self) -> int:
+        """Run version garbage collection under the exclusive lock."""
+        with self._lock.exclusive():
+            if self.in_transaction:
+                raise TransactionError(
+                    "cannot vacuum during a transaction")
+            return self.collect_versions()
+
+    def version_count(self, table: str) -> int:
+        """Retained versions for one table (GC observability)."""
+        return self.storage(table).version_count()
+
     # -- statement execution ------------------------------------------------------
 
     def _parse(self, sql: str):
@@ -187,7 +320,13 @@ class Database:
         return statement
 
     def _lock_mode(self, statement: Any) -> str:
-        """Shared for reads, exclusive for anything that may mutate."""
+        """Shared for reads, exclusive for anything that may mutate.
+
+        Classification happens on the *outermost* statement class:
+        ``EXPLAIN <anything>`` is read-only because it only renders a
+        plan (or a typed error) — it never runs the wrapped DML, so it
+        must not take (or wait for) the exclusive path.
+        """
         if isinstance(statement, (SelectStatement, CompoundSelect,
                                   ExplainStatement)):
             return SHARED
@@ -205,29 +344,58 @@ class Database:
             self.statistics["statements"] += 1
         if isinstance(statement, TransactionStatement):
             return self._execute_transaction(statement.action)
-        with self._lock.held(self._lock_mode(statement)):
-            try:
+        if self._lock_mode(statement) == SHARED \
+                and not self._lock.owned_exclusively():
+            # MVCC read path: no lock at all.  The statement runs
+            # against a snapshot pinned at the committed commit
+            # number, so an in-flight writer (even a long open
+            # transaction on another thread) never delays it.  A
+            # thread that *is* inside its own transaction falls
+            # through to the live path below and reads its own
+            # uncommitted effects under the reentrant exclusive hold.
+            with self.open_snapshot() as snapshot:
                 if isinstance(statement, ExplainStatement):
                     result: Any = self._explain(statement.statement)
                 else:
-                    result = self._executor.execute(statement, tuple(params))
-                    if not isinstance(statement, (
-                            SelectStatement, CompoundSelect, InsertStatement,
-                            UpdateStatement, DeleteStatement)):
-                        # DDL (CREATE/DROP/ALTER, CTAS, views, indexes) may
-                        # change schemas or indexes any cached plan relies on.
-                        self.invalidate_plans()
-            finally:
-                # Outside an explicit transaction every statement is
-                # its own commit: flush whatever redo it produced as
-                # one WAL commit record before the lock is released —
-                # even on error, so the log mirrors the in-memory
-                # effects of a partially applied statement.
-                self._flush_autocommit_redo()
+                    result = self._run_read(statement, tuple(params),
+                                            snapshot)
+        else:
+            with self._lock.held(self._lock_mode(statement)):
+                try:
+                    if isinstance(statement, ExplainStatement):
+                        result = self._explain(statement.statement)
+                    else:
+                        result = self._executor.execute(
+                            statement, tuple(params))
+                        if not isinstance(statement, (
+                                SelectStatement, CompoundSelect,
+                                InsertStatement, UpdateStatement,
+                                DeleteStatement)):
+                            # DDL (CREATE/DROP/ALTER, CTAS, views,
+                            # indexes) may change schemas or indexes
+                            # any cached plan relies on.
+                            self.invalidate_plans()
+                finally:
+                    # Outside an explicit transaction every statement
+                    # is its own commit: flush whatever redo it
+                    # produced as one WAL commit record — and publish
+                    # its commit number — before the lock is released,
+                    # even on error, so the log and the snapshot
+                    # visibility horizon mirror the in-memory effects
+                    # of a partially applied statement.
+                    self._flush_autocommit_redo()
         if isinstance(result, ResultSet):
             with self._state_lock:
                 self.statistics["rows_returned"] += len(result)
         return result
+
+    def _run_read(self, statement: Any, params: Sequence[Any],
+                  snapshot: Snapshot) -> ResultSet:
+        """Run a SELECT or UNION against a pinned snapshot."""
+        if isinstance(statement, SelectStatement):
+            return self._run_select(statement, params, snapshot)
+        return self._executor.execute_compound(statement, params,
+                                               snapshot)
 
     # -- compiled plans ----------------------------------------------------------
 
@@ -261,13 +429,21 @@ class Database:
         return entry[1], entry[2]
 
     def _run_select(self, statement: SelectStatement,
-                    params: Sequence[Any]) -> ResultSet:
-        """Execute one SELECT: compiled when possible, else interpreted."""
+                    params: Sequence[Any],
+                    snapshot: Optional[Snapshot] = None) -> ResultSet:
+        """Execute one SELECT: compiled when possible, else interpreted.
+
+        ``snapshot`` pins every scan to one commit number; None means
+        the live read path (inside a transaction, under the exclusive
+        lock).  Compiled plans stay valid across concurrent DML — the
+        snapshot is a per-execution argument, and the plan cache's
+        invalidation generation only moves on DDL.
+        """
         if self._compile_enabled:
             plan, _reason = self.plan_for(statement)
             if plan is not None:
-                return plan.execute(params)
-        return self._executor.execute_select(statement, params)
+                return plan.execute(params, snapshot)
+        return self._executor.execute_select(statement, params, snapshot)
 
     def _explain(self, statement: Any) -> ResultSet:
         """Render the plan of a SELECT/UNION as a one-column result."""
@@ -366,10 +542,14 @@ class Database:
             redo = self._transaction.take_redo()
             self._transaction.commit()
             self._transaction = None
-            if self._wal is not None and redo:
-                # One atomic commit record for the whole scope, while
-                # the exclusive lock still serializes the log.
-                self._wal.commit(redo)
+            if redo:
+                if self._wal is not None:
+                    # One atomic commit record for the whole scope,
+                    # while the exclusive lock still serializes the
+                    # log; the commit number published below is the
+                    # one the WAL just assigned.
+                    self._wal.commit(redo)
+                self._publish_commit()
         finally:
             self._lock.release_write()
 
@@ -387,8 +567,13 @@ class Database:
             self._transaction.record(entry)
 
     def record_redo(self, entry) -> None:  # requires: _lock
-        """Queue the forward image of one mutation for the WAL."""
-        if self._wal is None or self._suppress_redo:
+        """Queue the forward image of one mutation for the WAL.
+
+        Recorded even without a WAL attached: a non-empty redo list is
+        also how commit publication knows the statement/transaction
+        had effects and must advance the MVCC commit number.
+        """
+        if self._suppress_redo:
             return
         if self.in_transaction:
             self._transaction.record_redo(entry)
@@ -396,13 +581,15 @@ class Database:
             self._autocommit_redo.append(entry)
 
     def _flush_autocommit_redo(self) -> None:
-        if self._wal is None or self.in_transaction:
+        if self.in_transaction:
             return
         if not self._autocommit_redo:
             return
         ops, self._autocommit_redo = self._autocommit_redo, []
         self._lock.require_exclusive("WAL commit")
-        self._wal.commit(ops)
+        if self._wal is not None:
+            self._wal.commit(ops)
+        self._publish_commit()
 
     def transaction(self) -> "_TransactionScope":
         """Context manager: commit on success, roll back on exception."""
@@ -505,6 +692,7 @@ class Database:
                 f"snapshot {str(path)!r} has no database payload")
         database = cls(payload["name"],
                        compile=payload.get("compile", True))
+        base_cn = payload.get("wal_commit_number") or 0
         for entry in payload["tables"]:
             schema: TableSchema = entry["schema"]
             database.catalog.add_table(schema)
@@ -514,7 +702,13 @@ class Database:
             storage._next_rowid = entry["next_rowid"]
             for index_name, column_names, unique in entry["indexes"]:
                 storage.add_index(index_name, column_names, unique=unique)
+            # Migration on load: the flat seed format persists only
+            # live rows, so every row becomes the base version created
+            # at the snapshot's WAL commit number.
+            storage.seed_versions(base_cn)
+            storage.attach_clock(database._stamp_cn)
             database._storages[schema.name.lower()] = storage
+        database._committed_cn = base_cn
         if database._storage_monitor is not None:
             # Attach only after rows and indexes are rebuilt: the
             # restore loop runs before the database is shared, so its
@@ -539,6 +733,12 @@ class Database:
         snapshot that lets the log be truncated.
         """
         self._wal = wal
+        # Keep the MVCC clock in lockstep with the WAL numbering: new
+        # effects are stamped committed + 1, which from here on is
+        # exactly the number the WAL assigns their commit record.
+        with self._state_lock:
+            if wal.last_number > self._committed_cn:
+                self._committed_cn = wal.last_number
         if snapshot_path is not None:
             self._snapshot_path = Path(snapshot_path)
 
@@ -587,6 +787,10 @@ class Database:
             self._snapshot_path = target
             self._wal.reset()
             self._checkpoints += 1
+            # Checkpoint doubles as the version garbage collector:
+            # versions superseded before the oldest live snapshot can
+            # never be read again and are reclaimed here.
+            self.collect_versions()
             return self._checkpoints
 
     def _apply_redo(self, ops: Sequence[Any]) -> None:
@@ -655,12 +859,17 @@ class Database:
         transactions, committed_length, dangling = \
             committed_transactions(entries)
         base = database._snapshot_wal_number
-        replayable = [ops for number, ops in transactions
+        replayable = [(number, ops) for number, ops in transactions
                       if number > base]
         database._suppress_redo = True
         try:
-            for ops in replayable:
+            # Replay stamps each transaction's effects with its actual
+            # WAL commit number, rebuilding the same version lifetimes
+            # the pre-crash database had published.
+            for number, ops in replayable:
+                database._committed_cn = number - 1
                 database._apply_redo(ops)
+                database._committed_cn = number
         finally:
             database._suppress_redo = False
         for select in database.views.values():

@@ -96,12 +96,20 @@ class ResultSet:
 
 
 class _Source:
-    """One resolved FROM-clause table: alias, schema and storage."""
+    """One resolved FROM-clause table: alias, schema and storage.
 
-    def __init__(self, alias: str, schema: TableSchema, storage):
+    ``snapshot`` pins every scan of this source to one commit number
+    (the MVCC read path); ``None`` scans the live rows — only valid
+    under the database's exclusive lock (writers and in-transaction
+    reads).
+    """
+
+    def __init__(self, alias: str, schema: TableSchema, storage,
+                 snapshot=None):
         self.alias = alias
         self.schema = schema
         self.storage = storage
+        self.snapshot = snapshot
         # Context keys computed once per statement, not once per row.
         alias_key = alias.lower()
         self._rowid_key = "__rowid_" + alias_key
@@ -111,8 +119,18 @@ class _Source:
         ]
 
     def contexts(self) -> Iterable[Dict[str, Any]]:
+        if self.snapshot is not None:
+            for rowid, row in self.storage.snapshot_rows(self.snapshot.cn):
+                yield self.row_context(rowid, row)
+            return
         for rowid, row in self.storage.scan():
             yield self.row_context(rowid, row)
+
+    def fetch_row(self, rowid: int) -> Optional[List[Any]]:
+        """The row for ``rowid`` on this source's read path (or None)."""
+        if self.snapshot is not None:
+            return self.storage.visible_row(rowid, self.snapshot.cn)
+        return self.storage.rows.get(rowid)
 
     def row_context(self, rowid: int, row: List[Any]) -> Dict[str, Any]:
         values: Dict[str, Any] = {self._rowid_key: rowid}
@@ -197,7 +215,7 @@ class Executor:
             # Compiled plan when available, interpreted otherwise.
             return self._db._run_select(statement, params)
         if isinstance(statement, CompoundSelect):
-            return self._execute_compound(statement, params)
+            return self.execute_compound(statement, params)
         if isinstance(statement, InsertStatement):
             return self._execute_insert(statement, params)
         if isinstance(statement, UpdateStatement):
@@ -405,7 +423,8 @@ class Executor:
     # -- SELECT ---------------------------------------------------------------------
 
     def execute_select(self, statement: SelectStatement,
-                       params: Sequence[Any]) -> ResultSet:
+                       params: Sequence[Any],
+                       snapshot=None) -> ResultSet:
         sources: List[_Source] = []
         if statement.from_clause is None:
             contexts: List[Dict[str, Any]] = [{}]
@@ -415,7 +434,7 @@ class Executor:
                 not in self._db.views:
             # Single-table query: try an index-accelerated scan for an
             # equality predicate before falling back to a full scan.
-            source = self._resolve(statement.from_clause)
+            source = self._resolve(statement.from_clause, snapshot)
             sources.append(source)
             indexed = self._try_index_scan(
                 source, statement.where, params)
@@ -424,8 +443,8 @@ class Executor:
             else:
                 contexts = list(source.contexts())
         else:
-            contexts = list(
-                self._from_contexts(statement.from_clause, sources, params))
+            contexts = list(self._from_contexts(
+                statement.from_clause, sources, params, snapshot))
 
         if statement.where is not None:
             contexts = [
@@ -495,10 +514,16 @@ class Executor:
             rows = rows[:limit]
         return ResultSet(columns, rows)
 
-    def _execute_compound(self, statement: CompoundSelect,
-                          params: Sequence[Any]) -> ResultSet:
-        """UNION / UNION ALL: concatenate part results."""
-        results = [self._db._run_select(part, params)
+    def execute_compound(self, statement: CompoundSelect,
+                         params: Sequence[Any],
+                         snapshot=None) -> ResultSet:
+        """UNION / UNION ALL: concatenate part results.
+
+        All parts run against the same snapshot, so a compound read
+        observes one commit number even while writers land between
+        part executions.
+        """
+        results = [self._db._run_select(part, params, snapshot)
                    for part in statement.parts]
         width = len(results[0].columns)
         for result in results[1:]:
@@ -537,10 +562,13 @@ class Executor:
             return None
         index, key = candidates
         rowids = index.lookup((key,))
+        wanted = (key,)
         contexts: List[Dict[str, Any]] = []
         for rowid in rowids:
-            row = source.storage.rows.get(rowid)
-            if row is not None:
+            row = source.fetch_row(rowid)
+            # MVCC buckets keep tombstones for superseded versions;
+            # verify the fetched row really holds the looked-up key.
+            if row is not None and index.key_for(row) == wanted:
                 contexts.append(source.row_context(rowid, row))
         return contexts
 
@@ -580,15 +608,16 @@ class Executor:
 
     # -- FROM / joins ----------------------------------------------------------------
 
-    def _resolve(self, ref: TableRef) -> Optional[_Source]:
+    def _resolve(self, ref: TableRef, snapshot=None) -> Optional[_Source]:
         storage = self._db.storage(ref.name)
-        return _Source(ref.alias, storage.schema, storage)
+        return _Source(ref.alias, storage.schema, storage, snapshot)
 
-    def _view_materialize(self, ref: TableRef, params: Sequence[Any]) \
+    def _view_materialize(self, ref: TableRef, params: Sequence[Any],
+                          snapshot=None) \
             -> Tuple["_ViewSource", List[Dict[str, Any]]]:
         """Run a view's defining SELECT once; source + row contexts."""
         select = self._db.views[ref.name.lower()]
-        result = self._db._run_select(select, params)
+        result = self._db._run_select(select, params, snapshot)
         alias = ref.alias.lower()
         keys = [(f"{alias}.{column.lower()}", column.lower())
                 for column in result.columns]
@@ -602,19 +631,21 @@ class Executor:
         return _ViewSource(ref.alias, result.columns), contexts
 
     def _from_contexts(self, node, sources: List[_Source],
-                       params: Sequence[Any]) -> Iterable[Dict[str, Any]]:
+                       params: Sequence[Any],
+                       snapshot=None) -> Iterable[Dict[str, Any]]:
         if isinstance(node, TableRef):
             if node.name.lower() in self._db.views:
-                view_source, contexts = self._view_materialize(node, params)
+                view_source, contexts = self._view_materialize(
+                    node, params, snapshot)
                 sources.append(view_source)
                 return contexts
-            source = self._resolve(node)
+            source = self._resolve(node, snapshot)
             sources.append(source)
             return source.contexts()
         if isinstance(node, Join):
             left_contexts = list(
-                self._from_contexts(node.left, sources, params))
-            right_source = self._resolve(node.right)
+                self._from_contexts(node.left, sources, params, snapshot))
+            right_source = self._resolve(node.right, snapshot)
             sources.append(right_source)
             return self._join(
                 left_contexts, right_source, node.kind, node.condition, params)

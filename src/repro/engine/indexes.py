@@ -1,8 +1,24 @@
-"""Hash indexes with optional uniqueness enforcement."""
+"""Hash indexes with optional uniqueness enforcement.
+
+MVCC makes the buckets *append-mostly*: deleting or updating a row does
+not remove its rowid from the bucket of its old key, because a snapshot
+reader pinned at an older commit number may still need to find that row
+through the index.  Instead every reader verifies a candidate against
+the row version it actually fetched (``key_for(row) == key``), so stale
+entries are filtered at read time, and uniqueness checks filter by
+liveness against the table's live-row dict.  Superseded entries are
+physically reclaimed when the storage's version garbage collector
+rebuilds the buckets.
+
+Buckets map a key tuple to an immutable *tuple* of rowids and are only
+ever replaced whole, so lock-free snapshot readers can look keys up
+while a writer appends — they see either the old tuple or the new one,
+never a half-mutated set.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConstraintViolation
 
@@ -12,9 +28,10 @@ _Key = Tuple[Any, ...]
 class Index:
     """A hash index over one or more columns of a table.
 
-    The index maps a tuple of column values to the set of rowids holding
-    those values.  NULL keys are indexed but never participate in
-    uniqueness checks (mirroring SQL semantics where NULL != NULL).
+    The index maps a tuple of column values to the rowids that hold (or
+    once held) those values.  NULL keys are indexed but never
+    participate in uniqueness checks (mirroring SQL semantics where
+    NULL != NULL).
     """
 
     def __init__(self, name: str, column_names: List[str],
@@ -23,7 +40,11 @@ class Index:
         self.column_names = list(column_names)
         self.positions = list(positions)
         self.unique = unique
-        self._buckets: Dict[_Key, Set[int]] = {}
+        self._buckets: Dict[_Key, Tuple[int, ...]] = {}
+        # Maintained entry count: ``__len__`` feeds planner cardinality
+        # estimates from lock-free readers, which must never iterate
+        # the bucket dict while a writer resizes it.
+        self._entries = 0
 
     def __repr__(self) -> str:
         kind = "UNIQUE " if self.unique else ""
@@ -35,49 +56,109 @@ class Index:
     def _key_has_null(self, key: _Key) -> bool:
         return any(part is None for part in key)
 
-    def check_insert(self, rowid: int, row: List[Any], table: str) -> None:
+    def _conflicts(self, key: _Key, rowid: int,
+                   live_rows: Optional[Dict[int, List[Any]]]) -> bool:
+        """Is some *other live* row already holding ``key``?
+
+        ``live_rows`` is the owning table's live-row dict; bucket
+        entries whose rowid is absent from it are MVCC tombstones and
+        do not count against uniqueness.  ``None`` falls back to the
+        pre-MVCC rule (every entry counts).
+        """
+        for existing in self._buckets.get(key, ()):
+            if existing == rowid:
+                continue
+            if live_rows is None:
+                return True
+            row = live_rows.get(existing)
+            if row is not None and self.key_for(row) == key:
+                return True
+        return False
+
+    def check_insert(self, rowid: int, row: List[Any], table: str,
+                     live_rows: Optional[Dict[int, List[Any]]] = None) \
+            -> None:
         """Raise if inserting ``row`` would violate uniqueness."""
         if not self.unique:
             return
         key = self.key_for(row)
         if self._key_has_null(key):
             return
-        existing = self._buckets.get(key)
-        if existing:
+        if self._conflicts(key, rowid, live_rows):
             columns = ", ".join(self.column_names)
             raise ConstraintViolation(
                 f"UNIQUE constraint failed: {table}({columns}) = {key!r}")
 
     def check_update(self, rowid: int, old_row: List[Any],
-                     new_row: List[Any], table: str) -> None:
+                     new_row: List[Any], table: str,
+                     live_rows: Optional[Dict[int, List[Any]]] = None) \
+            -> None:
         if not self.unique:
             return
         new_key = self.key_for(new_row)
         if self._key_has_null(new_key):
             return
-        existing = self._buckets.get(new_key, set())
-        if existing - {rowid}:
+        if self._conflicts(new_key, rowid, live_rows):
             columns = ", ".join(self.column_names)
             raise ConstraintViolation(
                 f"UNIQUE constraint failed: {table}({columns}) = {new_key!r}")
 
     def insert(self, rowid: int, row: List[Any]) -> None:
         key = self.key_for(row)
-        self._buckets.setdefault(key, set()).add(rowid)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = (rowid,)
+            self._entries += 1
+        elif rowid not in bucket:
+            # Whole-tuple replacement keeps concurrent lookups atomic.
+            self._buckets[key] = bucket + (rowid,)
+            self._entries += 1
 
     def delete(self, rowid: int, row: List[Any]) -> None:
+        """Physically remove one entry (GC and index maintenance only).
+
+        MVCC row mutations never call this — tombstoned entries stay
+        until :meth:`rebuild` reclaims them — but dropping a column's
+        implicit index or rebuilding after collection does.
+        """
         key = self.key_for(row)
         bucket = self._buckets.get(key)
-        if bucket is not None:
-            bucket.discard(rowid)
-            if not bucket:
+        if bucket is not None and rowid in bucket:
+            remaining = tuple(r for r in bucket if r != rowid)
+            if remaining:
+                self._buckets[key] = remaining
+            else:
                 del self._buckets[key]
+            self._entries -= 1
 
-    def lookup(self, key: _Key) -> Set[int]:
-        """Rowids whose indexed columns equal ``key`` exactly."""
-        return set(self._buckets.get(tuple(key), set()))
+    def rebuild(self, entries: Iterable[Tuple[_Key, int]]) -> None:
+        """Swap in fresh buckets built from ``(key, rowid)`` pairs.
 
-    def lookup_prefix(self, prefix: _Key) -> Set[int]:
+        The new dict is built on the side and published with one
+        attribute store, so readers mid-lookup keep the old buckets.
+        """
+        fresh: Dict[_Key, Tuple[int, ...]] = {}
+        count = 0
+        for key, rowid in entries:
+            bucket = fresh.get(key)
+            if bucket is None:
+                fresh[key] = (rowid,)
+                count += 1
+            elif rowid not in bucket:
+                fresh[key] = bucket + (rowid,)
+                count += 1
+        self._buckets = fresh
+        self._entries = count
+
+    def lookup(self, key: _Key) -> Tuple[int, ...]:
+        """Rowids whose indexed columns equal (or once equalled) ``key``.
+
+        Callers must verify each candidate against the row version they
+        fetch — entries may be MVCC tombstones for superseded versions.
+        """
+        return self._buckets.get(tuple(key), ())
+
+    def lookup_prefix(self, prefix: _Key) -> Tuple[int, ...]:
         """Rowids whose leading indexed columns equal ``prefix``.
 
         A hash index cannot seek on a prefix, so this walks the buckets;
@@ -88,15 +169,17 @@ class Index:
         width = len(wanted)
         if width == len(self.positions):
             return self.lookup(wanted)
-        out: Set[int] = set()
-        for key, bucket in self._buckets.items():
+        out: List[int] = []
+        # list() over items() is a single C-level copy, safe against a
+        # concurrent writer resizing the dict under a lock-free reader.
+        for key, bucket in list(self._buckets.items()):
             if key[:width] == wanted:
-                out |= bucket
-        return out
+                out.extend(bucket)
+        return tuple(dict.fromkeys(out))
 
     def bucket_count(self) -> int:
         """Number of distinct keys (the planner's cardinality estimate)."""
         return len(self._buckets)
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._buckets.values())
+        return self._entries

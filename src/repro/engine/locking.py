@@ -6,10 +6,15 @@ statements safely.  Each :class:`~repro.engine.database.Database`
 carries one :class:`ReadWriteLock`; the acquisition mode is chosen
 from the parsed statement class:
 
-* SELECT / EXPLAIN (outside a transaction) take the **shared** side —
-  any number of readers overlap;
+* SELECT / EXPLAIN (outside a transaction) classify as **shared** —
+  but since MVCC landed they normally bypass the lock entirely,
+  reading a pinned snapshot of the version chains instead; the shared
+  side remains for in-transaction reads (which piggyback on the
+  exclusive hold) and for callers that opt out of snapshot reads;
 * DML, DDL and transaction scopes take the **exclusive** side — one
-  writer at a time, excluding all readers.
+  writer at a time.  Writers no longer exclude readers in practice:
+  they serialize only against each other, while snapshot readers
+  proceed lock-free.
 
 The exclusive side is reentrant per thread, which is what lets an
 explicit transaction hold the lock across every statement it runs

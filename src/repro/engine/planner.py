@@ -150,13 +150,16 @@ class ScanNode:
 
     # -- execution ---------------------------------------------------------
 
-    def rows(self, params: Sequence[Any]) -> List[list]:
+    def rows(self, params: Sequence[Any],
+             snapshot=None) -> List[list]:
         """Candidate rows after pushed filters.
 
-        Rows flow through the plan as the storage's own row lists —
-        never copied — and every combination downstream (joins, group
-        representatives) builds fresh lists, so storage is never aliased
-        by anything that outlives execution.
+        ``snapshot`` pins the scan to one commit number (lock-free
+        MVCC read); ``None`` reads the live rows under the exclusive
+        lock.  Rows flow through the plan as the storage's own row
+        lists — never copied — and every combination downstream
+        (joins, group representatives) builds fresh lists, so storage
+        is never aliased by anything that outlives execution.
         """
         if self.index is not None:
             empty: Sequence[Any] = ()
@@ -168,14 +171,29 @@ class ScanNode:
                     rowids = self.index.lookup(key)
                 else:
                     rowids = self.index.lookup_prefix(key)
-                table_rows = self.storage.rows
+                if snapshot is None:
+                    table_rows = self.storage.rows
+                    fetched = ((table_rows.get(rowid))
+                               for rowid in sorted(rowids))
+                else:
+                    cn = snapshot.cn
+                    visible = self.storage.visible_row
+                    fetched = (visible(rowid, cn)
+                               for rowid in sorted(rowids))
+                # MVCC buckets keep tombstones for superseded
+                # versions; re-verify the key against the row the
+                # read path actually produced.
+                width = len(key)
+                key_for = self.index.key_for
                 candidates = [
-                    row for row in (table_rows.get(rowid)
-                                    for rowid in sorted(rowids))
-                    if row is not None
+                    row for row in fetched
+                    if row is not None and key_for(row)[:width] == key
                 ]
-        else:
+        elif snapshot is None:
             candidates = list(self.storage.rows.values())
+        else:
+            candidates = [row for _rowid, row
+                          in self.storage.snapshot_rows(snapshot.cn)]
         fns = self._filter_fns
         if fns is None:
             # Lazily frozen: ON-clause pushes land after construction.
@@ -253,8 +271,8 @@ class JoinNode:
         return "left" if left_count * 4 < right_count else "right"
 
     def run(self, left_rows: List[list],
-            params: Sequence[Any]) -> List[list]:
-        right_rows = self.scan.rows(params)
+            params: Sequence[Any], snapshot=None) -> List[list]:
+        right_rows = self.scan.rows(params, snapshot)
         if not self.is_hash:
             return self._run_loop(left_rows, right_rows, params)
         if len(self.left_key_fns) == 1:
@@ -517,15 +535,15 @@ class SelectPlan:
 
     # -- execution ---------------------------------------------------------
 
-    def execute(self, params: Sequence[Any]):
+    def execute(self, params: Sequence[Any], snapshot=None):
         from repro.engine.executor import ResultSet
 
         if self.no_from:
             rows: List[list] = [[]]
         else:
-            rows = self.scans[0].rows(params)
+            rows = self.scans[0].rows(params, snapshot)
             for join in self.joins:
-                rows = join.run(rows, params)
+                rows = join.run(rows, params, snapshot)
 
         for fn, _text in self.residuals:
             rows = [row for row in rows if fn(row, params) is True]
@@ -534,7 +552,7 @@ class SelectPlan:
             rows = self._group(rows, params)
             if rows is None:  # zero-row edge: interpreted raises here
                 return self.database._executor.execute_select(
-                    self.statement, params)
+                    self.statement, params, snapshot)
 
         getter = self.project_getter
         if getter is not None:
@@ -755,7 +773,9 @@ def _index_for_scan(scan: ScanNode, schema,
     if not eq_exprs:
         return
     best = None  # (covered, is_point, index)
-    for index in scan.storage.indexes.values():
+    # list() is one atomic copy: planning may run lock-free on the
+    # MVCC read path while a writer adds/drops an index.
+    for index in list(scan.storage.indexes.values()):
         covered = 0
         for column in index.column_names:
             if column.lower() in eq_exprs:

@@ -1,28 +1,93 @@
-"""Row storage for the embedded engine.
+"""Versioned row storage for the embedded engine (MVCC).
 
-Each table's rows live in a dict keyed by a monotonically increasing
-rowid.  Mutations are funnelled through three primitives (insert, delete,
+Each table keeps two synchronized representations:
+
+* ``rows`` — the *live* dict keyed by a monotonically increasing
+  rowid, exactly the pre-MVCC shape.  Writers (always serialized by
+  the database's exclusive lock) and in-transaction reads use it.
+* ``_versions`` — per-rowid chains of :class:`RowVersion` records,
+  each carrying a ``(created_cn, deleted_cn)`` lifetime stamped with
+  the WAL's monotone commit numbers.  Snapshot readers pinned at a
+  commit number ``cn`` see exactly the versions with
+  ``created_cn <= cn < deleted_cn`` (``None`` meaning "still live"),
+  so they never take the lock and never observe a writer's
+  in-progress effects.
+
+The lock-free read protocol relies on CPython/GIL atomicity of whole
+C-level operations (``list(d.items())``, ``dict.get``, tuple loads)
+plus one ordering rule: a writer bumps ``_last_version_cn`` *before*
+touching ``rows``.  A snapshot reader copies the live dict and then
+re-checks the counter — if it is still at or below the snapshot's
+commit number, no writer stamped a newer effect during the copy and
+the copy *is* the snapshot; otherwise the reader falls back to
+walking the version chains, which are append-only between
+collections.
+
+Mutations are funnelled through three primitives (insert, delete,
 update) which report enough information for the transaction layer to
-undo them.
+undo them; the ``undo_*`` methods *unwind* version chains instead of
+appending new versions, so a rolled-back transaction leaves no trace
+in any snapshot.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.indexes import Index
 from repro.engine.schema import TableSchema
 from repro.errors import ConstraintViolation
 
 
+class RowVersion:
+    """One generation of a row: its values and its commit lifetime."""
+
+    __slots__ = ("created_cn", "deleted_cn", "row")
+
+    def __init__(self, created_cn: int, deleted_cn: Optional[int],
+                 row: List[Any]):
+        self.created_cn = created_cn
+        self.deleted_cn = deleted_cn
+        self.row = row
+
+    def visible_at(self, cn: int) -> bool:
+        return self.created_cn <= cn and (
+            self.deleted_cn is None or cn < self.deleted_cn)
+
+    def __repr__(self) -> str:
+        return (f"<RowVersion [{self.created_cn}, "
+                f"{self.deleted_cn if self.deleted_cn is not None else '∞'}) "
+                f"{self.row!r}>")
+
+
 class TableStorage:
-    """Rows plus secondary indexes for a single table."""
+    """Rows plus version chains plus secondary indexes for one table."""
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self.rows: Dict[int, List[Any]] = {}
         self._next_rowid = 1
         self.indexes: Dict[str, Index] = {}
+        # Version chains, keyed by rowid; _version_order remembers
+        # insertion order so snapshot scans match live-scan order.
+        # Both are guarded by the *owning database's* exclusive lock
+        # (the analyzer's "engine-exclusive" virtual guard): only
+        # mutated while that lock (or single-threaded recovery)
+        # serializes writers; snapshot readers walk them lock-free
+        # through atomic whole-structure copies.
+        self._versions: Dict[int, List[RowVersion]] = {}  # guarded-by: engine-exclusive
+        self._version_order: List[int] = []  # guarded-by: engine-exclusive
+        # Highest commit number any effect on this table was stamped
+        # with.  Bumped BEFORE the first mutation of a statement so
+        # the snapshot fast path's copy-then-recheck is race-free.
+        self._last_version_cn = 0  # guarded-by: engine-exclusive
+        # The commit-number clock: attached by the owning Database
+        # (returns committed_cn + 1, the number the in-flight
+        # transaction will commit as).  Stand-alone storages fall back
+        # to a local counter so unit tests of this class still get
+        # coherent lifetimes.
+        self._clock: Optional[Callable[[], int]] = None
+        self._local_cn = 0
         # Optional concurrency-sanitizer hook (duck-typed
         # StorageMonitor); None in production, so the per-mutation
         # cost is one attribute test.
@@ -43,6 +108,26 @@ class TableStorage:
         """Start reporting reads/mutations to a sanitizer monitor."""
         self._monitor = monitor
 
+    def attach_clock(self, clock: Callable[[], int]) -> None:
+        """Stamp future effects with commit numbers from ``clock``."""
+        self._clock = clock
+
+    def _stamp(self) -> int:  # requires: engine-exclusive
+        """The commit number for this mutation's effects.
+
+        Publishes the bump to ``_last_version_cn`` *before* the caller
+        touches ``rows`` — the ordering the lock-free snapshot fast
+        path depends on.
+        """
+        if self._clock is not None:
+            cn = self._clock()
+        else:
+            self._local_cn += 1
+            cn = self._local_cn
+        if cn > self._last_version_cn:
+            self._last_version_cn = cn
+        return cn
+
     # -- indexes ------------------------------------------------------------
 
     def add_index(self, name: str, column_names: List[str],
@@ -53,6 +138,12 @@ class TableStorage:
         index = Index(name, column_names, positions, unique=unique)
         for rowid, row in self.rows.items():
             index.insert(rowid, row)
+        # Backfill retained (superseded) versions too, so a snapshot
+        # pinned before this DDL can still reach its rows through the
+        # new index; Index.insert de-duplicates shared row objects.
+        for rowid, chain in self._versions.items():
+            for version in chain:
+                index.insert(rowid, version.row)
         self.indexes[name.lower()] = index
         return index
 
@@ -62,7 +153,7 @@ class TableStorage:
     def find_index(self, column_name: str) -> Optional[Index]:
         """Return some index whose leading column is ``column_name``."""
         target = column_name.lower()
-        for index in self.indexes.values():
+        for index in list(self.indexes.values()):
             if index.column_names[0].lower() == target:
                 return index
         return None
@@ -71,7 +162,9 @@ class TableStorage:
         """Extend the schema and backfill existing rows.
 
         Existing rows take the column default; a NOT NULL column
-        without a default is rejected when rows already exist.
+        without a default is rejected when rows already exist.  DDL is
+        not snapshot-isolated: retained versions are widened in place
+        so older snapshots keep reading positionally-valid rows.
         """
         if self._monitor is not None:
             self._monitor.on_write(self.schema.name)
@@ -79,9 +172,17 @@ class TableStorage:
             raise ConstraintViolation(
                 f"cannot add NOT NULL column {column.name!r} without "
                 f"a default to non-empty table {self.schema.name!r}")
+        old_width = len(self.schema.columns)
         self.schema.add_column(column)
+        # Live rows and version rows share list objects; the width
+        # check appends the default exactly once per distinct object.
         for row in self.rows.values():
-            row.append(column.default)
+            if len(row) == old_width:
+                row.append(column.default)
+        for chain in self._versions.values():
+            for version in chain:
+                if len(version.row) == old_width:
+                    version.row.append(column.default)
         if column.unique:
             self.add_index(
                 f"__uniq_{self.schema.name}_{column.name}".lower(),
@@ -89,50 +190,83 @@ class TableStorage:
 
     # -- mutations ----------------------------------------------------------
 
-    def insert(self, row: List[Any]) -> int:
+    def insert(self, row: List[Any]) -> int:  # requires: engine-exclusive
         """Insert a coerced row, returning its rowid."""
         if self._monitor is not None:
             self._monitor.on_write(self.schema.name)
         rowid = self._next_rowid
         for index in self.indexes.values():
-            index.check_insert(rowid, row, self.schema.name)
+            index.check_insert(rowid, row, self.schema.name,
+                               live_rows=self.rows)
+        cn = self._stamp()
         self._next_rowid += 1
         self.rows[rowid] = row
+        chain = self._versions.get(rowid)
+        if chain is None:
+            self._versions[rowid] = [RowVersion(cn, None, row)]
+            self._version_order.append(rowid)
+        else:
+            chain.append(RowVersion(cn, None, row))
         for index in self.indexes.values():
             index.insert(rowid, row)
         return rowid
 
-    def delete(self, rowid: int) -> List[Any]:
-        """Delete a row by rowid, returning the old row (for undo)."""
+    def delete(self, rowid: int) -> List[Any]:  # requires: engine-exclusive
+        """Delete a row by rowid, returning the old row (for undo).
+
+        The index entries and the superseded version stay behind for
+        snapshot readers; the version is merely stamped dead at this
+        commit number.
+        """
         if self._monitor is not None:
             self._monitor.on_write(self.schema.name)
+        cn = self._stamp()
         row = self.rows.pop(rowid)
-        for index in self.indexes.values():
-            index.delete(rowid, row)
+        chain = self._versions.get(rowid)
+        if chain:
+            chain[-1].deleted_cn = cn
         return row
 
-    def update(self, rowid: int, new_row: List[Any]) -> List[Any]:
+    def update(self, rowid: int, new_row: List[Any]) -> List[Any]:  # requires: engine-exclusive
         """Replace a row in place, returning the old row (for undo)."""
         if self._monitor is not None:
             self._monitor.on_write(self.schema.name)
         old_row = self.rows[rowid]
         for index in self.indexes.values():
-            index.check_update(rowid, old_row, new_row, self.schema.name)
-        for index in self.indexes.values():
-            index.delete(rowid, old_row)
-            index.insert(rowid, new_row)
+            index.check_update(rowid, old_row, new_row, self.schema.name,
+                               live_rows=self.rows)
+        cn = self._stamp()
+        chain = self._versions.get(rowid)
+        if chain:
+            chain[-1].deleted_cn = cn
+            chain.append(RowVersion(cn, None, new_row))
+        else:
+            self._versions[rowid] = [RowVersion(cn, None, new_row)]
+            self._version_order.append(rowid)
         self.rows[rowid] = new_row
+        # The old-key entries stay as tombstones; only the new key is
+        # added.  Readers verify candidates against the fetched row.
+        for index in self.indexes.values():
+            index.insert(rowid, new_row)
         return old_row
 
-    def restore(self, rowid: int, row: List[Any]) -> None:
-        """Re-insert a previously deleted row under its original rowid."""
+    def restore(self, rowid: int, row: List[Any]) -> None:  # requires: engine-exclusive
+        """Re-insert a previously deleted row under its original rowid
+        (WAL replay of a committed insert)."""
         if self._monitor is not None:
             self._monitor.on_write(self.schema.name)
         if rowid in self.rows:
             raise ConstraintViolation(
                 f"rowid {rowid} already present in {self.schema.name}")
+        cn = self._stamp()
         self.rows[rowid] = row
         self._next_rowid = max(self._next_rowid, rowid + 1)
+        chain = self._versions.get(rowid)
+        if chain is None:
+            self._versions[rowid] = [RowVersion(cn, None, row)]
+            self._version_order.append(rowid)
+        else:
+            chain.append(RowVersion(cn, None, row))
         for index in self.indexes.values():
             index.insert(rowid, row)
 
@@ -147,6 +281,139 @@ class TableStorage:
         """
         self._next_rowid = min(self._next_rowid, rowid)
 
+    # -- rollback unwinding ---------------------------------------------------
+
+    def undo_insert(self, rowid: int) -> None:  # requires: engine-exclusive
+        """Unwind an aborted insert: pop its version, drop the row.
+
+        Unlike :meth:`delete` this leaves *no* tombstone — an aborted
+        effect must be invisible at every commit number.
+        """
+        if self._monitor is not None:
+            self._monitor.on_write(self.schema.name)
+        self.rows.pop(rowid, None)
+        chain = self._versions.get(rowid)
+        if chain:
+            chain.pop()
+            if not chain:
+                del self._versions[rowid]
+                self._version_order.remove(rowid)
+
+    def undo_delete(self, rowid: int, row: List[Any]) -> None:  # requires: engine-exclusive
+        """Unwind an aborted delete: clear the death stamp."""
+        if self._monitor is not None:
+            self._monitor.on_write(self.schema.name)
+        self.rows[rowid] = row
+        chain = self._versions.get(rowid)
+        if chain:
+            chain[-1].deleted_cn = None
+        else:
+            self._versions[rowid] = [RowVersion(0, None, row)]
+            self._version_order.append(rowid)
+
+    def undo_update(self, rowid: int, old_row: List[Any]) -> None:  # requires: engine-exclusive
+        """Unwind an aborted update: pop the new version, revive the old."""
+        if self._monitor is not None:
+            self._monitor.on_write(self.schema.name)
+        self.rows[rowid] = old_row
+        chain = self._versions.get(rowid)
+        if chain and len(chain) > 1:
+            chain.pop()
+            chain[-1].deleted_cn = None
+        elif chain:
+            # The updated row had no prior version (legacy storage);
+            # rewrite the single version in place.
+            chain[-1].row = old_row
+            chain[-1].deleted_cn = None
+
+    # -- snapshot visibility --------------------------------------------------
+
+    def visible_row(self, rowid: int, cn: int) -> Optional[List[Any]]:
+        """The row version visible at commit number ``cn`` (or None)."""
+        chain = self._versions.get(rowid)
+        if chain is None:
+            return None
+        for version in reversed(tuple(chain)):
+            if version.visible_at(cn):
+                return version.row
+        return None
+
+    def snapshot_rows(self, cn: int) -> List[Tuple[int, List[Any]]]:
+        """All ``(rowid, row)`` pairs visible at commit number ``cn``.
+
+        Lock-free.  Fast path: when no effect newer than ``cn`` has
+        been stamped, the live dict *is* the snapshot — copy it and
+        re-check the stamp counter to close the copy-during-write
+        race.  Slow path: walk the version chains.
+        """
+        if self._monitor is not None:
+            self._monitor.on_snapshot_read(self.schema.name, cn)
+        if self._last_version_cn <= cn:
+            items = list(self.rows.items())
+            if self._last_version_cn <= cn:
+                return items
+        visible: List[Tuple[int, List[Any]]] = []
+        for rowid in list(self._version_order):
+            chain = self._versions.get(rowid)
+            if chain is None:
+                continue
+            for version in reversed(tuple(chain)):
+                if version.visible_at(cn):
+                    visible.append((rowid, version.row))
+                    break
+        return visible
+
+    def version_count(self) -> int:
+        """Total retained versions across all chains (GC observability)."""
+        return sum(len(chain) for chain in list(self._versions.values()))
+
+    def seed_versions(self, cn: int) -> None:  # requires: engine-exclusive
+        """Rebuild version chains from the live rows (snapshot load).
+
+        Flat snapshots persist only the live rows; on load every row
+        becomes the base version created at the snapshot's WAL commit
+        number, so any snapshot pinned at ``cn`` or later sees it.
+        """
+        self._versions = {}
+        self._version_order = []
+        for rowid, row in self.rows.items():
+            self._versions[rowid] = [RowVersion(cn, None, row)]
+            self._version_order.append(rowid)
+        if cn > self._last_version_cn:
+            self._last_version_cn = cn
+
+    def collect(self, horizon: int) -> int:  # requires: engine-exclusive
+        """Reclaim versions no snapshot at or beyond ``horizon`` can see.
+
+        A version is dead once ``deleted_cn <= horizon``: every open
+        snapshot is pinned at ``>= horizon`` and new snapshots only
+        pin later numbers.  Chains, the order list and every index's
+        buckets are rebuilt into fresh structures and swapped in with
+        single stores, so readers mid-walk keep the old (still
+        correct) structures.  Returns the number of reclaimed
+        versions.
+        """
+        fresh: Dict[int, List[RowVersion]] = {}
+        order: List[int] = []
+        reclaimed = 0
+        for rowid in self._version_order:
+            chain = self._versions.get(rowid, [])
+            kept = [version for version in chain
+                    if version.deleted_cn is None
+                    or version.deleted_cn > horizon]
+            reclaimed += len(chain) - len(kept)
+            if kept:
+                fresh[rowid] = kept
+                order.append(rowid)
+        self._versions = fresh
+        self._version_order = order
+        for index in self.indexes.values():
+            index.rebuild(
+                (index.key_for(version.row), rowid)
+                for rowid in order
+                for version in fresh[rowid])
+        return reclaimed
+
     # -- state identity -------------------------------------------------------
 
     def fingerprint(self) -> Tuple[Any, ...]:
@@ -156,7 +423,8 @@ class TableStorage:
         inventory — everything a crash/recover round trip must
         reproduce exactly.  The chaos battery compares fingerprints
         instead of re-querying so a torn row can never hide behind a
-        lenient SELECT.
+        lenient SELECT.  Retained versions are deliberately excluded:
+        they are reclaimable cache, not durable state.
         """
         return (
             self.schema.name.lower(),
@@ -172,7 +440,12 @@ class TableStorage:
     # -- scans ---------------------------------------------------------------
 
     def scan(self) -> Iterator[Tuple[int, List[Any]]]:
-        """Iterate ``(rowid, row)`` pairs in insertion order."""
+        """Iterate live ``(rowid, row)`` pairs in insertion order.
+
+        This is the *live* scan — writers and in-transaction reads
+        under the exclusive lock.  Snapshot readers use
+        :meth:`snapshot_rows` instead.
+        """
         if self._monitor is not None:
             self._monitor.on_read(self.schema.name)
         # Copy the id list so callers may mutate during iteration.

@@ -78,19 +78,24 @@ class Transaction:
             raise TransactionError("transaction already finished")
         self.active = False
         self._redo.clear()  # nothing of an aborted txn reaches the WAL
+        # DML undos must *unwind* the MVCC version chains (pop the
+        # aborted versions, clear their death stamps) rather than run
+        # the forward primitives, which would append yet more
+        # versions — an aborted effect has to vanish from every
+        # snapshot, not merely be superseded.
         for entry in reversed(self._log):
             action = entry[0]
             if action == "insert":
                 _, table, rowid, _row = entry
                 storage = database.storage(table)
-                storage.delete(rowid)
+                storage.undo_insert(rowid)
                 storage.unallocate(rowid)
             elif action == "delete":
                 _, table, rowid, old_row = entry
-                database.storage(table).restore(rowid, old_row)
+                database.storage(table).undo_delete(rowid, old_row)
             elif action == "update":
                 _, table, rowid, old_row = entry
-                database.storage(table).update(rowid, old_row)
+                database.storage(table).undo_update(rowid, old_row)
             elif action == "create_table":
                 _, table = entry
                 database.drop_storage(table, record=False)

@@ -286,6 +286,18 @@ class WriteAheadLog(_AppendLog):
                 self.last_number = max(self.last_number, record[1])
                 self.commit_offsets.append(end)
 
+    @property
+    def next_number(self) -> int:
+        """The commit number the next :meth:`commit` will assign.
+
+        MVCC stamps row-version lifetimes with this number *while* the
+        transaction is still running (the writer is serialized, so the
+        number is fixed the moment the transaction starts mutating);
+        publishing it as the committed horizon happens only after the
+        commit record is durable.
+        """
+        return self.last_number + 1
+
     def commit(self, ops: List[Any]) -> int:
         """Durably log one committed transaction; returns its number."""
         number = self.last_number + 1

@@ -156,6 +156,60 @@ class TestGuardedMutation:
         assert codes(collector) == []
 
 
+class TestVirtualGuards:
+    """The ``engine-exclusive`` discipline: a guard no class constructs.
+
+    MVCC storage state is serialized by the *owning database's*
+    exclusive lock, which TableStorage never sees.  The virtual guard
+    keeps that contract checkable: annotated fields may only be
+    mutated from ``__init__`` or from methods carrying the
+    ``# requires: engine-exclusive`` caller contract.
+    """
+
+    SOURCE = """\
+        class Storage:
+            def __init__(self):
+                self._versions = {{}}  # guarded-by: engine-exclusive
+
+            def mutate(self, rowid, chain){contract}:
+                self._versions[rowid] = chain
+        """
+
+    def test_mutation_without_contract_is_odb502(self, tmp_path):
+        collector = run_on(tmp_path, self.SOURCE.format(contract=""))
+        assert codes(collector) == ["ODB502"]
+        (diagnostic,) = collector.diagnostics
+        assert "_versions" in diagnostic.message
+        assert "engine-exclusive" in diagnostic.message
+
+    def test_requires_contract_satisfies_the_guard(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            class Storage:
+                def __init__(self):
+                    self._versions = {}  # guarded-by: engine-exclusive
+
+                def mutate(self, rowid, chain):  # requires: engine-exclusive
+                    self._versions[rowid] = chain
+            """)
+        assert codes(collector) == []
+
+    def test_virtual_guard_is_not_odb505(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            class Storage:
+                def __init__(self):
+                    self._order = []  # guarded-by: engine-exclusive
+            """)
+        assert codes(collector) == []
+
+    def test_unknown_hyphenated_guard_is_still_odb505(self, tmp_path):
+        collector = run_on(tmp_path, """\
+            class Storage:
+                def __init__(self):
+                    self._order = []  # guarded-by: gateway-exclusive
+            """)
+        assert codes(collector) == ["ODB505"]
+
+
 class TestBlockingUnderLock:
     def test_fsync_under_exclusive_lock_is_odb503(self, tmp_path):
         collector = run_on(tmp_path, """\

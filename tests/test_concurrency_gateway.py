@@ -82,6 +82,61 @@ class TestDispatch:
         assert all(response.status == 200 for response in responses)
 
 
+class TestReadWriteClassification:
+    """Shared-mode dispatch classifies SQL on the outermost statement.
+
+    Under MVCC, read-only statements run on the engine's lock-free
+    snapshot path; the dispatch log records which side each accepted
+    SQL-bearing request landed on.  ``EXPLAIN <dml>`` only renders a
+    plan, so it must classify as a read.
+    """
+
+    @pytest.mark.parametrize("sql", [
+        "SELECT * FROM t",
+        "SELECT a FROM t UNION SELECT a FROM u",
+        "EXPLAIN SELECT * FROM t",
+        "EXPLAIN UPDATE t SET a = 1",
+        "EXPLAIN DELETE FROM t",
+        "EXPLAIN INSERT INTO t VALUES (1)",
+    ])
+    def test_read_only_statements(self, sql):
+        assert RequestGateway.read_only_statement(sql)
+
+    @pytest.mark.parametrize("sql", [
+        "INSERT INTO t VALUES (1)",
+        "UPDATE t SET a = 1",
+        "DELETE FROM t",
+        "CREATE TABLE t (id INTEGER)",
+        "BEGIN",
+        "this is not sql at all",
+    ])
+    def test_write_or_unparseable_statements(self, sql):
+        assert not RequestGateway.read_only_statement(sql)
+
+    def test_dispatch_log_refines_accepted_for_sql_bodies(
+            self, platform):
+        from repro.web import JsonResponse
+
+        def echo(request):
+            return JsonResponse({"ok": True})
+
+        platform.web.post("/echo-sql", echo)
+        headers = login(platform, "acme")
+        for body in ({"sql": "EXPLAIN UPDATE t SET a = 1"},
+                     {"sql": "INSERT INTO t VALUES (1)"},
+                     {"query": "SELECT 1"},
+                     {"payload": "no sql here"}):
+            response = platform.gateway.submit(
+                "POST", "/echo-sql", body=body,
+                headers=headers).result(30)
+            assert response.status == 200
+        decisions = [decision for path, decision
+                     in platform.gateway.dispatch_log
+                     if path == "/echo-sql"]
+        assert decisions == ["accepted-read", "accepted-write",
+                             "accepted-read", "accepted"]
+
+
 class TestAdmissionControl:
     def test_deactivated_tenant_rejected_at_dispatch(self, platform):
         headers = login(platform, "globex")
