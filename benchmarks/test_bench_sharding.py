@@ -1,0 +1,140 @@
+"""E17 — sharded read throughput and replica-lag convergence.
+
+The tentpole claim priced: placing tenants across N engine shards
+shrinks every tenant-scoped scan by ~1/N (the shared operational
+table holds only that shard's tenants), so *aggregate* read
+throughput grows with the shard count — the paper's shared-backend
+economics extended horizontally.  The second half measures the
+replication story: a replica's lag (in MVCC commit numbers) under a
+write-heavy tenant grows only as far as the burst and converges to
+zero within a bounded number of polls.
+
+Regenerates ``E17`` text and ``BENCH_sharding.json``.
+"""
+
+import time
+
+import pytest
+
+from repro.core.sharding import ShardMap
+
+from _util import emit, format_table, write_bench_json
+
+pytestmark = pytest.mark.perfsmoke
+
+N_TENANTS = 16
+ROWS_PER_TENANT = 250
+SHARD_COUNTS = (1, 2, 4)
+BURST = 150
+POLL_EVERY = 25
+
+
+def populate(shard_map, tenants):
+    """Shared-schema rows for every tenant on its placed shard."""
+    for shard in shard_map.all_shards():
+        shard.primary.execute(
+            "CREATE TABLE events (id INTEGER PRIMARY KEY, "
+            "tenant TEXT, amount INTEGER)")
+    rowid = 0
+    for tenant in tenants:
+        primary = shard_map.primary_for(tenant)
+        for index in range(ROWS_PER_TENANT):
+            primary.execute(
+                "INSERT INTO events VALUES (?, ?, ?)",
+                (rowid, tenant, index % 97))
+            rowid += 1
+
+
+def read_pass(shard_map, tenants):
+    """One tenant-scoped aggregate scan per tenant."""
+    for tenant in tenants:
+        shard_map.primary_for(tenant).query(
+            "SELECT COUNT(*) AS c FROM events WHERE tenant = ?",
+            (tenant,))
+
+
+def reads_per_second(shard_map, tenants, repeats=3):
+    best = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        read_pass(shard_map, tenants)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return len(tenants) / best
+
+
+def test_bench_e17_sharding(tmp_path):
+    tenants = [f"tenant-{index:03d}" for index in range(N_TENANTS)]
+    cases = {}
+    table = []
+
+    throughput = {}
+    for count in SHARD_COUNTS:
+        shard_map = ShardMap(tmp_path / f"x{count}", shards=count,
+                             replicas=0, fsync="off")
+        populate(shard_map, tenants)
+        rate = reads_per_second(shard_map, tenants)
+        throughput[count] = rate
+        cases[f"read_pass_shards_{count}"] = \
+            (N_TENANTS / rate) * 1000.0
+        table.append((f"{count} shard(s)", rate,
+                      rate / throughput[SHARD_COUNTS[0]]))
+        shard_map.close()
+
+    speedup = throughput[4] / throughput[1]
+    assert speedup >= 2.0, (
+        f"aggregate read throughput at 4 shards is only "
+        f"{speedup:.2f}x the 1-shard baseline")
+
+    # Replica lag under a write-heavy tenant: burst without polling
+    # (lag rises with the burst, never past it), then poll to
+    # convergence.
+    shard_map = ShardMap(tmp_path / "lag", shards=1, replicas=1,
+                         fsync="off")
+    shard = shard_map.shard_for("hot-tenant")
+    shard.primary.execute(
+        "CREATE TABLE hot (id INTEGER PRIMARY KEY, v INTEGER)")
+    replica_id = shard.replicas[0].replica_id
+    shard.poll_replicas()
+    base_cn = shard.primary.committed_cn
+    lag_curve = []
+    for index in range(BURST):
+        shard.primary.execute("INSERT INTO hot VALUES (?, ?)",
+                              (index, index))
+        writes = index + 1
+        if writes % POLL_EVERY == 0:
+            lag = shard.replica_lag()[replica_id]
+            lag_curve.append((writes, lag))
+            assert lag <= writes, "lag exceeded the writes issued"
+    peak_lag = max(lag for _, lag in lag_curve)
+
+    started = time.perf_counter()
+    shard.poll_replicas()
+    catchup_ms = (time.perf_counter() - started) * 1000.0
+    final_lag = shard.replica_lag()[replica_id]
+    assert final_lag == 0, "replica did not converge after polling"
+    assert shard.primary.committed_cn == base_cn + BURST
+    cases["replica_peak_lag_cn"] = float(peak_lag)
+    cases["replica_catchup_ms"] = catchup_ms
+    cases["replica_final_lag_cn"] = float(final_lag)
+    shard_map.close()
+
+    lines = [
+        "Aggregate tenant-scoped read throughput vs shard count "
+        f"({N_TENANTS} tenants x {ROWS_PER_TENANT} rows):",
+        format_table(
+            ("shards", "reads/s", "speedup"),
+            table),
+        "",
+        f"Replica lag under a {BURST}-commit write burst "
+        "(polled after the burst):",
+        format_table(
+            ("writes", "lag (commit numbers)"),
+            [(writes, float(lag)) for writes, lag in lag_curve]),
+        "",
+        f"peak lag {peak_lag} commits (bounded by the burst); "
+        f"converged to {final_lag} after one poll "
+        f"({catchup_ms:,.1f} ms).",
+    ]
+    emit("E17_sharding", "\n".join(lines))
+    write_bench_json("sharding", cases)

@@ -41,6 +41,7 @@ from repro.core.metadata_service import MetadataService
 from repro.core.platform import OdbisPlatform, TechnicalResourcesLayer
 from repro.core.provisioning import ARTIFACT_KINDS, ProvisioningService
 from repro.core.reporting_service import ReportingService
+from repro.core.sharding import HashRing, ReadReplica, Shard, ShardMap
 from repro.core.subscription import BillingService, Plan
 from repro.core.tenancy import TenancyMode, TenantContext, TenantManager
 
@@ -58,6 +59,7 @@ __all__ = [
     "DegradedResult",
     "FakeClock",
     "FaultInjector",
+    "HashRing",
     "HealthReport",
     "InformationDeliveryService",
     "IntegrationService",
@@ -67,9 +69,12 @@ __all__ = [
     "OdbisPlatform",
     "Plan",
     "ProvisioningService",
+    "ReadReplica",
     "ReportingService",
     "RequestGateway",
     "RetryPolicy",
+    "Shard",
+    "ShardMap",
     "TechnicalResourcesLayer",
     "TenancyMode",
     "TenantContext",

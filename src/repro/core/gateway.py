@@ -148,12 +148,12 @@ class RequestGateway:
         self._bulkheads: Dict[str, Bulkhead] = {}  # guarded-by: _guard_lock
         self._guard_lock = threading.Lock()
         # LRU-bounded last-known-good bodies for degraded serving: an
-        # unbounded dict here grows with every distinct (tenant, path)
-        # pair for the life of the gateway.
+        # unbounded dict here grows with every distinct request
+        # identity for the life of the gateway.
         if stale_cache_capacity < 1:
             raise ValueError("stale_cache_capacity must be >= 1")
         self.stale_cache_capacity = stale_cache_capacity
-        self._stale_cache: "OrderedDict[Tuple[str, str], Tuple[Any, float]]" \
+        self._stale_cache: "OrderedDict[Tuple[Any, ...], Tuple[Any, float]]" \
             = OrderedDict()  # guarded-by: _stale_lock
         self._stale_lock = threading.Lock()
         self._draining = False  # guarded-by: _drain
@@ -170,13 +170,16 @@ class RequestGateway:
                     thread_name_prefix="odbis-gateway")
             return self._pool
 
-    def shutdown(self, wait: bool = True) -> None:
+    def shutdown(self, wait: bool = True,
+                 permanent: bool = False) -> None:
         """Drain in-flight requests, then tear the pool down.
 
         New submissions observe the draining flag *before* the pool is
         touched and are rejected with a typed
         :class:`~repro.errors.GatewayShutdownError` — they can no
-        longer race the teardown.
+        longer race the teardown.  With ``permanent=True`` the gateway
+        stays in the draining state forever: platform shutdown uses
+        this so nothing can be accepted after the WALs close.
         """
         with self._drain:
             self._draining = True
@@ -188,8 +191,9 @@ class RequestGateway:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=wait)
-        with self._drain:
-            self._draining = False
+        if not permanent:
+            with self._drain:
+                self._draining = False
 
     def __enter__(self) -> "RequestGateway":
         return self
@@ -338,7 +342,8 @@ class RequestGateway:
             if not breaker.allow():
                 return self._resolved(
                     path, "degraded",
-                    self._degraded_response(tenant_id, path, breaker))
+                    self._degraded_response(tenant_id, method, path,
+                                            body, query, breaker))
             bulkhead = self.bulkhead(tenant_id)
             if not bulkhead.try_acquire():
                 return self._resolved(path, "shed", JsonResponse(
@@ -362,18 +367,49 @@ class RequestGateway:
             self._run_request, method, path, body, headers, query,
             tenant_id, breaker, bulkhead, deadline)
 
-    def _degraded_response(self, tenant_id: str, path: str,
+    def _stale_cache_key(self, tenant_id: str, method: str, path: str,
+                         body: Any, query: Optional[Dict[str, Any]]) \
+            -> Optional[Tuple[Any, ...]]:
+        """The degraded-serving identity of an idempotent read.
+
+        Returns None for mutations: replaying a cached POST payload as
+        a fresh 200 would fake a write that never ran, so mutations are
+        never cached and never answered stale.  A POST whose body is a
+        read-only SQL statement *is* an idempotent read — its identity
+        includes the statement text.  The query string participates in
+        the key in canonical (sorted) order so dict ordering cannot
+        split or alias entries.
+        """
+        method = method.upper()
+        canonical = tuple(sorted(
+            (str(key), str(value))
+            for key, value in (query or {}).items()))
+        if method in ("GET", "HEAD"):
+            return (tenant_id, method, path, canonical)
+        sql = self._sql_of(body)
+        if sql is not None and self.read_only_statement(sql):
+            return (tenant_id, method, path,
+                    canonical + (("sql", sql),))
+        return None
+
+    def _degraded_response(self, tenant_id: str, method: str,
+                           path: str, body: Any,
+                           query: Optional[Dict[str, Any]],
                            breaker: CircuitBreaker) \
             -> DegradedResponse:
         reason = (f"tenant {tenant_id!r} breaker is "
                   f"{breaker.state}; retry in "
                   f"{breaker.retry_after():.1f}s")
-        with self._stale_lock:
-            cached = self._stale_cache.get((tenant_id, path))
-            if cached is not None:
-                # A hit is a use: keep entries that still serve
-                # degraded traffic away from the eviction end.
-                self._stale_cache.move_to_end((tenant_id, path))
+        key = self._stale_cache_key(tenant_id, method, path, body,
+                                    query)
+        cached = None
+        if key is not None:
+            with self._stale_lock:
+                cached = self._stale_cache.get(key)
+                if cached is not None:
+                    # A hit is a use: keep entries that still serve
+                    # degraded traffic away from the eviction end.
+                    self._stale_cache.move_to_end(key)
         if cached is not None:
             payload, written_at = cached
             return DegradedResponse(reason, payload=payload,
@@ -381,12 +417,11 @@ class RequestGateway:
                                     stale_as_of=written_at)
         return DegradedResponse(reason)
 
-    def _stale_cache_put(self, tenant_id: str, path: str,
+    def _stale_cache_put(self, key: Tuple[Any, ...],
                          payload: Any) -> None:
         with self._stale_lock:
-            self._stale_cache[(tenant_id, path)] = (
-                payload, self.clock.now())
-            self._stale_cache.move_to_end((tenant_id, path))
+            self._stale_cache[key] = (payload, self.clock.now())
+            self._stale_cache.move_to_end(key)
             while len(self._stale_cache) > self.stale_cache_capacity:
                 self._stale_cache.popitem(last=False)
 
@@ -428,11 +463,14 @@ class RequestGateway:
                 else:
                     breaker.record_success()
             if tenant_id is not None and response.ok:
-                try:
-                    payload = response.json()
-                except ValueError:
-                    payload = response.body  # non-JSON channel output
-                self._stale_cache_put(tenant_id, path, payload)
+                key = self._stale_cache_key(tenant_id, method, path,
+                                            body, query)
+                if key is not None:
+                    try:
+                        payload = response.json()
+                    except ValueError:
+                        payload = response.body  # non-JSON output
+                    self._stale_cache_put(key, payload)
             return response
         finally:
             if bulkhead is not None:

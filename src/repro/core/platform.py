@@ -30,6 +30,7 @@ from repro.core.resilience import (
     MonotonicClock,
 )
 from repro.core.resources import TechnicalResourcesLayer
+from repro.core.sharding import ShardMap
 from repro.core.subscription import BillingService
 from repro.core.tenancy import TenancyMode, TenantManager
 from repro.engine.database import Database
@@ -64,6 +65,16 @@ class OdbisPlatform:
     registry journal with all journals suspended so replay never
     re-journals itself.  ``fsync`` is the WAL policy for every log
     (``always`` / ``batch`` / ``off``).
+
+    ``shards > 0`` additionally shards tenant *operational* data
+    across that many engine instances under ``data_dir/shards/``
+    (consistent-hash placement — see :mod:`repro.core.sharding`), each
+    with ``replicas_per_shard`` WAL-shipped read replicas.  Read-only
+    SQL submitted to ``POST /tenants/{tenant}/sql`` is served from a
+    replica whenever one is within ``staleness_budget`` commit
+    numbers of its primary; writes always hit the shard primary.
+    Sharding requires a ``data_dir`` — replication ships the
+    primaries' on-disk logs.
     """
 
     def __init__(self, mode: TenancyMode = TenancyMode.SHARED,
@@ -73,7 +84,10 @@ class OdbisPlatform:
                  deadline_seconds: Optional[float] = None,
                  bulkhead_capacity: Optional[int] = None,
                  data_dir: Optional[Union[str, Path]] = None,
-                 fsync: str = "always"):
+                 fsync: str = "always",
+                 shards: int = 0,
+                 replicas_per_shard: int = 1,
+                 staleness_budget: int = 0):
         # Cross-cutting: the resilience kernel's shared pieces.  One
         # injector serves every instrumented site so a chaos run has a
         # single deterministic fault history.
@@ -104,6 +118,22 @@ class OdbisPlatform:
                                         fsync=fsync,
                                         faults=self.faults)
 
+        # Horizontal capacity: the consistent-hash shard map placing
+        # tenant operational data across engine instances, each with
+        # WAL-shipped read replicas.
+        self.shards: Optional[ShardMap] = None
+        operational_router = None
+        if shards > 0:
+            if self.data_dir is None:
+                raise ReproError(
+                    "sharding requires a data_dir: replicas ship "
+                    "the primaries' on-disk write-ahead logs")
+            self.shards = ShardMap(
+                self.data_dir / "shards", shards=shards,
+                replicas=replicas_per_shard, fsync=fsync,
+                clock=self.clock, faults=self.faults,
+                staleness_budget=staleness_budget)
+            operational_router = self.shards.primary_for
         # Layer 5: technical resources.
         self.resources = TechnicalResourcesLayer(
             faults=self.faults, clock=self.clock,
@@ -111,7 +141,8 @@ class OdbisPlatform:
         # Tenancy + layer 3: administration and configuration.
         self.tenants = TenantManager(
             mode, database_factory=database_factory,
-            journal=tenant_journal)
+            journal=tenant_journal,
+            operational_router=operational_router)
         self.billing = BillingService(self.tenants.platform_db)
         self.admin = AdminService(self.tenants, self.billing)
         # Layer 4: core BI services.
@@ -205,16 +236,48 @@ class OdbisPlatform:
         return ordinals
 
     def close(self) -> None:
-        """Flush and close every WAL and journal (a clean shutdown)."""
+        """Drain traffic, then flush and close every WAL and journal.
+
+        Ordering is the shutdown contract: the gateway is drained
+        *permanently* first, so every accepted in-flight request either
+        commits (and its WAL frames are flushed below) or was rejected
+        with :class:`~repro.errors.GatewayShutdownError` at submit —
+        no worker can reach a database whose log is already closed,
+        and no accepted write is ever silently lost.
+        """
+        self.gateway.shutdown(permanent=True)
         for database in self._durable_databases():
             database.close()
         for journal in self._journals:
             journal.close()
+        if self.shards is not None:
+            self.shards.close()
+
+    def failover(self, shard_id: str) -> Dict[str, Any]:
+        """Fence a shard's primary and promote a caught-up replica.
+
+        Delegates the fence/trip/catch-up/promote sequence to the
+        shard map, then re-points every tenant context that held the
+        old primary at the promoted engine — under the registry lock,
+        so no request routes to the fenced database afterwards.
+        """
+        if self.shards is None:
+            raise ReproError("platform has no shard map")
+        shard = self.shards.shard(shard_id)
+        old_primary = shard.primary
+        promoted = self.shards.failover(shard_id)
+        moved = self.tenants.repoint_operational(
+            old_primary, shard.primary)
+        return {"shard": shard_id, "promoted": promoted,
+                "tenants_moved": moved}
 
     def _durable_databases(self) -> List[Database]:
         """Distinct databases carrying a WAL, platform db included."""
         seen: Dict[int, Database] = {}
         candidates = [self.tenants.platform_db]
+        if self.shards is not None:
+            candidates.extend(shard.primary
+                              for shard in self.shards.all_shards())
         for tenant_id in self.tenants.tenant_ids():
             context = self.tenants.context(tenant_id)
             candidates.extend(
@@ -278,6 +341,7 @@ class OdbisPlatform:
                  self._handle_define_dashboard)
         web.get("/tenants/{tenant}/dashboards/{name}",
                 self._handle_deliver_dashboard)
+        web.post("/tenants/{tenant}/sql", self._handle_sql)
         web.get("/tenants/{tenant}/project", self._handle_project)
         web.post("/tenants/{tenant}/design", self._handle_design)
         web.get("/admin/usage", self._handle_usage)
@@ -384,6 +448,43 @@ class OdbisPlatform:
             return JsonResponse(delivered)
         return Response(status=200, body=delivered)
 
+    def _handle_sql(self, request: Request) -> Response:
+        """Run SQL against the tenant's operational store.
+
+        The read path honors the replication contract (DESIGN.md §6):
+        a read-only statement — classified by the same
+        :meth:`RequestGateway.read_only_statement` the dispatcher uses
+        — may be served by a shard replica whose lag fits the
+        staleness budget (``max_staleness`` in the body overrides the
+        platform default); the routing record comes back with the
+        rows.  Writes always execute on the tenant's primary.
+        """
+        self._trace("core-bi-services", "technical-resources")
+        body = request.body or {}
+        sql = body.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise HttpError(400, "body needs a 'sql' field")
+        params = tuple(body.get("params", ()))
+        context = self.tenants.require_active(request.tenant)
+        if RequestGateway.read_only_statement(sql):
+            database = context.operational_db
+            route = {"served_by": "primary", "replica_lag": 0}
+            if self.shards is not None:
+                budget = body.get("max_staleness")
+                if budget is not None and \
+                        (not isinstance(budget, int) or budget < 0):
+                    raise HttpError(
+                        400, "'max_staleness' must be an integer >= 0")
+                database, route = self.shards.route_read(
+                    request.tenant, budget)
+            rows = database.query(sql, params)
+            self.billing.meter(request.tenant, "query", 1)
+            return JsonResponse({"rows": rows, **route})
+        result = context.operational_db.execute(sql, params)
+        rowcount = result if isinstance(result, int) else None
+        return JsonResponse({"ok": True, "served_by": "primary",
+                             "rowcount": rowcount})
+
     def _handle_project(self, request: Request) -> Response:
         self._trace("design-management")
         return JsonResponse(self.mddws.project_status(request.tenant))
@@ -438,6 +539,8 @@ class OdbisPlatform:
         report = HealthReport(
             dead_letters=len(self.resources.bus.dead_letters),
             fault_sites=self.faults.summary())
+        if self.shards is not None:
+            report.shards = self.shards.health()
         for tenant_id, health in self.gateway.tenant_health().items():
             report.tenants[tenant_id] = health
         for name in self.integration.scheduler.quarantined_jobs():

@@ -601,6 +601,10 @@ class HealthReport:
     tenants: Dict[str, TenantHealth] = field(default_factory=dict)
     dead_letters: int = 0
     fault_sites: Dict[str, int] = field(default_factory=dict)
+    # Per-shard posture (primary, generation, breaker, replica lag)
+    # when the platform runs a shard map; empty otherwise.  Duck-typed
+    # dicts so the resilience kernel never imports sharding.
+    shards: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def tenant(self, tenant_id: str) -> TenantHealth:
         if tenant_id not in self.tenants:
@@ -620,4 +624,7 @@ class HealthReport:
             "tenants": {tenant_id: entry.to_dict()
                         for tenant_id, entry
                         in sorted(self.tenants.items())},
+            "shards": {shard_id: dict(entry)
+                       for shard_id, entry
+                       in sorted(self.shards.items())},
         }

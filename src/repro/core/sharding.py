@@ -1,0 +1,504 @@
+"""Tenant sharding: consistent-hash placement + WAL-shipped replicas.
+
+The paper's economics ("one database is used to store all customers'
+data") cap out at one engine instance; the ROADMAP's millions-of-users
+north star needs horizontal capacity.  This module shards the shared
+operational store across N engine instances and gives each shard
+WAL-shipped read replicas:
+
+* :class:`HashRing` — consistent hashing with virtual nodes, so adding
+  or removing a shard moves only ~1/N of the tenants (bounded
+  reshuffle) instead of rehashing the world;
+* :class:`ReadReplica` — a follower that tails its primary's
+  write-ahead log, applies every *committed* transaction to a local
+  MVCC engine via :meth:`~repro.engine.database.Database.apply_committed`,
+  and falls back to a snapshot resync when the primary has
+  checkpointed past it.  ``replica_lag`` is measured in MVCC commit
+  numbers — the same clock the WAL stamps — so "how stale is this
+  read" has an exact, testable answer;
+* :class:`Shard` — one primary engine plus its replicas, with failover
+  that fences the old primary (closing its log turns a straggler
+  commit into a typed :class:`~repro.errors.WalError`), trips its
+  circuit breaker, and promotes the most caught-up replica onto the
+  log's committed prefix — exactly the prefix crash recovery would
+  keep;
+* :class:`ShardMap` — the tenant-facing façade: ``place`` a tenant,
+  ``primary_for`` writes, ``route_read`` to a replica when a staleness
+  budget allows, ``failover`` a shard, ``add_shard``/``remove_shard``
+  to rescale.
+
+Replication is pull-based and synchronous-on-demand: a replica applies
+frames when polled, so tests and benchmarks control exactly how far it
+lags.  The contract for what a replica may serve is DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.resilience import CircuitBreaker, Clock, MonotonicClock
+from repro.engine.database import Database
+from repro.engine.wal import WriteAheadLog, committed_prefix
+from repro.errors import ShardError
+
+#: Virtual nodes per shard on the hash ring.  More vnodes smooth the
+#: tenant distribution; 64 keeps the worst shard within ~2x of the
+#: mean for realistic tenant counts.
+DEFAULT_VNODES = 64
+
+#: Read replicas created per shard.
+DEFAULT_REPLICAS = 1
+
+#: Commit numbers a replica may trail the primary by and still serve
+#: a routed read.  0 = only a fully caught-up replica.
+DEFAULT_STALENESS_BUDGET = 0
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Each node owns ``vnodes`` points on a 32-bit ring (CRC32, the same
+    hash the WAL frames use); a key belongs to the owner of the first
+    point at or after its own hash.  The ring is rebuilt from the full
+    node set on every membership change, so point ownership is a pure
+    function of the membership — placement never depends on the order
+    shards were added or removed in.
+
+    Not thread-safe on its own: :class:`ShardMap` serializes access.
+    """
+
+    def __init__(self, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ShardError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes: List[str] = []
+        self._points: List[int] = []
+        self._owners: Dict[int, str] = {}
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return zlib.crc32(key.encode("utf-8"))
+
+    def _rebuild(self) -> None:
+        self._points = []
+        self._owners = {}
+        # Sorted iteration + first-wins makes collisions (different
+        # nodes hashing onto one point) deterministic.
+        for node in sorted(self._nodes):
+            for index in range(self.vnodes):
+                point = self._hash(f"{node}#{index}")
+                if point not in self._owners:
+                    self._owners[point] = node
+        self._points = sorted(self._owners)
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ShardError(f"node {node!r} is already on the ring")
+        self._nodes.append(node)
+        self._rebuild()
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ShardError(f"node {node!r} is not on the ring")
+        self._nodes.remove(node)
+        self._rebuild()
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def node_for(self, key: str) -> str:
+        if not self._points:
+            raise ShardError("the hash ring has no nodes")
+        index = bisect.bisect_right(self._points, self._hash(key))
+        if index == len(self._points):
+            index = 0  # wrap past the highest point
+        return self._owners[self._points[index]]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+class ReadReplica:
+    """A follower database fed by its primary's write-ahead log.
+
+    ``poll`` reads the log file's committed prefix and applies every
+    transaction numbered past what the replica already holds.  When
+    the primary has checkpointed (snapshot + log reset) past the
+    replica's position, the needed transactions are gone from the log
+    — the replica reloads the primary's snapshot instead (cheap
+    detection via the snapshot file's stat signature) and continues
+    tailing from there.  Dangling ops and torn tails are invisible by
+    construction: only committed transactions ship.
+    """
+
+    def __init__(self, shard_id: str, replica_id: str,
+                 wal_path: Union[str, Path],
+                 snapshot_path: Union[str, Path]):
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.wal_path = Path(wal_path)
+        self.snapshot_path = Path(snapshot_path)
+        self.database = Database(replica_id)
+        self.polls = 0
+        self.resyncs = 0
+        self._snapshot_signature: Optional[Tuple[int, int]] = None
+
+    def __repr__(self) -> str:
+        return (f"<ReadReplica {self.replica_id!r} "
+                f"applied_cn={self.applied_cn}>")
+
+    @property
+    def applied_cn(self) -> int:
+        """Highest primary commit number applied locally."""
+        return self.database.committed_cn
+
+    def _snapshot_stat(self) -> Optional[Tuple[int, int]]:
+        try:
+            stat = self.snapshot_path.stat()
+        except FileNotFoundError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _resync_from_snapshot(self) -> None:
+        signature = self._snapshot_stat()
+        if signature is None:
+            raise ShardError(
+                f"replica {self.replica_id!r} has a replication gap "
+                f"and {str(self.snapshot_path)!r} does not exist to "
+                f"resync from")
+        loaded = Database.load(self.snapshot_path)
+        loaded.name = self.replica_id
+        # A checkpoint can land while the replica is already current;
+        # only swap engines when the snapshot is genuinely ahead.
+        if loaded.committed_cn > self.applied_cn:
+            self.database = loaded
+            self.resyncs += 1
+        self._snapshot_signature = signature
+
+    def poll(self) -> int:
+        """Ship newly committed primary transactions; returns count."""
+        self.polls += 1
+        transactions, _, _, _ = committed_prefix(self.wal_path)
+        fresh = [(number, ops) for number, ops in transactions
+                 if number > self.applied_cn]
+        gap = fresh and fresh[0][0] != self.applied_cn + 1
+        behind_snapshot = (not fresh
+                           and self._snapshot_stat() is not None
+                           and self._snapshot_stat()
+                           != self._snapshot_signature)
+        if gap or behind_snapshot:
+            self._resync_from_snapshot()
+            fresh = [(number, ops) for number, ops in transactions
+                     if number > self.applied_cn]
+        return self.database.apply_committed(fresh)
+
+
+class Shard:
+    """One engine instance of the shard map: primary + replicas.
+
+    The primary is built with
+    :meth:`~repro.engine.database.Database.recover`, so constructing a
+    shard over an existing directory IS crash recovery.  Every replica
+    tails the primary's log file directly — there is no second copy of
+    the log to diverge from the one the primary fsyncs.
+    """
+
+    def __init__(self, shard_id: str, directory: Union[str, Path],
+                 replicas: int = DEFAULT_REPLICAS,
+                 fsync: str = "always",
+                 clock: Optional[Clock] = None,
+                 faults=None):
+        self.shard_id = shard_id
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._clock = clock or MonotonicClock()
+        self._faults = faults
+        self.generation = 0
+        self.primary = Database.recover(
+            self.directory, shard_id, fsync=fsync, faults=faults)
+        self.breaker = self._new_breaker()
+        self.fenced_breaker: Optional[CircuitBreaker] = None
+        self.replicas: List[ReadReplica] = [
+            ReadReplica(shard_id, f"{shard_id}-replica-{index}",
+                        self.wal_path, self.snapshot_path)
+            for index in range(replicas)
+        ]
+
+    def __repr__(self) -> str:
+        return (f"<Shard {self.shard_id!r} gen={self.generation} "
+                f"replicas={len(self.replicas)}>")
+
+    def _new_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            failure_threshold=1, clock=self._clock,
+            name=f"shard:{self.shard_id}:gen{self.generation}")
+
+    @property
+    def wal_path(self) -> Path:
+        return self.directory / f"{self.shard_id}.wal"
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / f"{self.shard_id}.snapshot"
+
+    def poll_replicas(self) -> Dict[str, int]:
+        """Ship pending commits to every replica; returns lag map."""
+        for replica in self.replicas:
+            replica.poll()
+        return self.replica_lag()
+
+    def replica_lag(self) -> Dict[str, int]:
+        """Commit numbers each replica trails the primary by."""
+        primary_cn = self.primary.committed_cn
+        return {replica.replica_id:
+                max(0, primary_cn - replica.applied_cn)
+                for replica in self.replicas}
+
+    def best_replica(self, staleness_budget: int) \
+            -> Optional[ReadReplica]:
+        """The freshest replica within budget, or None."""
+        primary_cn = self.primary.committed_cn
+        best: Optional[Tuple[int, ReadReplica]] = None
+        for replica in self.replicas:
+            lag = max(0, primary_cn - replica.applied_cn)
+            if lag <= staleness_budget and \
+                    (best is None or lag < best[0]):
+                best = (lag, replica)
+        return None if best is None else best[1]
+
+    def failover(self) -> str:
+        """Fence the primary and promote the most caught-up replica.
+
+        The sequence is the correctness argument:
+
+        1. *Fence*: close the old primary's log.  A straggler writer
+           still holding the old primary gets a typed ``WalError``
+           instead of a commit the promoted side would never see.
+        2. *Trip*: the shard's breaker opens (threshold 1), so the
+           resilience layer reports the old primary as down.
+        3. *Catch up*: every replica polls the fenced log one last
+           time — the committed prefix is complete and final now.
+        4. *Promote*: the replica with the highest applied commit
+           number takes over.  The log is truncated to its committed
+           prefix (dropping dangling ops and any torn tail, exactly
+           as crash recovery would) and reopened as the promoted
+           engine's live WAL, numbering onward from the commit number
+           the replica actually holds.
+
+        Returns the promoted replica's id.
+        """
+        if not self.replicas:
+            raise ShardError(
+                f"shard {self.shard_id!r} has no replica to promote")
+        # Close the log but leave it *attached*: detaching (what
+        # Database.close does) would let a straggler commit succeed
+        # silently in memory — attached-but-closed makes it raise.
+        if self.primary.wal is not None:
+            self.primary.wal.close()
+        self.breaker.record_failure()
+        self.fenced_breaker = self.breaker
+        for replica in self.replicas:
+            replica.poll()
+        promoted = max(self.replicas,
+                       key=lambda replica: replica.applied_cn)
+        self.replicas.remove(promoted)
+        _, committed_length, _, _ = committed_prefix(self.wal_path)
+        if self.wal_path.exists() and \
+                self.wal_path.stat().st_size > committed_length:
+            with open(self.wal_path, "r+b") as handle:
+                handle.truncate(committed_length)
+        wal = WriteAheadLog(self.wal_path, fsync=self.fsync,
+                            faults=self._faults)
+        wal.last_number = max(wal.last_number,
+                              promoted.database.committed_cn)
+        promoted.database.attach_wal(wal, self.snapshot_path)
+        self.primary = promoted.database
+        self.generation += 1
+        self.breaker = self._new_breaker()
+        return promoted.replica_id
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "primary": self.primary.name,
+            "generation": self.generation,
+            "breaker": self.breaker.state,
+            "fenced_breaker": (None if self.fenced_breaker is None
+                               else self.fenced_breaker.state),
+            "committed_cn": self.primary.committed_cn,
+            "replica_lag": self.replica_lag(),
+        }
+
+    def close(self) -> None:
+        self.primary.close()
+
+
+class ShardMap:
+    """Consistent-hash placement of tenants across engine shards.
+
+    All membership and routing state is guarded by one lock; shard
+    operations (polling, failover) run under it too, so a routed read
+    can never observe a shard halfway through a promotion.  The
+    databases themselves do their own locking — holding the map lock
+    while a routed statement *executes* is neither needed nor done.
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 shards: int = 1,
+                 replicas: int = DEFAULT_REPLICAS,
+                 vnodes: int = DEFAULT_VNODES,
+                 fsync: str = "always",
+                 clock: Optional[Clock] = None,
+                 faults=None,
+                 staleness_budget: int = DEFAULT_STALENESS_BUDGET):
+        if shards < 1:
+            raise ShardError("a shard map needs at least one shard")
+        if staleness_budget < 0:
+            raise ShardError("staleness_budget must be >= 0")
+        self.directory = Path(directory)
+        self.replicas_per_shard = replicas
+        self.fsync = fsync
+        self.staleness_budget = staleness_budget
+        self._clock = clock or MonotonicClock()
+        self._faults = faults
+        self._ring = HashRing(vnodes)  # guarded-by: _lock
+        self._shards: Dict[str, Shard] = {}  # guarded-by: _lock
+        self._lock = threading.Lock()
+        for index in range(shards):
+            self.add_shard(f"shard-{index}")
+
+    # -- membership -------------------------------------------------------------
+
+    def add_shard(self, shard_id: str) -> Shard:
+        """Bring up a new shard (recovering its directory if present)
+        and claim its ring points.  Only ~1/N of tenants move to it."""
+        with self._lock:
+            if shard_id in self._shards:
+                raise ShardError(
+                    f"shard {shard_id!r} already exists")
+            shard = Shard(shard_id, self.directory / shard_id,
+                          replicas=self.replicas_per_shard,
+                          fsync=self.fsync, clock=self._clock,
+                          faults=self._faults)
+            self._shards[shard_id] = shard
+            self._ring.add_node(shard_id)
+            return shard
+
+    def remove_shard(self, shard_id: str) -> List[str]:
+        """Retire a shard; its tenants re-place onto the survivors.
+
+        Returns the surviving shard ids.  Data migration is the
+        caller's concern — the shard's directory stays on disk, so
+        re-adding the same id recovers it.
+        """
+        with self._lock:
+            shard = self._shards.pop(shard_id, None)
+            if shard is None:
+                raise ShardError(f"unknown shard {shard_id!r}")
+            self._ring.remove_node(shard_id)
+            shard.close()
+            return sorted(self._shards)
+
+    def shard_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._shards)
+
+    def all_shards(self) -> List[Shard]:
+        with self._lock:
+            return [self._shards[shard_id]
+                    for shard_id in sorted(self._shards)]
+
+    def shard(self, shard_id: str) -> Shard:
+        with self._lock:
+            shard = self._shards.get(shard_id)
+            if shard is None:
+                raise ShardError(f"unknown shard {shard_id!r}")
+            return shard
+
+    # -- placement and routing --------------------------------------------------
+
+    def place(self, tenant_id: str) -> str:
+        """The shard id the tenant's operational data lives on."""
+        with self._lock:
+            return self._ring.node_for(tenant_id)
+
+    def shard_for(self, tenant_id: str) -> Shard:
+        with self._lock:
+            return self._shards[self._ring.node_for(tenant_id)]
+
+    def primary_for(self, tenant_id: str) -> Database:
+        """The write target for a tenant (its shard's primary)."""
+        return self.shard_for(tenant_id).primary
+
+    def route_read(self, tenant_id: str,
+                   max_staleness: Optional[int] = None) \
+            -> Tuple[Database, Dict[str, Any]]:
+        """Pick the engine a read-only statement should run on.
+
+        Ships pending commits to the tenant's shard replicas first,
+        then serves from the freshest replica whose lag fits the
+        budget; when none qualifies the primary serves (never a
+        wrong-er answer, just no offload).  Returns the database and
+        a routing record: shard id, who served, and the lag in commit
+        numbers the caller accepted.
+        """
+        budget = (self.staleness_budget if max_staleness is None
+                  else max_staleness)
+        if budget < 0:
+            raise ShardError("max_staleness must be >= 0")
+        with self._lock:
+            shard_id = self._ring.node_for(tenant_id)
+            shard = self._shards[shard_id]
+            shard.poll_replicas()
+            replica = shard.best_replica(budget)
+            if replica is not None:
+                lag = max(0, shard.primary.committed_cn
+                          - replica.applied_cn)
+                return replica.database, {
+                    "shard": shard_id,
+                    "served_by": replica.replica_id,
+                    "replica_lag": lag,
+                }
+            return shard.primary, {
+                "shard": shard_id,
+                "served_by": "primary",
+                "replica_lag": 0,
+            }
+
+    # -- failover and observability ---------------------------------------------
+
+    def failover(self, shard_id: str) -> str:
+        """Fence the shard's primary and promote a replica.
+
+        Returns the promoted replica's id; the caller re-points
+        whatever held the old primary (the platform re-points tenant
+        contexts).
+        """
+        with self._lock:
+            shard = self._shards.get(shard_id)
+            if shard is None:
+                raise ShardError(f"unknown shard {shard_id!r}")
+            return shard.failover()
+
+    def poll(self) -> Dict[str, Dict[str, int]]:
+        """Ship pending commits everywhere; lag map per shard."""
+        with self._lock:
+            return {shard_id: shard.poll_replicas()
+                    for shard_id, shard
+                    in sorted(self._shards.items())}
+
+    def health(self) -> Dict[str, Dict[str, Any]]:
+        with self._lock:
+            return {shard_id: shard.health()
+                    for shard_id, shard
+                    in sorted(self._shards.items())}
+
+    def close(self) -> None:
+        with self._lock:
+            for shard in self._shards.values():
+                shard.close()

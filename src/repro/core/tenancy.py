@@ -63,11 +63,19 @@ class TenantManager:
     def __init__(self, mode: TenancyMode = TenancyMode.SHARED,
                  database_factory: Optional[
                      Callable[[str], Database]] = None,
-                 journal: Optional[JournalLog] = None):
+                 journal: Optional[JournalLog] = None,
+                 operational_router: Optional[
+                     Callable[[str], Database]] = None):
         self.mode = mode
         self._factory = database_factory or (
             lambda name: Database(name))
         self.journal = journal
+        # Sharded deployments place each tenant's operational data by
+        # consistent hash: the router (e.g. ``ShardMap.primary_for``)
+        # overrides the SHARED/ISOLATED operational choice.  Kept as a
+        # duck-typed callable so tenancy never imports sharding (the
+        # gateway imports tenancy, and sharding sits above both).
+        self._operational_router = operational_router
         # Registration is control-plane work that may run concurrently
         # with request dispatch; guard the check-then-insert.
         self._tenants: Dict[str, TenantContext] = {}  # guarded-by: _registry_lock
@@ -95,7 +103,9 @@ class TenantManager:
             if tenant_id in self._tenants:
                 raise TenantError(
                     f"tenant {tenant_id!r} already registered")
-            if self.mode is TenancyMode.SHARED:
+            if self._operational_router is not None:
+                operational = self._operational_router(tenant_id)
+            elif self.mode is TenancyMode.SHARED:
                 operational = self._shared_db
             else:
                 operational = self._factory(f"op-{tenant_id}")
@@ -113,7 +123,33 @@ class TenantManager:
             return context
 
     def deactivate(self, tenant_id: str) -> None:
-        self.context(tenant_id).active = False
+        with self._registry_lock:
+            context = self._tenants.get(tenant_id)
+            if context is None:
+                raise TenantError(f"unknown tenant {tenant_id!r}")
+            context.active = False
+            # Re-store through the guarded mapping so the flip is a
+            # locked registry state transition, serialized against
+            # register() and visible to the lock-discipline check.
+            self._tenants[tenant_id] = context
+
+    def repoint_operational(self, old: Database,
+                            new: Database) -> List[str]:
+        """Swap every context on ``old`` over to ``new`` (failover).
+
+        Runs under the registry lock so a repoint is atomic against
+        registration: a tenant registered concurrently either routed
+        to the new primary already or is repointed here, never split.
+        Returns the moved tenant ids.
+        """
+        with self._registry_lock:
+            moved: List[str] = []
+            for tenant_id, context in self._tenants.items():
+                if context.operational_db is old:
+                    context.operational_db = new
+                    self._tenants[tenant_id] = context
+                    moved.append(tenant_id)
+            return moved
 
     def context(self, tenant_id: str) -> TenantContext:
         context = self._tenants.get(tenant_id)

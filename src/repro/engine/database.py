@@ -900,6 +900,48 @@ class Database:
         database.invalidate_plans()
         return database
 
+    def apply_committed(
+            self, transactions: Sequence[Tuple[int, Sequence[Any]]]) \
+            -> int:
+        """Apply committed transactions shipped from another log.
+
+        The replication entry point: a read replica tails its
+        primary's WAL and hands the committed prefix here.  Each
+        transaction is applied exactly as :meth:`recover` replays it —
+        effects stamped with the shipping commit number, the commit
+        published atomically — but under the exclusive statement lock,
+        because a live replica keeps serving snapshot reads while it
+        applies.  Transactions at or below the current commit number
+        are skipped (re-shipping a prefix is idempotent); a numbering
+        gap raises :class:`~repro.errors.WalError` so the shipper can
+        fall back to a snapshot resync.  Returns how many transactions
+        were applied.
+        """
+        with self._lock.exclusive():
+            if self.in_transaction:
+                raise TransactionError(
+                    "cannot apply shipped transactions while a local "
+                    "transaction is open")
+            applied = 0
+            self._suppress_redo = True
+            try:
+                for number, ops in transactions:
+                    if number <= self._committed_cn:
+                        continue
+                    if number != self._committed_cn + 1:
+                        raise WalError(
+                            f"replication gap: next shipped "
+                            f"transaction is #{number} but "
+                            f"{self.name!r} is at "
+                            f"#{self._committed_cn}")
+                    self._apply_redo(ops)
+                    with self._state_lock:
+                        self._committed_cn = number
+                    applied += 1
+            finally:
+                self._suppress_redo = False
+            return applied
+
     def state_fingerprint(self) -> Tuple[Any, ...]:
         """A hashable identity of the full durable state.
 

@@ -353,6 +353,26 @@ def committed_transactions(entries: List[Tuple[Any, int]]) \
     return transactions, committed_length, len(current)
 
 
+def committed_prefix(path: Union[str, Path]) \
+        -> Tuple[List[Tuple[int, List[Any]]], int, int, Optional[str]]:
+    """The committed transactions a log file holds, and where they end.
+
+    The replication-side view of a primary's log: a shipper (a read
+    replica tailing the file, or a failover promotion) must act only
+    on transactions whose commit record is intact on disk — never on
+    the dangling op run or torn tail a crash may have left behind.
+    Returns ``(transactions, committed_length, dangling_ops,
+    tail_reason)``; ``committed_length`` is clamped up to the magic
+    header so truncating to it always leaves a well-formed log.
+    """
+    entries, good_length, tail_reason = read_log(path)
+    transactions, committed_length, dangling = \
+        committed_transactions(entries)
+    if committed_length < len(MAGIC) and good_length >= len(MAGIC):
+        committed_length = len(MAGIC)
+    return transactions, committed_length, dangling, tail_reason
+
+
 class JournalLog(_AppendLog):
     """A platform journal: one self-contained record per event.
 

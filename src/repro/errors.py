@@ -316,3 +316,8 @@ class ServiceError(PlatformError):
 
 class GatewayShutdownError(PlatformError):
     """The request gateway is draining; new submissions are rejected."""
+
+
+class ShardError(PlatformError):
+    """Shard-map misuse: empty ring, unknown or duplicate shard, a
+    replica with a replication gap and no snapshot to resync from."""

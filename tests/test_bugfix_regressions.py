@@ -226,3 +226,246 @@ class TestEsbDeadLetterAtHopBudget:
         with pytest.raises(EsbError):
             bus.send("in", "payload")
         assert len(bus.dead_letters) >= 1
+
+
+# -- PR 8 serving-path regressions ------------------------------------------------
+#
+# * the gateway's stale-response cache was keyed by ``(tenant, path)``
+#   alone and cached *every* OK payload, so while a breaker was open a
+#   request with a different method/query/body could be answered with
+#   another request's payload as a 200;
+# * ``OdbisPlatform.close()`` closed WALs and journals while gateway
+#   workers could still be mid-dispatch, so an accepted in-flight write
+#   could die against a closed log and be lost;
+# * ``TenantRegistry.deactivate`` flipped ``context.active`` without
+#   the registry lock that ``register`` uses.
+
+import textwrap
+import threading
+
+from repro.analysis.concurrency import analyze_concurrency
+from repro.core import OdbisPlatform, RequestGateway
+from repro.core.tenancy import TenantManager
+from repro.errors import GatewayShutdownError, TenantError
+from repro.web import JsonResponse, WebApplication
+
+TENANT = "acme"
+
+
+def _tripped_gateway(web):
+    """A gateway for ``TENANT`` whose breaker can be tripped at will."""
+    tenants = TenantManager()
+    tenants.register(TENANT, "Acme", "team")
+    return RequestGateway(web, tenants, max_workers=2)
+
+
+def _trip(gateway):
+    breaker = gateway.breaker(TENANT)
+    for _ in range(gateway.breaker_threshold):
+        breaker.record_failure()
+    assert breaker.state == "open"
+
+
+class TestStaleCacheKeying:
+    """Degraded serving must never alias distinct requests."""
+
+    def _web(self):
+        web = WebApplication("cachekey")
+        web.get(f"/tenants/{TENANT}/rows",
+                lambda request: JsonResponse(
+                    {"table": request.query.get("table", "none")}))
+        web.post(f"/tenants/{TENANT}/rows",
+                 lambda request: JsonResponse(
+                     {"written": "mutation-result"}))
+        web.post(f"/tenants/{TENANT}/jobs",
+                 lambda request: JsonResponse({"job": "started"}))
+        return web
+
+    def test_mutation_responses_are_never_cached(self):
+        gateway = _tripped_gateway(self._web())
+        ok = gateway.submit(
+            "POST", f"/tenants/{TENANT}/jobs").result(30)
+        assert ok.status == 200
+        _trip(gateway)
+        degraded = gateway.submit(
+            "POST", f"/tenants/{TENANT}/jobs").result(30)
+        assert degraded.degraded
+        # A POST is not an idempotent read: replaying its old payload
+        # as a fresh 200 would fake a mutation that never ran.
+        assert not degraded.stale
+        assert degraded.status == 503
+        gateway.shutdown()
+
+    def test_distinct_queries_do_not_share_payloads(self):
+        gateway = _tripped_gateway(self._web())
+        path = f"/tenants/{TENANT}/rows"
+        ok = gateway.submit("GET", path,
+                            query={"table": "ledger"}).result(30)
+        assert ok.json() == {"table": "ledger"}
+        _trip(gateway)
+        other = gateway.submit("GET", path,
+                               query={"table": "audit"}).result(30)
+        assert other.degraded
+        assert not other.stale, \
+            "a different query string was served another query's payload"
+        same = gateway.submit("GET", path,
+                              query={"table": "ledger"}).result(30)
+        assert same.stale
+        assert same.json()["data"] == {"table": "ledger"}
+        gateway.shutdown()
+
+    def test_method_does_not_alias_into_the_read_cache(self):
+        gateway = _tripped_gateway(self._web())
+        path = f"/tenants/{TENANT}/rows"
+        ok = gateway.submit("POST", path).result(30)
+        assert ok.json() == {"written": "mutation-result"}
+        _trip(gateway)
+        read = gateway.submit("GET", path).result(30)
+        assert read.degraded
+        assert not read.stale, \
+            "a GET was served a cached POST payload"
+        gateway.shutdown()
+
+    def test_query_order_is_canonicalized(self):
+        gateway = _tripped_gateway(self._web())
+        path = f"/tenants/{TENANT}/rows"
+        gateway.submit("GET", path,
+                       query={"table": "ledger", "limit": 5}).result(30)
+        _trip(gateway)
+        hit = gateway.submit(
+            "GET", path,
+            query={"limit": 5, "table": "ledger"}).result(30)
+        assert hit.stale  # same request, different dict order
+        gateway.shutdown()
+
+
+class TestShutdownDrainsBeforeDurableClose:
+    """close() must drain the gateway before closing WALs/journals."""
+
+    def _login(self, platform):
+        response = platform.web.request(
+            "POST", "/login",
+            body={"username": f"admin@{TENANT}",
+                  "password": "changeme"})
+        assert response.status == 200
+        return {"x-auth-token": response.json()["token"]}
+
+    def test_in_flight_write_completes_and_survives_recovery(
+            self, tmp_path):
+        platform = OdbisPlatform(data_dir=tmp_path)
+        platform.provisioning.provision(TENANT, "Acme", plan="team")
+        database = platform.tenants.context(TENANT).operational_db
+        database.execute(
+            "CREATE TABLE audit (id INTEGER PRIMARY KEY, note TEXT)")
+        headers = self._login(platform)
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_write(request):
+            started.set()
+            assert release.wait(30)
+            database.execute(
+                "INSERT INTO audit VALUES (1, 'inflight')")
+            return JsonResponse({"ok": True})
+
+        platform.web.post(f"/tenants/{TENANT}/slow-write", slow_write)
+        future = platform.gateway.submit(
+            "POST", f"/tenants/{TENANT}/slow-write", headers=headers)
+        assert started.wait(30)
+        # Release the worker shortly *after* close() begins: a close
+        # that does not drain first will have shut the WAL underneath
+        # the still-running commit.
+        releaser = threading.Timer(0.2, release.set)
+        releaser.start()
+        try:
+            platform.close()
+        finally:
+            releaser.join()
+        response = future.result(30)
+        assert response.status == 200, response.body
+        # The accepted write is durable: recovery sees it.
+        recovered = OdbisPlatform(data_dir=tmp_path)
+        try:
+            rows = recovered.tenants.context(
+                TENANT).operational_db.query(
+                    "SELECT note FROM audit WHERE id = 1")
+            assert rows == [{"note": "inflight"}]
+        finally:
+            recovered.close()
+
+    def test_submissions_after_close_are_rejected_not_lost(
+            self, tmp_path):
+        platform = OdbisPlatform(data_dir=tmp_path)
+        platform.provisioning.provision(TENANT, "Acme", plan="team")
+        platform.close()
+        with pytest.raises(GatewayShutdownError):
+            platform.gateway.submit("GET", "/ping")
+
+
+class TestDeactivateHoldsRegistryLock:
+    """deactivate must serialize with register/require_active."""
+
+    class _RecordingLock:
+        def __init__(self, inner):
+            self._inner = inner
+            self.acquisitions = 0
+
+        def __enter__(self):
+            self.acquisitions += 1
+            return self._inner.__enter__()
+
+        def __exit__(self, exc_type, exc, tb):
+            return self._inner.__exit__(exc_type, exc, tb)
+
+        def acquire(self, *args, **kwargs):
+            self.acquisitions += 1
+            return self._inner.acquire(*args, **kwargs)
+
+        def release(self):
+            return self._inner.release()
+
+    def test_deactivate_acquires_the_registry_lock(self):
+        manager = TenantManager()
+        manager.register(TENANT, "Acme")
+        recorder = self._RecordingLock(manager._registry_lock)
+        manager._registry_lock = recorder
+        manager.deactivate(TENANT)
+        assert recorder.acquisitions >= 1, \
+            "deactivate mutated registry state without the lock"
+        assert manager.context(TENANT).active is False
+        with pytest.raises(TenantError):
+            manager.require_active(TENANT)
+
+    def test_deactivate_still_rejects_unknown_tenants(self):
+        manager = TenantManager()
+        with pytest.raises(TenantError):
+            manager.deactivate("ghost")
+
+    def test_unlocked_deactivate_shape_is_flagged_by_odb502(
+            self, tmp_path):
+        """The self-lint enforces the guard non-vacuously: the exact
+        pre-fix shape (guarded registry mutated lock-free) is ODB502."""
+        source = textwrap.dedent("""\
+            import threading
+
+
+            class Registry:
+                def __init__(self):
+                    self._tenants = {}  # guarded-by: _registry_lock
+                    self._registry_lock = threading.Lock()
+
+                def register(self, tenant_id, context):
+                    with self._registry_lock:
+                        self._tenants[tenant_id] = context
+
+                def deactivate(self, tenant_id):
+                    context = self._tenants[tenant_id]
+                    context.active = False
+                    self._tenants[tenant_id] = context
+            """)
+        path = tmp_path / "registry.py"
+        path.write_text(source)
+        collector = analyze_concurrency(path)
+        codes = {diagnostic.code
+                 for diagnostic in collector.diagnostics}
+        assert "ODB502" in codes
