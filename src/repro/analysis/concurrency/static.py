@@ -38,7 +38,16 @@ parses a source tree with :mod:`ast` and enforces three contracts:
    is lexical on purpose: the WAL deliberately fsyncs while the
    commit lock is held (that *is* write-ahead logging), and that call
    sits behind a function boundary — the analyzer flags the shape
-   that is always avoidable, not the policy decision.
+   that is always avoidable, not the policy decision.  Beyond the
+   built-in call shapes, a ``def`` line may carry a declarative
+   ``# blocking: <reason>`` annotation (the dual of ``# requires:``):
+   any call of that method name under an exclusive hold is then
+   ODB503.  This is how domain-level blocking — a replica ``poll``
+   that tails an on-disk WAL, a snapshot ``resync`` — gets the same
+   protection as a raw ``fsync``; the regression that held the global
+   shard-map lock across replica disk polls is exactly the shape this
+   annotation now catches.  Matching is by name (the analysis is
+   untyped), so annotate names that are unambiguous in the tree.
 
 Findings are ordinary :class:`~repro.analysis.diagnostics.Diagnostic`
 records, so they ride the same CLI and collector machinery as the
@@ -97,6 +106,7 @@ VIRTUAL_GUARDS = {"engine-exclusive"}
 
 _GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][\w-]*)")
 _REQUIRES = re.compile(r"#\s*requires:\s*([A-Za-z_][\w-]*)")
+_BLOCKING = re.compile(r"#\s*blocking:\s*(.+?)\s*$")
 
 
 @dataclass(frozen=True)
@@ -134,6 +144,8 @@ class _ClassInfo:
     guards: List[_GuardNote] = field(default_factory=list)
     #: method name -> guard names its ``def`` line requires.
     requires: Dict[str, Set[str]] = field(default_factory=dict)
+    #: method name -> the ``# blocking:`` reason its ``def`` declares.
+    blocking: Dict[str, str] = field(default_factory=dict)
     #: method name -> lock keys it acquires lexically (any depth).
     acquires: Dict[str, Set[str]] = field(default_factory=dict)
     methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
@@ -172,6 +184,8 @@ class _ModuleScan:
         self.classes: Dict[str, _ClassInfo] = {}
         #: module-level lock names -> LockDecl.
         self.module_locks: Dict[str, LockDecl] = {}
+        #: module-level function name -> ``# blocking:`` reason.
+        self.module_blocking: Dict[str, str] = {}
         self._collect()
 
     # -- collection ----------------------------------------------------------
@@ -196,6 +210,11 @@ class _ModuleScan:
                         line=node.lineno)
             elif isinstance(node, ast.ClassDef):
                 self._collect_class(node)
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                match = _BLOCKING.search(self._line(node.lineno))
+                if match:
+                    self.module_blocking[node.name] = match.group(1)
 
     def _collect_class(self, node: ast.ClassDef) -> None:
         info = _ClassInfo(name=node.name, source=self.label)
@@ -211,6 +230,9 @@ class _ModuleScan:
                 required.add(match.group(1))
             if required:
                 info.requires[item.name] = required
+            blocking = _BLOCKING.search(self._line(item.lineno))
+            if blocking:
+                info.blocking[item.name] = blocking.group(1)
             for statement in ast.walk(item):
                 self._note_self_assign(info, statement)
             info.acquires[item.name] = {
@@ -314,6 +336,9 @@ class ConcurrencyAnalyzer:
         #: (from, to) -> (source, line, description) first witness.
         self.edges: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
         self._scans: List[_ModuleScan] = []
+        #: ``# blocking:``-annotated callable name -> declared reason,
+        #: gathered across every scanned file before the checks run.
+        self._blocking_methods: Dict[str, str] = {}
 
     # -- entry points --------------------------------------------------------
 
@@ -328,9 +353,11 @@ class ConcurrencyAnalyzer:
         for scan in self._scans:
             for decl in scan.module_locks.values():
                 self.locks[decl.key] = decl
+            self._blocking_methods.update(scan.module_blocking)
             for info in scan.classes.values():
                 for decl in info.locks.values():
                     self.locks[decl.key] = decl
+                self._blocking_methods.update(info.blocking)
         for scan in self._scans:
             self._check_module(scan, collector)
         self._check_cycles(collector)
@@ -548,8 +575,7 @@ class ConcurrencyAnalyzer:
                     span=SourceSpan(line, 1),
                     source=scan.label)
 
-    @staticmethod
-    def _blocking_reason(node: ast.Call) -> Optional[str]:
+    def _blocking_reason(self, node: ast.Call) -> Optional[str]:
         dotted = _dotted(node.func)
         if dotted is None:
             return None
@@ -562,6 +588,9 @@ class ConcurrencyAnalyzer:
             receiver = dotted.rsplit(".", 1)[0].lower()
             if any(hint in receiver for hint in JOIN_RECEIVER_HINTS):
                 return f"{dotted}()"
+        declared = self._blocking_methods.get(tail)
+        if declared is not None:
+            return f"{dotted}() (# blocking: {declared})"
         return None
 
     @staticmethod

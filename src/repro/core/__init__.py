@@ -41,8 +41,16 @@ from repro.core.metadata_service import MetadataService
 from repro.core.platform import OdbisPlatform, TechnicalResourcesLayer
 from repro.core.provisioning import ARTIFACT_KINDS, ProvisioningService
 from repro.core.reporting_service import ReportingService
-from repro.core.sharding import HashRing, ReadReplica, Shard, ShardMap
+from repro.core.sharding import (
+    HashRing,
+    ReadReplica,
+    RouteHandle,
+    Shard,
+    ShardMap,
+    content_checksum,
+)
 from repro.core.subscription import BillingService, Plan
+from repro.core.supervision import Incident, ShardSupervisor
 from repro.core.tenancy import TenancyMode, TenantContext, TenantManager
 
 __all__ = [
@@ -61,6 +69,7 @@ __all__ = [
     "FaultInjector",
     "HashRing",
     "HealthReport",
+    "Incident",
     "InformationDeliveryService",
     "IntegrationService",
     "MddwsService",
@@ -73,11 +82,14 @@ __all__ = [
     "ReportingService",
     "RequestGateway",
     "RetryPolicy",
+    "RouteHandle",
     "Shard",
     "ShardMap",
+    "ShardSupervisor",
     "TechnicalResourcesLayer",
     "TenancyMode",
     "TenantContext",
     "TenantHealth",
     "TenantManager",
+    "content_checksum",
 ]

@@ -425,6 +425,18 @@ class RequestGateway:
             while len(self._stale_cache) > self.stale_cache_capacity:
                 self._stale_cache.popitem(last=False)
 
+    @staticmethod
+    def _stale_epoch_response(response: Response) -> bool:
+        """True for the web layer's typed stale-epoch 503."""
+        if response.status != 503:
+            return False
+        try:
+            payload = response.json()
+        except (TypeError, ValueError):
+            return False
+        return isinstance(payload, dict) \
+            and payload.get("code") == "stale_epoch"
+
     def _run_request(self, method: str, path: str, body: Any,
                      headers: Optional[Dict[str, str]],
                      query: Optional[Dict[str, Any]],
@@ -459,7 +471,13 @@ class RequestGateway:
                      "code": "deadline_exceeded"}, status=504)
             if breaker is not None:
                 if response.status >= 500:
-                    breaker.record_failure()
+                    # A stale-epoch 503 is retryable routing back-
+                    # pressure from a promotion in flight, not a
+                    # tenant-scoped fault — tripping the tenant's
+                    # breaker over it would turn a failover blip
+                    # into an outage for that tenant.
+                    if not self._stale_epoch_response(response):
+                        breaker.record_failure()
                 else:
                     breaker.record_success()
             if tenant_id is not None and response.ok:

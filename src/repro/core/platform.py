@@ -32,6 +32,7 @@ from repro.core.resilience import (
 from repro.core.resources import TechnicalResourcesLayer
 from repro.core.sharding import ShardMap
 from repro.core.subscription import BillingService
+from repro.core.supervision import ShardSupervisor
 from repro.core.tenancy import TenancyMode, TenantManager
 from repro.engine.database import Database
 from repro.engine.wal import JournalLog
@@ -87,7 +88,8 @@ class OdbisPlatform:
                  fsync: str = "always",
                  shards: int = 0,
                  replicas_per_shard: int = 1,
-                 staleness_budget: int = 0):
+                 staleness_budget: int = 0,
+                 supervision: Optional[Dict[str, Any]] = None):
         # Cross-cutting: the resilience kernel's shared pieces.  One
         # injector serves every instrumented site so a chaos run has a
         # single deterministic fault history.
@@ -134,6 +136,17 @@ class OdbisPlatform:
                 clock=self.clock, faults=self.faults,
                 staleness_budget=staleness_budget)
             operational_router = self.shards.primary_for
+        # Supervision: the layer that notices a sick shard primary,
+        # fails it over (re-pointing tenant contexts via
+        # self.failover) and audits replicas for silent divergence.
+        # Passive until driven — call supervisor.tick()/run() from a
+        # scheduler or a chaos loop; kwargs come through the
+        # ``supervision`` dict (probe cadence, damping, pump mode).
+        self.supervisor: Optional[ShardSupervisor] = None
+        if self.shards is not None:
+            self.supervisor = ShardSupervisor(
+                self.shards, clock=self.clock, faults=self.faults,
+                failover=self.failover, **(supervision or {}))
         # Layer 5: technical resources.
         self.resources = TechnicalResourcesLayer(
             faults=self.faults, clock=self.clock,
@@ -458,6 +471,13 @@ class OdbisPlatform:
         staleness budget (``max_staleness`` in the body overrides the
         platform default); the routing record comes back with the
         rows.  Writes always execute on the tenant's primary.
+
+        On a sharded platform every dispatch is *epoch-fenced*
+        (DESIGN.md §7): the route resolves to a handle pinned at the
+        shard's generation, and the execute re-checks it — a
+        statement racing a promotion gets a typed
+        :class:`~repro.errors.StaleEpochError` (a retryable 503 at
+        the web layer), never a silent commit on a fenced engine.
         """
         self._trace("core-bi-services", "technical-resources")
         body = request.body or {}
@@ -467,23 +487,32 @@ class OdbisPlatform:
         params = tuple(body.get("params", ()))
         context = self.tenants.require_active(request.tenant)
         if RequestGateway.read_only_statement(sql):
-            database = context.operational_db
-            route = {"served_by": "primary", "replica_lag": 0}
             if self.shards is not None:
                 budget = body.get("max_staleness")
                 if budget is not None and \
                         (not isinstance(budget, int) or budget < 0):
                     raise HttpError(
                         400, "'max_staleness' must be an integer >= 0")
-                database, route = self.shards.route_read(
-                    request.tenant, budget)
-            rows = database.query(sql, params)
+                handle = self.shards.read_handle(request.tenant,
+                                                 budget)
+                rows = self.shards.dispatch_read(handle, sql, params)
+                route = handle.route
+            else:
+                rows = context.operational_db.query(sql, params)
+                route = {"served_by": "primary", "replica_lag": 0}
             self.billing.meter(request.tenant, "query", 1)
             return JsonResponse({"rows": rows, **route})
-        result = context.operational_db.execute(sql, params)
+        if self.shards is not None:
+            handle = self.shards.write_handle(request.tenant)
+            result = self.shards.dispatch_write(handle, sql, params)
+            extra = {"shard": handle.shard,
+                     "generation": handle.generation}
+        else:
+            result = context.operational_db.execute(sql, params)
+            extra = {}
         rowcount = result if isinstance(result, int) else None
         return JsonResponse({"ok": True, "served_by": "primary",
-                             "rowcount": rowcount})
+                             "rowcount": rowcount, **extra})
 
     def _handle_project(self, request: Request) -> Response:
         self._trace("design-management")
@@ -541,6 +570,8 @@ class OdbisPlatform:
             fault_sites=self.faults.summary())
         if self.shards is not None:
             report.shards = self.shards.health()
+        if self.supervisor is not None:
+            report.supervision = self.supervisor.health()
         for tenant_id, health in self.gateway.tenant_health().items():
             report.tenants[tenant_id] = health
         for name in self.integration.scheduler.quarantined_jobs():

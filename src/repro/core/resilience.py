@@ -605,6 +605,10 @@ class HealthReport:
     # when the platform runs a shard map; empty otherwise.  Duck-typed
     # dicts so the resilience kernel never imports sharding.
     shards: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    # Supervisor posture (detector watches, incidents, quarantined
+    # replicas) when the platform runs a shard supervisor; same
+    # duck-typing rationale.
+    supervision: Dict[str, Any] = field(default_factory=dict)
 
     def tenant(self, tenant_id: str) -> TenantHealth:
         if tenant_id not in self.tenants:
@@ -627,4 +631,5 @@ class HealthReport:
             "shards": {shard_id: dict(entry)
                        for shard_id, entry
                        in sorted(self.shards.items())},
+            "supervision": dict(self.supervision),
         }

@@ -15,35 +15,50 @@ WAL-shipped read replicas:
   and falls back to a snapshot resync when the primary has
   checkpointed past it.  ``replica_lag`` is measured in MVCC commit
   numbers — the same clock the WAL stamps — so "how stale is this
-  read" has an exact, testable answer;
+  read" has an exact, testable answer.  A replica the anti-entropy
+  auditor caught diverging is *quarantined*: it serves no routed read
+  until a forced snapshot resync heals it;
 * :class:`Shard` — one primary engine plus its replicas, with failover
   that fences the old primary (closing its log turns a straggler
   commit into a typed :class:`~repro.errors.WalError`), trips its
-  circuit breaker, and promotes the most caught-up replica onto the
-  log's committed prefix — exactly the prefix crash recovery would
-  keep;
+  circuit breaker, and promotes the most caught-up healthy replica
+  onto the log's committed prefix — exactly the prefix crash recovery
+  would keep.  Every promotion bumps the shard ``generation`` (its
+  *epoch*); routed dispatches carry the epoch they were resolved at
+  and are re-checked at execute time, so a straggler racing the
+  promotion window gets a typed, retryable
+  :class:`~repro.errors.StaleEpochError` instead of an incidental
+  log-level failure;
 * :class:`ShardMap` — the tenant-facing façade: ``place`` a tenant,
   ``primary_for`` writes, ``route_read`` to a replica when a staleness
-  budget allows, ``failover`` a shard, ``add_shard``/``remove_shard``
-  to rescale.
+  budget allows, ``read_handle``/``write_handle`` +
+  ``dispatch_read``/``dispatch_write`` for epoch-fenced serving,
+  ``failover`` a shard, ``add_shard``/``remove_shard`` to rescale.
 
 Replication is pull-based and synchronous-on-demand: a replica applies
 frames when polled, so tests and benchmarks control exactly how far it
-lags.  The contract for what a replica may serve is DESIGN.md §6.
+lags.  The map's ``_lock`` guards only membership (ring + shard
+registry); each shard and each replica has its own lock, and WAL disk
+I/O (``poll``) always runs *outside* any of them — one shard's slow
+disk can never stall routing for the rest of the fleet.  The contract
+for what a replica may serve is DESIGN.md §6; the supervision layer on
+top (failure detection, auto-failover, anti-entropy audit) is §7.
 """
 
 from __future__ import annotations
 
 import bisect
+import pickle
 import threading
 import zlib
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.resilience import CircuitBreaker, Clock, MonotonicClock
 from repro.engine.database import Database
 from repro.engine.wal import WriteAheadLog, committed_prefix
-from repro.errors import ShardError
+from repro.errors import InjectedFault, ShardError, StaleEpochError, WalError
 
 #: Virtual nodes per shard on the hash ring.  More vnodes smooth the
 #: tenant distribution; 64 keeps the worst shard within ~2x of the
@@ -56,6 +71,18 @@ DEFAULT_REPLICAS = 1
 #: Commit numbers a replica may trail the primary by and still serve
 #: a routed read.  0 = only a fully caught-up replica.
 DEFAULT_STALENESS_BUDGET = 0
+
+
+def content_checksum(database: Database) -> int:
+    """Order-independent digest of a database's committed content.
+
+    Built on :meth:`~repro.engine.database.Database.state_fingerprint`
+    (rows, rowid watermarks, indexes, views — not the engine name), so
+    a primary and its replica agree exactly when their durable state
+    does.  The anti-entropy auditor compares these at a common commit
+    number; a mismatch there is silent divergence by definition.
+    """
+    return zlib.crc32(pickle.dumps(database.state_fingerprint()))
 
 
 class HashRing:
@@ -123,6 +150,35 @@ class HashRing:
         return len(self._nodes)
 
 
+@dataclass
+class RouteHandle:
+    """One resolved dispatch target, pinned to a shard epoch.
+
+    The handle is the *fence token*: ``generation`` is the shard epoch
+    the route was resolved at, and every
+    :meth:`ShardMap.dispatch_read` / :meth:`ShardMap.dispatch_write`
+    re-checks it, so a handle that outlives a promotion fails with a
+    typed, retryable :class:`~repro.errors.StaleEpochError` instead of
+    executing against a fenced engine.
+    """
+
+    shard: str
+    generation: int
+    database: Database
+    served_by: str = "primary"
+    replica_lag: int = 0
+
+    @property
+    def route(self) -> Dict[str, Any]:
+        """The routing record returned alongside a served read."""
+        return {
+            "shard": self.shard,
+            "generation": self.generation,
+            "served_by": self.served_by,
+            "replica_lag": self.replica_lag,
+        }
+
+
 class ReadReplica:
     """A follower database fed by its primary's write-ahead log.
 
@@ -134,19 +190,38 @@ class ReadReplica:
     detection via the snapshot file's stat signature) and continues
     tailing from there.  Dangling ops and torn tails are invisible by
     construction: only committed transactions ship.
+
+    Two :class:`~repro.core.resilience.FaultInjector` sites model the
+    infrastructure failures the supervision battery injects, both
+    scoped per replica:
+
+    * ``replica.partition.<replica_id>`` — the poll raises
+      :class:`~repro.errors.InjectedFault` (the replica is
+      unreachable; callers treat it as a failed shipment);
+    * ``replica.divergence.<replica_id>`` — the poll *succeeds* but
+      silently corrupts one applied row in place, leaving every commit
+      number intact.  Only a content checksum (the anti-entropy
+      auditor) can see it — exactly the bit-rot shape the quarantine
+      machinery exists for.
     """
 
     def __init__(self, shard_id: str, replica_id: str,
                  wal_path: Union[str, Path],
-                 snapshot_path: Union[str, Path]):
+                 snapshot_path: Union[str, Path],
+                 faults=None):
         self.shard_id = shard_id
         self.replica_id = replica_id
         self.wal_path = Path(wal_path)
         self.snapshot_path = Path(snapshot_path)
-        self.database = Database(replica_id)
-        self.polls = 0
-        self.resyncs = 0
-        self._snapshot_signature: Optional[Tuple[int, int]] = None
+        self._faults = faults
+        self._lock = threading.Lock()
+        self.database = Database(replica_id)  # guarded-by: _lock
+        self.polls = 0  # guarded-by: _lock
+        self.resyncs = 0  # guarded-by: _lock
+        self.quarantined: Optional[Dict[str, Any]] = None  # guarded-by: _lock
+        self.closed = False  # guarded-by: _lock
+        self._snapshot_signature: Optional[Tuple[int, int]] \
+            = None  # guarded-by: _lock
 
     def __repr__(self) -> str:
         return (f"<ReadReplica {self.replica_id!r} "
@@ -164,7 +239,7 @@ class ReadReplica:
             return None
         return (stat.st_mtime_ns, stat.st_size)
 
-    def _resync_from_snapshot(self) -> None:
+    def _resync_from_snapshot(self, force: bool = False) -> None:  # requires: _lock
         signature = self._snapshot_stat()
         if signature is None:
             raise ShardError(
@@ -174,28 +249,85 @@ class ReadReplica:
         loaded = Database.load(self.snapshot_path)
         loaded.name = self.replica_id
         # A checkpoint can land while the replica is already current;
-        # only swap engines when the snapshot is genuinely ahead.
-        if loaded.committed_cn > self.applied_cn:
+        # only swap engines when the snapshot is genuinely ahead —
+        # unless the caller *forces* the swap (quarantine healing must
+        # discard diverged state even at an equal commit number).
+        if force or loaded.committed_cn > self.applied_cn:
+            retired = self.database
             self.database = loaded
             self.resyncs += 1
+            retired.close()
         self._snapshot_signature = signature
 
-    def poll(self) -> int:
+    def resync(self, force: bool = False) -> None:  # blocking: loads the primary's snapshot from disk
+        """Reload from the primary's snapshot (``force`` discards the
+        local engine even when commit numbers say it is current)."""
+        with self._lock:
+            self._resync_from_snapshot(force=force)
+
+    def poll(self) -> int:  # blocking: tails the primary's on-disk WAL
         """Ship newly committed primary transactions; returns count."""
+        with self._lock:
+            return self._poll_locked()
+
+    def _poll_locked(self) -> int:  # requires: _lock
         self.polls += 1
+        if self._faults is not None:
+            self._faults.fire(f"replica.partition.{self.replica_id}")
         transactions, _, _, _ = committed_prefix(self.wal_path)
         fresh = [(number, ops) for number, ops in transactions
                  if number > self.applied_cn]
         gap = fresh and fresh[0][0] != self.applied_cn + 1
-        behind_snapshot = (not fresh
-                           and self._snapshot_stat() is not None
-                           and self._snapshot_stat()
-                           != self._snapshot_signature)
+        behind_snapshot = False
+        if not fresh:
+            # Stat once: two stats here is a TOCTOU — a checkpoint
+            # landing between them makes the comparison incoherent.
+            signature = self._snapshot_stat()
+            behind_snapshot = (signature is not None
+                               and signature != self._snapshot_signature)
         if gap or behind_snapshot:
             self._resync_from_snapshot()
             fresh = [(number, ops) for number, ops in transactions
                      if number > self.applied_cn]
-        return self.database.apply_committed(fresh)
+        applied = self.database.apply_committed(fresh)
+        if self._faults is not None:
+            try:
+                self._faults.fire(
+                    f"replica.divergence.{self.replica_id}")
+            except InjectedFault:
+                self._corrupt_silently()
+        return applied
+
+    def _corrupt_silently(self) -> None:  # requires: _lock
+        """Flip one applied row in place without touching any commit
+        number — the silent-divergence shape only a content checksum
+        (the anti-entropy audit) can detect."""
+        for name in sorted(self.database.table_names()):
+            storage = self.database.storage(name)
+            for rowid in sorted(storage.rows):
+                row = storage.rows[rowid]
+                if row:
+                    row[-1] = "\x00bitrot"
+                    return
+
+    def quarantine(self, reason: str, at: float) -> None:
+        """Pull the replica out of routing until it is healed."""
+        with self._lock:
+            if self.quarantined is None:
+                self.quarantined = {"reason": reason, "since": at}
+
+    def release_quarantine(self) -> None:
+        with self._lock:
+            self.quarantined = None
+
+    def close(self) -> None:
+        """Release the follower engine (idempotent)."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            database = self.database
+        database.close()
 
 
 class Shard:
@@ -206,6 +338,15 @@ class Shard:
     shard over an existing directory IS crash recovery.  Every replica
     tails the primary's log file directly — there is no second copy of
     the log to diverge from the one the primary fsyncs.
+
+    ``generation`` is the shard's *epoch*: it advances exactly once
+    per promotion, never backwards.  Routing resolves handles at an
+    epoch; :meth:`check_epoch` is the fence every dispatch runs
+    through.  ``_lock`` (reentrant) guards the mutable identity of the
+    shard — who is primary, which replicas exist, what epoch we are
+    in — and is never held across disk I/O: polls, log truncation and
+    WAL reopening all happen between lock sections, with the
+    ``_promoting`` flag fencing routing for the duration.
     """
 
     def __init__(self, shard_id: str, directory: Union[str, Path],
@@ -219,16 +360,23 @@ class Shard:
         self.fsync = fsync
         self._clock = clock or MonotonicClock()
         self._faults = faults
-        self.generation = 0
+        self._lock = threading.RLock()
+        self.generation = 0  # guarded-by: _lock
         self.primary = Database.recover(
-            self.directory, shard_id, fsync=fsync, faults=faults)
-        self.breaker = self._new_breaker()
-        self.fenced_breaker: Optional[CircuitBreaker] = None
+            self.directory, shard_id, fsync=fsync,
+            faults=faults)  # guarded-by: _lock
+        self.breaker = self._new_breaker()  # guarded-by: _lock
+        self.fenced_breaker: Optional[CircuitBreaker] \
+            = None  # guarded-by: _lock
         self.replicas: List[ReadReplica] = [
             ReadReplica(shard_id, f"{shard_id}-replica-{index}",
-                        self.wal_path, self.snapshot_path)
+                        self.wal_path, self.snapshot_path,
+                        faults=faults)
             for index in range(replicas)
-        ]
+        ]  # guarded-by: _lock
+        self._retired: List[Database] = []  # guarded-by: _lock
+        self._promoting = False  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     def __repr__(self) -> str:
         return (f"<Shard {self.shard_id!r} gen={self.generation} "
@@ -247,30 +395,129 @@ class Shard:
     def snapshot_path(self) -> Path:
         return self.directory / f"{self.shard_id}.snapshot"
 
-    def poll_replicas(self) -> Dict[str, int]:
-        """Ship pending commits to every replica; returns lag map."""
-        for replica in self.replicas:
-            replica.poll()
+    # -- epoch fencing ------------------------------------------------------------
+
+    def check_epoch(self, generation: int) -> None:
+        """The dispatch-time fence: raise when ``generation`` is no
+        longer the shard's current epoch (or a promotion is mid-
+        flight, in which case *no* epoch is safe to execute under)."""
+        with self._lock:
+            current = self.generation
+            promoting = self._promoting
+        if promoting:
+            raise StaleEpochError(self.shard_id, generation, current,
+                                  "a promotion is in flight")
+        if generation != current:
+            raise StaleEpochError(self.shard_id, generation, current,
+                                  "the primary changed")
+
+    def write_handle(self) -> RouteHandle:
+        """The epoch-pinned write target (always the primary)."""
+        with self._lock:
+            if self._promoting:
+                raise StaleEpochError(
+                    self.shard_id, self.generation, self.generation,
+                    "a promotion is in flight")
+            return RouteHandle(self.shard_id, self.generation,
+                               self.primary)
+
+    def read_handle(self, staleness_budget: int) -> RouteHandle:
+        """The epoch-pinned read target: freshest healthy replica
+        within budget, else the primary (never a wrong-er answer,
+        just no offload)."""
+        with self._lock:
+            if self._promoting:
+                raise StaleEpochError(
+                    self.shard_id, self.generation, self.generation,
+                    "a promotion is in flight")
+            generation = self.generation
+            primary = self.primary
+            replicas = list(self.replicas)
+        primary_cn = primary.committed_cn
+        best: Optional[Tuple[int, ReadReplica]] = None
+        for replica in replicas:
+            if replica.quarantined is not None:
+                continue
+            lag = max(0, primary_cn - replica.applied_cn)
+            if lag <= staleness_budget and \
+                    (best is None or lag < best[0]):
+                best = (lag, replica)
+        if best is not None:
+            return RouteHandle(self.shard_id, generation,
+                               best[1].database, best[1].replica_id,
+                               best[0])
+        return RouteHandle(self.shard_id, generation, primary)
+
+    # -- liveness and replication -------------------------------------------------
+
+    def probe(self) -> Dict[str, Any]:
+        """A cheap liveness probe of the primary (no write, no disk).
+
+        Raises :class:`~repro.errors.ShardError` when the primary
+        cannot accept commits — fenced (attached-but-closed log),
+        detached, or mid-promotion.  The supervisor counts a raise or
+        a deadline miss as one detector miss.
+        """
+        with self._lock:
+            primary = self.primary
+            promoting = self._promoting
+            generation = self.generation
+        if promoting:
+            raise ShardError(
+                f"shard {self.shard_id!r} is mid-promotion")
+        wal = primary.wal
+        if wal is None or wal.closed:
+            raise ShardError(
+                f"shard {self.shard_id!r} primary {primary.name!r} "
+                f"has no live write-ahead log")
+        return {"generation": generation,
+                "committed_cn": primary.committed_cn}
+
+    def poll_replicas(self) -> Dict[str, int]:  # blocking: ships WAL frames to replicas (disk reads)
+        """Ship pending commits to every replica; returns lag map.
+
+        Partitioned replicas (injected faults) are skipped, not
+        escalated — an unreachable follower just stays behind."""
+        with self._lock:
+            replicas = list(self.replicas)
+        for replica in replicas:
+            self._safe_poll(replica)
         return self.replica_lag()
+
+    @staticmethod
+    def _safe_poll(replica: ReadReplica) -> bool:
+        try:
+            replica.poll()
+            return True
+        except InjectedFault:
+            return False
 
     def replica_lag(self) -> Dict[str, int]:
         """Commit numbers each replica trails the primary by."""
-        primary_cn = self.primary.committed_cn
+        with self._lock:
+            primary_cn = self.primary.committed_cn
+            replicas = list(self.replicas)
         return {replica.replica_id:
                 max(0, primary_cn - replica.applied_cn)
-                for replica in self.replicas}
+                for replica in replicas}
 
     def best_replica(self, staleness_budget: int) \
             -> Optional[ReadReplica]:
-        """The freshest replica within budget, or None."""
-        primary_cn = self.primary.committed_cn
+        """The freshest healthy replica within budget, or None."""
+        with self._lock:
+            primary_cn = self.primary.committed_cn
+            replicas = list(self.replicas)
         best: Optional[Tuple[int, ReadReplica]] = None
-        for replica in self.replicas:
+        for replica in replicas:
+            if replica.quarantined is not None:
+                continue
             lag = max(0, primary_cn - replica.applied_cn)
             if lag <= staleness_budget and \
                     (best is None or lag < best[0]):
                 best = (lag, replica)
         return None if best is None else best[1]
+
+    # -- failover -----------------------------------------------------------------
 
     def failover(self) -> str:
         """Fence the primary and promote the most caught-up replica.
@@ -279,73 +526,139 @@ class Shard:
 
         1. *Fence*: close the old primary's log.  A straggler writer
            still holding the old primary gets a typed ``WalError``
-           instead of a commit the promoted side would never see.
+           instead of a commit the promoted side would never see —
+           and a straggler holding a routed handle gets the friendlier
+           :class:`~repro.errors.StaleEpochError` from the dispatch
+           fence, because ``_promoting`` is up for the whole window
+           and the generation moves at the end of it.
         2. *Trip*: the shard's breaker opens (threshold 1), so the
            resilience layer reports the old primary as down.
-        3. *Catch up*: every replica polls the fenced log one last
-           time — the committed prefix is complete and final now.
+        3. *Catch up*: every healthy replica polls the fenced log one
+           last time — the committed prefix is complete and final now.
         4. *Promote*: the replica with the highest applied commit
            number takes over.  The log is truncated to its committed
            prefix (dropping dangling ops and any torn tail, exactly
            as crash recovery would) and reopened as the promoted
            engine's live WAL, numbering onward from the commit number
-           the replica actually holds.
+           the replica actually holds.  The generation advances and a
+           fresh breaker represents the new primary; the fenced
+           engine is retired (released at :meth:`close`).
 
         Returns the promoted replica's id.
         """
-        if not self.replicas:
-            raise ShardError(
-                f"shard {self.shard_id!r} has no replica to promote")
-        # Close the log but leave it *attached*: detaching (what
-        # Database.close does) would let a straggler commit succeed
-        # silently in memory — attached-but-closed makes it raise.
-        if self.primary.wal is not None:
-            self.primary.wal.close()
-        self.breaker.record_failure()
-        self.fenced_breaker = self.breaker
-        for replica in self.replicas:
-            replica.poll()
-        promoted = max(self.replicas,
-                       key=lambda replica: replica.applied_cn)
-        self.replicas.remove(promoted)
-        _, committed_length, _, _ = committed_prefix(self.wal_path)
-        if self.wal_path.exists() and \
-                self.wal_path.stat().st_size > committed_length:
-            with open(self.wal_path, "r+b") as handle:
-                handle.truncate(committed_length)
-        wal = WriteAheadLog(self.wal_path, fsync=self.fsync,
-                            faults=self._faults)
-        wal.last_number = max(wal.last_number,
-                              promoted.database.committed_cn)
-        promoted.database.attach_wal(wal, self.snapshot_path)
-        self.primary = promoted.database
-        self.generation += 1
-        self.breaker = self._new_breaker()
-        return promoted.replica_id
+        with self._lock:
+            if self._promoting:
+                raise ShardError(
+                    f"shard {self.shard_id!r} already has a "
+                    f"promotion in flight")
+            if not self.replicas:
+                raise ShardError(
+                    f"shard {self.shard_id!r} has no replica to "
+                    f"promote")
+            candidates = [replica for replica in self.replicas
+                          if replica.quarantined is None]
+            if not candidates:
+                raise ShardError(
+                    f"shard {self.shard_id!r} has no healthy replica "
+                    f"to promote (all quarantined)")
+            self._promoting = True
+            old_primary = self.primary
+        try:
+            # Close the log but leave it *attached*: detaching (what
+            # Database.close does) would let a straggler commit
+            # succeed silently in memory — attached-but-closed makes
+            # it raise.
+            if old_primary.wal is not None:
+                old_primary.wal.close()
+            self.breaker.record_failure()
+            for replica in candidates:
+                self._safe_poll(replica)
+            promoted = max(candidates,
+                           key=lambda replica: replica.applied_cn)
+            _, committed_length, _, _ = committed_prefix(self.wal_path)
+            if self.wal_path.exists() and \
+                    self.wal_path.stat().st_size > committed_length:
+                with open(self.wal_path, "r+b") as handle:
+                    handle.truncate(committed_length)
+            wal = WriteAheadLog(self.wal_path, fsync=self.fsync,
+                                faults=self._faults)
+            wal.last_number = max(wal.last_number,
+                                  promoted.database.committed_cn)
+            promoted.database.attach_wal(wal, self.snapshot_path)
+            with self._lock:
+                self.fenced_breaker = self.breaker
+                self.replicas.remove(promoted)
+                self._retired.append(old_primary)
+                self.primary = promoted.database
+                self.generation += 1
+                self.breaker = self._new_breaker()
+            return promoted.replica_id
+        finally:
+            with self._lock:
+                self._promoting = False
+
+    # -- observability and shutdown -----------------------------------------------
 
     def health(self) -> Dict[str, Any]:
+        with self._lock:
+            primary = self.primary
+            generation = self.generation
+            breaker = self.breaker.state
+            fenced = (None if self.fenced_breaker is None
+                      else self.fenced_breaker.state)
+            replicas = list(self.replicas)
+            promoting = self._promoting
         return {
-            "primary": self.primary.name,
-            "generation": self.generation,
-            "breaker": self.breaker.state,
-            "fenced_breaker": (None if self.fenced_breaker is None
-                               else self.fenced_breaker.state),
-            "committed_cn": self.primary.committed_cn,
-            "replica_lag": self.replica_lag(),
+            "primary": primary.name,
+            "generation": generation,
+            "promoting": promoting,
+            "breaker": breaker,
+            "fenced_breaker": fenced,
+            "committed_cn": primary.committed_cn,
+            "replica_lag": {replica.replica_id:
+                            max(0, primary.committed_cn
+                                - replica.applied_cn)
+                            for replica in replicas},
+            "quarantined_replicas": {
+                replica.replica_id: dict(replica.quarantined)
+                for replica in replicas
+                if replica.quarantined is not None},
         }
 
     def close(self) -> None:
-        self.primary.close()
+        """Release the primary, every replica engine and every fenced
+        ex-primary (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            primary = self.primary
+            replicas = list(self.replicas)
+            retired = list(self._retired)
+        for replica in replicas:
+            replica.close()
+        for database in retired:
+            database.close()
+        primary.close()
 
 
 class ShardMap:
     """Consistent-hash placement of tenants across engine shards.
 
-    All membership and routing state is guarded by one lock; shard
-    operations (polling, failover) run under it too, so a routed read
-    can never observe a shard halfway through a promotion.  The
-    databases themselves do their own locking — holding the map lock
-    while a routed statement *executes* is neither needed nor done.
+    The map's lock guards *membership only* (the ring and the shard
+    registry); per-shard state has per-shard locks, and replica disk
+    I/O always runs outside both — a routed read on one shard never
+    waits behind another shard's WAL scan.  A read routed mid-
+    promotion does not observe a half-promoted shard either: the
+    shard's ``_promoting`` fence turns it into a typed, retryable
+    :class:`~repro.errors.StaleEpochError`.
+
+    ``route_polling`` is the shipment policy for routed reads: True
+    (default) polls the shard's replicas on every ``route_read`` /
+    ``read_handle`` (synchronous-on-demand, always freshest); the
+    supervision layer's background pump sets it False and ships
+    frames once per supervision tick instead, taking the WAL scan off
+    the read path entirely.
     """
 
     def __init__(self, directory: Union[str, Path],
@@ -364,6 +677,7 @@ class ShardMap:
         self.replicas_per_shard = replicas
         self.fsync = fsync
         self.staleness_budget = staleness_budget
+        self.route_polling = True
         self._clock = clock or MonotonicClock()
         self._faults = faults
         self._ring = HashRing(vnodes)  # guarded-by: _lock
@@ -401,8 +715,9 @@ class ShardMap:
             if shard is None:
                 raise ShardError(f"unknown shard {shard_id!r}")
             self._ring.remove_node(shard_id)
-            shard.close()
-            return sorted(self._shards)
+            survivors = sorted(self._shards)
+        shard.close()  # engine shutdown fsyncs — not under the map lock
+        return survivors
 
     def shard_ids(self) -> List[str]:
         with self._lock:
@@ -435,40 +750,73 @@ class ShardMap:
         """The write target for a tenant (its shard's primary)."""
         return self.shard_for(tenant_id).primary
 
-    def route_read(self, tenant_id: str,
-                   max_staleness: Optional[int] = None) \
-            -> Tuple[Database, Dict[str, Any]]:
-        """Pick the engine a read-only statement should run on.
+    def write_handle(self, tenant_id: str) -> RouteHandle:
+        """Resolve the epoch-pinned write target for a tenant."""
+        return self.shard_for(tenant_id).write_handle()
 
-        Ships pending commits to the tenant's shard replicas first,
-        then serves from the freshest replica whose lag fits the
-        budget; when none qualifies the primary serves (never a
-        wrong-er answer, just no offload).  Returns the database and
-        a routing record: shard id, who served, and the lag in commit
-        numbers the caller accepted.
+    def read_handle(self, tenant_id: str,
+                    max_staleness: Optional[int] = None,
+                    poll: Optional[bool] = None) -> RouteHandle:
+        """Resolve the epoch-pinned read target for a tenant.
+
+        ``poll`` overrides :attr:`route_polling` for this call; the
+        shipment (WAL disk I/O) runs outside every lock.
         """
         budget = (self.staleness_budget if max_staleness is None
                   else max_staleness)
         if budget < 0:
             raise ShardError("max_staleness must be >= 0")
-        with self._lock:
-            shard_id = self._ring.node_for(tenant_id)
-            shard = self._shards[shard_id]
+        shard = self.shard_for(tenant_id)
+        should_poll = self.route_polling if poll is None else poll
+        if should_poll:
             shard.poll_replicas()
-            replica = shard.best_replica(budget)
-            if replica is not None:
-                lag = max(0, shard.primary.committed_cn
-                          - replica.applied_cn)
-                return replica.database, {
-                    "shard": shard_id,
-                    "served_by": replica.replica_id,
-                    "replica_lag": lag,
-                }
-            return shard.primary, {
-                "shard": shard_id,
-                "served_by": "primary",
-                "replica_lag": 0,
-            }
+        return shard.read_handle(budget)
+
+    def route_read(self, tenant_id: str,
+                   max_staleness: Optional[int] = None,
+                   poll: Optional[bool] = None) \
+            -> Tuple[Database, Dict[str, Any]]:
+        """Pick the engine a read-only statement should run on.
+
+        Ships pending commits to the tenant's shard replicas first
+        (unless background pumping is on), then serves from the
+        freshest healthy replica whose lag fits the budget; when none
+        qualifies the primary serves.  Returns the database and a
+        routing record: shard id, generation, who served, and the lag
+        in commit numbers the caller accepted.
+        """
+        handle = self.read_handle(tenant_id, max_staleness, poll=poll)
+        return handle.database, handle.route
+
+    # -- epoch-fenced dispatch ----------------------------------------------------
+
+    def dispatch_read(self, handle: RouteHandle, sql: str,
+                      params: Tuple[Any, ...] = ()) -> Any:
+        """Run a read on a resolved handle, re-checking its epoch."""
+        shard = self.shard(handle.shard)
+        shard.check_epoch(handle.generation)
+        return handle.database.query(sql, params)
+
+    def dispatch_write(self, handle: RouteHandle, sql: str,
+                       params: Tuple[Any, ...] = ()) -> Any:
+        """Run a write on a resolved handle, re-checking its epoch.
+
+        A write that loses the race anyway — the fence closed the log
+        between the epoch check and the commit — comes back as the
+        same typed :class:`~repro.errors.StaleEpochError`, not a
+        log-level ``WalError``: the epoch is re-checked on failure so
+        the straggler learns *why* its commit could not land.
+        """
+        shard = self.shard(handle.shard)
+        shard.check_epoch(handle.generation)
+        try:
+            return handle.database.execute(sql, params)
+        except WalError as exc:
+            try:
+                shard.check_epoch(handle.generation)
+            except StaleEpochError as stale:
+                raise stale from exc
+            raise
 
     # -- failover and observability ---------------------------------------------
 
@@ -479,26 +827,17 @@ class ShardMap:
         whatever held the old primary (the platform re-points tenant
         contexts).
         """
-        with self._lock:
-            shard = self._shards.get(shard_id)
-            if shard is None:
-                raise ShardError(f"unknown shard {shard_id!r}")
-            return shard.failover()
+        return self.shard(shard_id).failover()
 
     def poll(self) -> Dict[str, Dict[str, int]]:
         """Ship pending commits everywhere; lag map per shard."""
-        with self._lock:
-            return {shard_id: shard.poll_replicas()
-                    for shard_id, shard
-                    in sorted(self._shards.items())}
+        return {shard.shard_id: shard.poll_replicas()
+                for shard in self.all_shards()}
 
     def health(self) -> Dict[str, Dict[str, Any]]:
-        with self._lock:
-            return {shard_id: shard.health()
-                    for shard_id, shard
-                    in sorted(self._shards.items())}
+        return {shard.shard_id: shard.health()
+                for shard in self.all_shards()}
 
     def close(self) -> None:
-        with self._lock:
-            for shard in self._shards.values():
-                shard.close()
+        for shard in self.all_shards():
+            shard.close()

@@ -210,6 +210,15 @@ class _AppendLog:
         """Bytes of trusted log written so far (crash survivors)."""
         return self._offset
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (appends now raise WalError).
+
+        A *fenced* shard primary is exactly an attached-but-closed
+        log, so liveness probes read this instead of poking a write.
+        """
+        return self._handle is None
+
     def _write(self, chunk: bytes) -> None:
         """Append raw bytes, honouring any registered crash point."""
         if self._handle is None:

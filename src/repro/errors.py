@@ -321,3 +321,41 @@ class GatewayShutdownError(PlatformError):
 class ShardError(PlatformError):
     """Shard-map misuse: empty ring, unknown or duplicate shard, a
     replica with a replication gap and no snapshot to resync from."""
+
+
+class StaleEpochError(ShardError):
+    """A routed statement carried a shard generation that is no longer
+    current — the dispatch raced a promotion.  Retryable by contract:
+    re-resolve the route (the new primary answers) and re-dispatch;
+    the gateway maps it to a 503 with ``"retryable": true``.
+
+    ``carried_generation`` is the epoch the handle was resolved at;
+    ``current_generation`` is where the shard actually is.
+    """
+
+    def __init__(self, shard: str, carried_generation: int,
+                 current_generation: int, why: str):
+        super().__init__(
+            f"shard {shard!r} epoch is stale: the dispatch carried "
+            f"generation {carried_generation} but the shard is at "
+            f"{current_generation} ({why}); re-route and retry")
+        self.shard = shard
+        self.carried_generation = carried_generation
+        self.current_generation = current_generation
+
+
+class SupervisionError(PlatformError):
+    """The shard supervisor refused an operation — most importantly a
+    failover attempt rejected by flap damping (too soon after the last
+    promotion, or the per-window budget is exhausted).  ``retry_after``
+    is how long (on the supervisor's clock) until the damping window
+    admits another attempt.
+    """
+
+    def __init__(self, message: str, shard: "str | None" = None,
+                 reason: "str | None" = None,
+                 retry_after: float = 0.0):
+        super().__init__(message)
+        self.shard = shard
+        self.reason = reason
+        self.retry_after = retry_after

@@ -17,6 +17,7 @@ from repro.errors import (
     AuthenticationError,
     HttpError,
     ReproError,
+    StaleEpochError,
     WebError,
 )
 from repro.web.http import JsonResponse, Request, Response
@@ -115,6 +116,16 @@ class WebApplication:
             response = JsonResponse({"error": str(exc)}, status=401)
         except AccessDeniedError as exc:
             response = JsonResponse({"error": str(exc)}, status=403)
+        except StaleEpochError as exc:
+            # A routed statement lost the race with a shard
+            # promotion: retryable by contract (503, not a 400) —
+            # the client re-sends and the promoted primary answers.
+            response = JsonResponse(
+                {"error": str(exc), "code": "stale_epoch",
+                 "retryable": True, "shard": exc.shard,
+                 "carried_generation": exc.carried_generation,
+                 "current_generation": exc.current_generation},
+                status=503)
         except ReproError as exc:
             response = JsonResponse({"error": str(exc)}, status=400)
         self.access_log.append(

@@ -261,6 +261,87 @@ class TestBlockingUnderLock:
             """)
         assert codes(collector) == ["ODB503"]
 
+    def test_blocking_annotated_method_under_lock_is_odb503(
+            self, tmp_path):
+        # The exact pre-fix ShardMap shape: route_read held the global
+        # map lock across shard.poll_replicas() — WAL disk I/O for one
+        # shard stalling routing for all of them.  The ``# blocking:``
+        # annotation makes that regression a lint failure.
+        collector = run_on(tmp_path, """\
+            import threading
+
+            class Replica:
+                def poll(self):  # blocking: tails the primary's on-disk WAL
+                    return 0
+
+            class ShardMapish:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.replica = Replica()
+
+                def route_read(self):
+                    with self._lock:
+                        return self.replica.poll()
+            """)
+        assert codes(collector) == ["ODB503"]
+        (diagnostic,) = collector.diagnostics
+        assert "self.replica.poll" in diagnostic.message
+        assert "tails the primary's on-disk WAL" in diagnostic.message
+
+    def test_blocking_annotated_call_outside_lock_is_clean(
+            self, tmp_path):
+        # The post-fix shape: snapshot under the lock, poll outside.
+        collector = run_on(tmp_path, """\
+            import threading
+
+            class Replica:
+                def poll(self):  # blocking: tails the primary's on-disk WAL
+                    return 0
+
+            class ShardMapish:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.replicas = [Replica()]
+
+                def route_read(self):
+                    with self._lock:
+                        replicas = list(self.replicas)
+                    for replica in replicas:
+                        replica.poll()
+                    return len(replicas)
+            """)
+        assert codes(collector) == []
+
+    def test_blocking_annotation_spans_files(self, tmp_path):
+        # The annotation registry is analyzer-wide: a method declared
+        # blocking in one module flags a locked call in another.
+        from repro.analysis.concurrency import ConcurrencyAnalyzer
+
+        provider = tmp_path / "replica.py"
+        provider.write_text(textwrap.dedent("""\
+            class Replica:
+                def poll(self):  # blocking: disk I/O
+                    return 0
+            """))
+        consumer = tmp_path / "router.py"
+        consumer.write_text(textwrap.dedent("""\
+            import threading
+
+            class Router:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.replica = None
+
+                def route(self):
+                    with self._lock:
+                        return self.replica.poll()
+            """))
+        analyzer = ConcurrencyAnalyzer()
+        analyzer.add_file(provider, "replica.py")
+        analyzer.add_file(consumer, "router.py")
+        collector = analyzer.run()
+        assert codes(collector) == ["ODB503"]
+
 
 class TestReacquisitionAndAnnotations:
     def test_nested_nonreentrant_lock_is_odb504(self, tmp_path):
