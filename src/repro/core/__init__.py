@@ -38,6 +38,16 @@ from repro.core.resilience import (
 )
 from repro.core.mddws import MddwsService
 from repro.core.metadata_service import MetadataService
+from repro.core.overload import (
+    AIMDLimiter,
+    AdmissionQueue,
+    BrownoutController,
+    LatencyTracker,
+    OverloadController,
+    RetryBudget,
+    classify_request,
+    hedged_call,
+)
 from repro.core.platform import OdbisPlatform, TechnicalResourcesLayer
 from repro.core.provisioning import ARTIFACT_KINDS, ProvisioningService
 from repro.core.reporting_service import ReportingService
@@ -54,10 +64,13 @@ from repro.core.supervision import Incident, ShardSupervisor
 from repro.core.tenancy import TenancyMode, TenantContext, TenantManager
 
 __all__ = [
+    "AIMDLimiter",
     "ARTIFACT_KINDS",
     "AdminService",
+    "AdmissionQueue",
     "AnalysisService",
     "BillingService",
+    "BrownoutController",
     "Bulkhead",
     "Channel",
     "CircuitBreaker",
@@ -72,15 +85,18 @@ __all__ = [
     "Incident",
     "InformationDeliveryService",
     "IntegrationService",
+    "LatencyTracker",
     "MddwsService",
     "MetadataService",
     "MonotonicClock",
     "OdbisPlatform",
+    "OverloadController",
     "Plan",
     "ProvisioningService",
     "ReadReplica",
     "ReportingService",
     "RequestGateway",
+    "RetryBudget",
     "RetryPolicy",
     "RouteHandle",
     "Shard",
@@ -91,5 +107,7 @@ __all__ = [
     "TenantContext",
     "TenantHealth",
     "TenantManager",
+    "classify_request",
     "content_checksum",
+    "hedged_call",
 ]

@@ -33,10 +33,15 @@ overlap in both modes.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro.core.overload import (
+    OverloadController,
+    QueuedRequest,
+    read_only_statement,
+)
 from repro.core.resilience import (
     Bulkhead,
     CircuitBreaker,
@@ -47,12 +52,6 @@ from repro.core.resilience import (
     TenantHealth,
 )
 from repro.core.tenancy import TenantManager
-from repro.engine.parser import (
-    CompoundSelect,
-    ExplainStatement,
-    SelectStatement,
-    parse_sql,
-)
 from repro.errors import GatewayShutdownError, TenantError
 from repro.web import JsonResponse, Response, WebApplication
 
@@ -67,6 +66,16 @@ DEFAULT_BREAKER_COOLDOWN = 30.0
 
 #: Entries kept in the stale-response cache before LRU eviction.
 DEFAULT_STALE_CACHE_CAPACITY = 1024
+
+#: Entries kept in the dispatch-log ring buffer.  The log is an
+#: observable, not an audit trail: the ring keeps recent decisions for
+#: tests and debugging while ``decision_counts`` stays exact forever.
+DEFAULT_DISPATCH_LOG_CAPACITY = 10_000
+
+#: Retry-After floor (seconds) when neither the breaker cooldown nor
+#: the queue drain estimate suggests a better number — "come back
+#: shortly", never "come back in 0s".
+DEFAULT_RETRY_AFTER = 1.0
 
 
 class DegradedResponse(JsonResponse):
@@ -84,7 +93,8 @@ class DegradedResponse(JsonResponse):
     def __init__(self, reason: str, payload: Any = None,
                  stale: bool = False,
                  stale_as_of: Optional[float] = None,
-                 status: Optional[int] = None):
+                 status: Optional[int] = None,
+                 retry_after: Optional[float] = None):
         self.reason = reason
         self.stale = stale
         self.stale_as_of = stale_as_of
@@ -92,9 +102,15 @@ class DegradedResponse(JsonResponse):
         if stale:
             body["stale_as_of"] = stale_as_of
             body["data"] = payload
+        headers = None
+        if retry_after is not None:
+            retry_after = max(0.0, retry_after)
+            self.retry_after = retry_after
+            body["retry_after"] = round(retry_after, 3)
+            headers = {"retry-after": f"{retry_after:.3f}"}
         super().__init__(
             body, status=status if status is not None
-            else (200 if stale else 503))
+            else (200 if stale else 503), headers=headers)
 
 
 class RequestGateway:
@@ -104,11 +120,18 @@ class RequestGateway:
     to the :class:`~repro.web.Response`; ``dispatch_all`` fans a batch
     out and gathers responses in request order.  The ``dispatch_log``
     records one ``(path, decision)`` pair per submission — the
-    observable that admission control happened at dispatch time; the
-    decisions are ``accepted`` (plus the ``accepted-read`` /
-    ``accepted-write`` refinements when the body carries SQL),
-    ``rejected`` (admission), ``shed`` (bulkhead full) and
-    ``degraded`` (breaker open).
+    observable that admission control happened at dispatch time; it is
+    a bounded ring (``dispatch_log_capacity``) whose exact per-decision
+    tally survives in ``decision_counts``.  The decisions are
+    ``accepted`` (plus the ``accepted-read`` / ``accepted-write``
+    refinements when the body carries SQL), ``rejected`` (admission),
+    ``shed`` (bulkhead full) and ``degraded`` (breaker open); with an
+    :class:`~repro.core.overload.OverloadController` attached the
+    overload path adds ``queued`` (parked behind the AIMD limit),
+    ``queue-shed`` / ``queue-displaced`` (priority queue full),
+    ``expired`` (deadline aged out while parked — answered 504 without
+    ever touching a worker) and ``brownout-shed`` /
+    ``brownout-degraded`` (the degradation ladder).
 
     Read/write classification matters under MVCC: a read-only
     statement — including ``EXPLAIN <anything>``, which only *plans*
@@ -126,7 +149,10 @@ class RequestGateway:
                  breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
                  breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
                  stale_cache_capacity: int =
-                 DEFAULT_STALE_CACHE_CAPACITY):
+                 DEFAULT_STALE_CACHE_CAPACITY,
+                 dispatch_log_capacity: int =
+                 DEFAULT_DISPATCH_LOG_CAPACITY,
+                 overload: Optional[OverloadController] = None):
         self.web = web
         self.tenants = tenants
         self.max_workers = max_workers
@@ -136,11 +162,20 @@ class RequestGateway:
         self.bulkhead_capacity = bulkhead_capacity or max_workers
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown = breaker_cooldown
-        # The dispatch log is appended by every submitting thread;
-        # list.append is atomic under the GIL but the discipline is
-        # declared (and checked) anyway so a richer log entry cannot
-        # silently introduce a torn write.
-        self.dispatch_log: List[Tuple[str, str]] = []  # guarded-by: _log_lock
+        #: The overload-control kernel (None = legacy static
+        #: admission): AIMD limiter as the true concurrency bound, the
+        #: QoS priority queue behind it, the brownout ladder above it.
+        self.overload = overload
+        # The dispatch log is a bounded ring: a long-running gateway
+        # must not grow a Python list forever.  The tuple shape stays
+        # (path, decision); decision_counts keeps the exact tally even
+        # after the ring has wrapped.
+        if dispatch_log_capacity < 1:
+            raise ValueError("dispatch_log_capacity must be >= 1")
+        self.dispatch_log_capacity = dispatch_log_capacity
+        self.dispatch_log: Deque[Tuple[str, str]] = deque(
+            maxlen=dispatch_log_capacity)  # guarded-by: _log_lock
+        self.decision_counts: Dict[str, int] = {}  # guarded-by: _log_lock
         self._log_lock = threading.Lock()
         self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _pool_lock
         self._pool_lock = threading.Lock()
@@ -183,6 +218,9 @@ class RequestGateway:
         """
         with self._drain:
             self._draining = True
+        # Parked queue entries hold in-flight counts but no worker;
+        # answer them now (typed 503) or the drain below never ends.
+        self._flush_queue()
         if wait:
             with self._drain:
                 while self._inflight > 0:
@@ -290,32 +328,63 @@ class RequestGateway:
             self._inflight -= 1
             self._drain.notify_all()
 
-    def _resolved(self, path: str, decision: str,
-                  response: Response) -> "Future[Response]":
+    def _log(self, path: str, decision: str,
+             qos: Optional[str] = None) -> None:
         with self._log_lock:
             self.dispatch_log.append((path, decision))
+            self.decision_counts[decision] = \
+                self.decision_counts.get(decision, 0) + 1
+        if self.overload is not None and qos is not None:
+            self.overload.record(path, qos, decision)
+
+    def _resolved(self, path: str, decision: str,
+                  response: Response,
+                  qos: Optional[str] = None) -> "Future[Response]":
+        self._log(path, decision, qos)
         future: "Future[Response]" = Future()
         future.set_result(response)
         self._request_done()
         return future
 
+    # -- Retry-After --------------------------------------------------------------
+
+    def _retry_after(self, breaker: Optional[CircuitBreaker] = None) \
+            -> float:
+        """Seconds a shed caller should wait before trying again.
+
+        The larger of the breaker's remaining cooldown and the
+        admission queue's estimated drain time, floored at
+        ``DEFAULT_RETRY_AFTER`` so a shed response never advises an
+        instant (thundering-herd) retry.
+        """
+        value = 0.0
+        if breaker is not None:
+            value = max(value, breaker.retry_after())
+        if self.overload is not None:
+            value = max(value, self.overload.estimated_drain())
+        return value if value > 0 else DEFAULT_RETRY_AFTER
+
+    @staticmethod
+    def _shed_response(body: Dict[str, Any], status: int,
+                       retry_after: float) -> JsonResponse:
+        retry_after = max(0.0, retry_after)
+        body = dict(body)
+        body["retry_after"] = round(retry_after, 3)
+        return JsonResponse(
+            body, status=status,
+            headers={"retry-after": f"{retry_after:.3f}"})
+
     @staticmethod
     def read_only_statement(sql: str) -> bool:
         """True when ``sql`` dispatches as a lock-free snapshot read.
 
-        Mirrors the engine's shared/exclusive classification: the
-        decision is made on the *outermost* statement class, so
-        ``EXPLAIN UPDATE ...`` is read-only — EXPLAIN renders a plan,
-        it never executes the wrapped DML.  Unparseable SQL is
-        conservatively classified as a write (the engine will reject
-        it under the exclusive lock with a proper error).
+        Delegates to :func:`repro.core.overload.read_only_statement`
+        (the overload kernel needs the same classification for QoS and
+        must not import the gateway): the decision is made on the
+        *outermost* statement class, so ``EXPLAIN UPDATE ...`` is
+        read-only, and unparseable SQL is conservatively a write.
         """
-        try:
-            statement = parse_sql(sql)
-        except Exception:
-            return False
-        return isinstance(statement, (SelectStatement, CompoundSelect,
-                                      ExplainStatement))
+        return read_only_statement(sql)
 
     @staticmethod
     def _sql_of(body: Any) -> Optional[str]:
@@ -331,41 +400,113 @@ class RequestGateway:
                         headers: Optional[Dict[str, str]],
                         query: Optional[Dict[str, Any]]) \
             -> "Future[Response]":
+        sql = self._sql_of(body)
+        qos = None
+        if self.overload is not None:
+            qos = self.overload.classify(method, path, sql)
+            self.overload.observe()
+
         rejection = self._admit(path)
         if rejection is not None:
-            return self._resolved(path, "rejected", rejection)
+            return self._resolved(path, "rejected", rejection, qos)
 
         tenant_id = self.tenant_of(path)
         breaker = bulkhead = None
         if tenant_id is not None:
             breaker = self.breaker(tenant_id)
-            if not breaker.allow():
+
+        # The brownout ladder gates *before* per-tenant guards: a shed
+        # class is shed for every tenant alike — brownout is platform
+        # pressure, not tenant fault, so it must not trip breakers or
+        # occupy bulkhead slots.
+        if self.overload is not None and qos is not None:
+            brownout = self.overload.brownout
+            if brownout.sheds(qos):
                 return self._resolved(
-                    path, "degraded",
-                    self._degraded_response(tenant_id, method, path,
-                                            body, query, breaker))
+                    path, "brownout-shed",
+                    self._shed_response(
+                        {"error": f"{qos} traffic is shed under "
+                                  f"overload (brownout level "
+                                  f"{brownout.level})",
+                         "code": "brownout_shed"},
+                        status=503,
+                        retry_after=self._retry_after(breaker)), qos)
+            if brownout.degrades(qos):
+                return self._resolved(
+                    path, "brownout-degraded",
+                    self._brownout_degraded(tenant_id, method, path,
+                                            body, query, brownout,
+                                            breaker), qos)
+
+        if breaker is not None and not breaker.allow():
+            return self._resolved(
+                path, "degraded",
+                self._degraded_response(tenant_id, method, path,
+                                        body, query, breaker), qos)
+        if tenant_id is not None:
             bulkhead = self.bulkhead(tenant_id)
             if not bulkhead.try_acquire():
-                return self._resolved(path, "shed", JsonResponse(
+                return self._resolved(path, "shed", self._shed_response(
                     {"error": f"tenant {tenant_id!r} is over its "
                               f"concurrency cap of {bulkhead.capacity}",
-                     "code": "bulkhead_rejected"}, status=429))
+                     "code": "bulkhead_rejected"}, status=429,
+                    retry_after=self._retry_after(breaker)), qos)
 
-        sql = self._sql_of(body)
         if sql is None:
             decision = "accepted"
         elif self.read_only_statement(sql):
             decision = "accepted-read"
         else:
             decision = "accepted-write"
-        with self._log_lock:
-            self.dispatch_log.append((path, decision))
         deadline = None
         if self.deadline_seconds is not None:
             deadline = Deadline(self.deadline_seconds, clock=self.clock)
-        return self._ensure_pool().submit(
-            self._run_request, method, path, body, headers, query,
-            tenant_id, breaker, bulkhead, deadline)
+
+        if self.overload is None:
+            self._log(path, decision)
+            return self._ensure_pool().submit(
+                self._run_request, method, path, body, headers, query,
+                tenant_id, breaker, bulkhead, deadline, None, False)
+
+        # Overload path: the AIMD limit — not the worker pool — is the
+        # true admission bound.  A free slot dispatches immediately; a
+        # full limiter parks the request in the priority queue, where
+        # its deadline keeps ticking.
+        self._expire_queued()
+        if self.overload.limiter.try_acquire():
+            self._log(path, decision, qos)
+            return self._dispatch(
+                {"method": method, "path": path, "body": body,
+                 "headers": headers, "query": query,
+                 "tenant_id": tenant_id, "breaker": breaker,
+                 "bulkhead": bulkhead, "deadline": deadline,
+                 "qos": qos, "future": None})
+        work: Dict[str, Any] = {
+            "method": method, "path": path, "body": body,
+            "headers": headers, "query": query,
+            "tenant_id": tenant_id, "breaker": breaker,
+            "bulkhead": bulkhead, "deadline": deadline, "qos": qos,
+            "future": Future()}
+        entry, displaced = self.overload.queue.offer(
+            qos, deadline=deadline, payload=work)
+        if displaced is not None:
+            self._resolve_queued(
+                displaced, "queue-displaced",
+                self._shed_response(
+                    {"error": "displaced from the admission queue by "
+                              "higher-priority traffic",
+                     "code": "queue_displaced"}, status=503,
+                    retry_after=self._retry_after()))
+        if entry is None:
+            if bulkhead is not None:
+                bulkhead.release()
+            return self._resolved(path, "queue-shed", self._shed_response(
+                {"error": "admission queue is full",
+                 "code": "queue_full"}, status=503,
+                retry_after=self._retry_after(breaker)), qos)
+        self._log(path, "queued", qos)
+        self.overload.observe()
+        return work["future"]
 
     def _stale_cache_key(self, tenant_id: str, method: str, path: str,
                          body: Any, query: Optional[Dict[str, Any]]) \
@@ -410,12 +551,41 @@ class RequestGateway:
                     # A hit is a use: keep entries that still serve
                     # degraded traffic away from the eviction end.
                     self._stale_cache.move_to_end(key)
+        retry_after = self._retry_after(breaker)
         if cached is not None:
             payload, written_at = cached
             return DegradedResponse(reason, payload=payload,
                                     stale=True,
-                                    stale_as_of=written_at)
-        return DegradedResponse(reason)
+                                    stale_as_of=written_at,
+                                    retry_after=retry_after)
+        return DegradedResponse(reason, retry_after=retry_after)
+
+    def _brownout_degraded(self, tenant_id: Optional[str],
+                           method: str, path: str, body: Any,
+                           query: Optional[Dict[str, Any]],
+                           brownout: Any,
+                           breaker: Optional[CircuitBreaker]) \
+            -> DegradedResponse:
+        """The brownout ladder's stale answer for a degraded class."""
+        reason = (f"served stale under overload (brownout level "
+                  f"{brownout.level})")
+        cached = None
+        if tenant_id is not None:
+            key = self._stale_cache_key(tenant_id, method, path,
+                                        body, query)
+            if key is not None:
+                with self._stale_lock:
+                    cached = self._stale_cache.get(key)
+                    if cached is not None:
+                        self._stale_cache.move_to_end(key)
+        retry_after = self._retry_after(breaker)
+        if cached is not None:
+            payload, written_at = cached
+            return DegradedResponse(reason, payload=payload,
+                                    stale=True,
+                                    stale_as_of=written_at,
+                                    retry_after=retry_after)
+        return DegradedResponse(reason, retry_after=retry_after)
 
     def _stale_cache_put(self, key: Tuple[Any, ...],
                          payload: Any) -> None:
@@ -443,15 +613,22 @@ class RequestGateway:
                      tenant_id: Optional[str],
                      breaker: Optional[CircuitBreaker],
                      bulkhead: Optional[Bulkhead],
-                     deadline: Optional[Deadline]) -> Response:
+                     deadline: Optional[Deadline],
+                     qos: Optional[str] = None,
+                     limiter_held: bool = False) -> Response:
         """The worker-side wrapper: budget, faults, typed failures."""
+        started = self.clock.now()
+        ok = False
+        deadline_missed = False
         try:
             if deadline is not None and deadline.expired:
-                return JsonResponse(
+                deadline_missed = True
+                return self._shed_response(
                     {"error": f"request exceeded its "
                               f"{deadline.budget_seconds:.3f}s budget "
                               f"waiting for a worker",
-                     "code": "deadline_exceeded"}, status=504)
+                     "code": "deadline_exceeded"}, status=504,
+                    retry_after=self._retry_after(breaker))
             try:
                 self.faults.fire("gateway.handle")
                 response = self.web.request(method, path, body,
@@ -463,12 +640,14 @@ class RequestGateway:
                     {"error": str(exc),
                      "code": "internal_failure"}, status=500)
             if deadline is not None and deadline.expired:
+                deadline_missed = True
                 if breaker is not None:
                     breaker.record_failure()
-                return JsonResponse(
+                return self._shed_response(
                     {"error": f"request exceeded its "
                               f"{deadline.budget_seconds:.3f}s budget",
-                     "code": "deadline_exceeded"}, status=504)
+                     "code": "deadline_exceeded"}, status=504,
+                    retry_after=self._retry_after(breaker))
             if breaker is not None:
                 if response.status >= 500:
                     # A stale-epoch 503 is retryable routing back-
@@ -480,7 +659,13 @@ class RequestGateway:
                         breaker.record_failure()
                 else:
                     breaker.record_success()
-            if tenant_id is not None and response.ok:
+            # The same reasoning exempts stale-epoch 503s from the
+            # AIMD limiter: routing backpressure is not capacity.
+            ok = response.status < 500 \
+                or self._stale_epoch_response(response)
+            if tenant_id is not None and response.ok and \
+                    (self.overload is None
+                     or self.overload.brownout.allows_cache_fill()):
                 key = self._stale_cache_key(tenant_id, method, path,
                                             body, query)
                 if key is not None:
@@ -493,7 +678,146 @@ class RequestGateway:
         finally:
             if bulkhead is not None:
                 bulkhead.release()
+            if self.overload is not None and limiter_held:
+                self.overload.limiter.release()
+                self.overload.note_result(
+                    self.clock.now() - started, ok,
+                    deadline_missed=deadline_missed)
             self._request_done()
+            if self.overload is not None:
+                self.pump()
+
+    # -- the overload path: dispatch, queue pump, flush ----------------------------
+
+    def _dispatch(self, work: Dict[str, Any]) -> "Future[Response]":
+        """Hand one admitted work item (limiter slot held) to the pool.
+
+        When the item was queued, its caller already holds
+        ``work["future"]`` — the pool result is transferred onto it;
+        a direct dispatch returns the pool future itself.
+        """
+        assert self.overload is not None
+        try:
+            pool_future = self._ensure_pool().submit(
+                self._run_request, work["method"], work["path"],
+                work["body"], work["headers"], work["query"],
+                work["tenant_id"], work["breaker"], work["bulkhead"],
+                work["deadline"], work["qos"], True)
+        except RuntimeError:
+            # Lost the race with pool teardown: undo the admission and
+            # answer a typed shutdown shed instead of crashing.
+            self.overload.limiter.release()
+            bulkhead = work.get("bulkhead")
+            if bulkhead is not None:
+                bulkhead.release()
+            response = self._shed_response(
+                {"error": "gateway is shutting down",
+                 "code": "gateway_shutdown"}, status=503,
+                retry_after=DEFAULT_RETRY_AFTER)
+            self._log(work["path"], "queue-shed", work.get("qos"))
+            target = work["future"]
+            if target is None:
+                target = Future()
+            if not target.done():
+                target.set_result(response)
+            self._request_done()
+            return target
+        target = work["future"]
+        if target is None:
+            return pool_future
+
+        def _transfer(done: "Future[Response]") -> None:
+            if target.done():
+                return
+            error = done.exception()
+            if error is not None:
+                target.set_exception(error)
+            else:
+                target.set_result(done.result())
+
+        pool_future.add_done_callback(_transfer)
+        return target
+
+    def _resolve_queued(self, entry: QueuedRequest, decision: str,
+                        response: Response) -> None:
+        """Answer a parked request without it ever touching a worker."""
+        work = entry.payload
+        bulkhead = work.get("bulkhead")
+        if bulkhead is not None:
+            bulkhead.release()
+        self._log(work["path"], decision, work.get("qos"))
+        future = work.get("future")
+        if future is not None and not future.done():
+            future.set_result(response)
+        self._request_done()
+
+    def _expire_queued(self) -> int:
+        """Answer every queue entry whose deadline aged out with 504.
+
+        The 504 is produced here, on the control path — the handler is
+        never invoked for an expired entry, which is the whole point:
+        under overload, work that already missed its deadline must not
+        burn a worker.  Each expiry also feeds the AIMD limiter a
+        deadline-miss signal.
+        """
+        if self.overload is None:
+            return 0
+        expired = self.overload.queue.take_expired()
+        for entry in expired:
+            work = entry.payload
+            deadline = work.get("deadline")
+            budget = deadline.budget_seconds if deadline is not None \
+                else 0.0
+            self._resolve_queued(entry, "expired", self._shed_response(
+                {"error": f"request exceeded its {budget:.3f}s budget "
+                          f"waiting in the admission queue",
+                 "code": "deadline_exceeded"}, status=504,
+                retry_after=self._retry_after()))
+            self.overload.limiter.on_failure("deadline")
+        return len(expired)
+
+    def pump(self) -> int:
+        """Expire aged entries, then fill free limiter slots from the
+        queue (highest QoS class first).  Called automatically after
+        every completion; public so fake-clock tests can advance time
+        and then flush the consequences deterministically.  Returns
+        the number of entries dispatched.
+        """
+        if self.overload is None:
+            return 0
+        self._expire_queued()
+        dispatched = 0
+        while True:
+            with self._drain:
+                if self._draining:
+                    break
+            if not self.overload.limiter.try_acquire():
+                break
+            entry = self.overload.queue.poll()
+            if entry is None:
+                self.overload.limiter.release()
+                break
+            self._dispatch(entry.payload)
+            dispatched += 1
+        self._expire_queued()
+        self.overload.observe()
+        return dispatched
+
+    def _flush_queue(self) -> None:
+        """Shutdown path: answer everything still parked, typed 503."""
+        if self.overload is None:
+            return
+        self._expire_queued()
+        while True:
+            entry = self.overload.queue.poll()
+            if entry is None:
+                break
+            self._resolve_queued(
+                entry, "queue-shed", self._shed_response(
+                    {"error": "gateway is shutting down",
+                     "code": "gateway_shutdown"}, status=503,
+                    retry_after=DEFAULT_RETRY_AFTER))
+        self._expire_queued()
 
     def dispatch_all(self, requests: List[Dict[str, Any]]) \
             -> List[Response]:

@@ -21,6 +21,7 @@ from repro.core.gateway import RequestGateway
 from repro.core.integration_service import IntegrationService
 from repro.core.mddws import MddwsService
 from repro.core.metadata_service import MetadataService
+from repro.core.overload import QOS_BATCH, OverloadController
 from repro.core.provisioning import ProvisioningService
 from repro.core.reporting_service import ReportingService
 from repro.core.resilience import (
@@ -89,12 +90,24 @@ class OdbisPlatform:
                  shards: int = 0,
                  replicas_per_shard: int = 1,
                  staleness_budget: int = 0,
-                 supervision: Optional[Dict[str, Any]] = None):
+                 supervision: Optional[Dict[str, Any]] = None,
+                 overload: Union[bool, Dict[str, Any], None] = None):
         # Cross-cutting: the resilience kernel's shared pieces.  One
         # injector serves every instrumented site so a chaos run has a
         # single deterministic fault history.
         self.faults = faults or FaultInjector()
         self.clock = clock or MonotonicClock()
+        # Overload control: ``overload=True`` enables the adaptive
+        # admission kernel with defaults; a dict passes knobs through
+        # to :class:`OverloadController` (queue_capacity,
+        # initial_limit, retry_budget_capacity, ...).  None/False
+        # keeps the legacy static admission.
+        self.overload: Optional[OverloadController] = None
+        if overload:
+            kwargs = dict(overload) if isinstance(overload, dict) \
+                else {}
+            self.overload = OverloadController(clock=self.clock,
+                                               **kwargs)
         # Durability: data directory, journals and database factory.
         self.data_dir = Path(data_dir) if data_dir is not None else None
         self.fsync = fsync
@@ -185,7 +198,15 @@ class OdbisPlatform:
         self.gateway = RequestGateway(
             self.web, self.tenants, clock=self.clock,
             faults=self.faults, deadline_seconds=deadline_seconds,
-            bulkhead_capacity=bulkhead_capacity)
+            bulkhead_capacity=bulkhead_capacity,
+            overload=self.overload)
+        # Under brownout, ETL ticks are batch-class work: the
+        # scheduler defers due jobs instead of running them while the
+        # ladder sheds batch, and retries them on a later tick.
+        if self.overload is not None:
+            controller = self.overload
+            self.integration.scheduler.admission = \
+                lambda owner: not controller.brownout.sheds(QOS_BATCH)
         self._trace_local = threading.local()
         self.last_trace = []
         self._install_middleware()
@@ -495,8 +516,22 @@ class OdbisPlatform:
                         400, "'max_staleness' must be an integer >= 0")
                 handle = self.shards.read_handle(request.tenant,
                                                  budget)
-                rows = self.shards.dispatch_read(handle, sql, params)
-                route = handle.route
+                if self.overload is not None and \
+                        handle.served_by != "primary":
+                    # Tail-latency hedge (DESIGN.md §8): a replica
+                    # read that is slow past the p95 window fires a
+                    # backup against the primary; first answer wins,
+                    # and the hedge spends a retry-budget token so
+                    # hedging cannot amplify an overload.
+                    backup = self.shards.write_handle(request.tenant)
+                    rows, route = self.shards.dispatch_read_hedged(
+                        handle, backup, sql, params,
+                        hedge_after=self.overload.hedge_after(),
+                        budget=self.overload.budget(request.tenant))
+                else:
+                    rows = self.shards.dispatch_read(handle, sql,
+                                                     params)
+                    route = handle.route
             else:
                 rows = context.operational_db.query(sql, params)
                 route = {"served_by": "primary", "replica_lag": 0}
@@ -572,6 +607,8 @@ class OdbisPlatform:
             report.shards = self.shards.health()
         if self.supervisor is not None:
             report.supervision = self.supervisor.health()
+        if self.overload is not None:
+            report.overload = self.overload.snapshot()
         for tenant_id, health in self.gateway.tenant_health().items():
             report.tenants[tenant_id] = health
         for name in self.integration.scheduler.quarantined_jobs():

@@ -42,6 +42,7 @@ from typing import (
 
 from repro.errors import (
     BulkheadRejectedError,
+    BulkheadReleaseError,
     CircuitOpenError,
     CrashPoint,
     DeadlineExceededError,
@@ -168,26 +169,45 @@ class RetryPolicy:
     def call(self, fn: Callable[[], Any],
              clock: Optional[Clock] = None,
              on_retry: Optional[Callable[[int, BaseException], None]]
-             = None) -> Any:
+             = None, budget: Optional[Any] = None) -> Any:
         """Run ``fn`` under this policy; sleeps go through ``clock``.
 
+        ``budget`` is an optional retry budget (duck-typed to
+        :class:`repro.core.overload.RetryBudget`): each retry must
+        first win a ``try_spend()`` token, and a success on the very
+        first attempt calls ``record_success()`` to refill it.  An
+        exhausted budget ends the attempt loop immediately — under a
+        real overload that is the retry *storm* being extinguished,
+        not a lost request.
+
         Raises :class:`RetryExhaustedError` (last error chained) when
-        every attempt fails with a retryable exception.
+        every attempt fails with a retryable exception, or early when
+        the budget denies a retry.
         """
         clock = clock or MonotonicClock()
         schedule = self.delays()
         last: Optional[BaseException] = None
         for attempt in range(1, self.attempts + 1):
             try:
-                return fn()
+                result = fn()
             except BaseException as exc:
                 if not self.should_retry(exc):
                     raise
                 last = exc
                 if attempt < self.attempts:
+                    if budget is not None and not budget.try_spend():
+                        raise RetryExhaustedError(
+                            f"retry budget exhausted after attempt "
+                            f"{attempt}: {last}",
+                            attempts=attempt,
+                            last_error=last) from last
                     if on_retry is not None:
                         on_retry(attempt, exc)
                     clock.sleep(schedule[attempt - 1])
+            else:
+                if attempt == 1 and budget is not None:
+                    budget.record_success()
+                return result
         raise RetryExhaustedError(
             f"all {self.attempts} attempts failed: {last}",
             attempts=self.attempts, last_error=last) from last
@@ -247,8 +267,15 @@ class CircuitBreaker:
             return self._state != self.OPEN
 
     def retry_after(self) -> float:
-        """Cooldown remaining before the breaker half-opens."""
+        """Cooldown remaining before the breaker half-opens.
+
+        Transitions to half-open first, so a breaker sitting exactly
+        at (or past) the cooldown boundary reports 0.0 — never a
+        negative value — and the clamp covers clock skew inside the
+        window too.
+        """
         with self._lock:
+            self._maybe_half_open()
             if self._state != self.OPEN:
                 return 0.0
             elapsed = self.clock.now() - self._opened_at
@@ -361,9 +388,28 @@ class Bulkhead:
             return True
 
     def release(self) -> None:
+        """Release one slot; a release without a matching acquire is a
+        caller bug.  Under ``REPRO_SANITIZE=1`` the counter floors at
+        zero and the sanitizer records the violation (so a long chaos
+        run keeps going with honest health numbers); otherwise the
+        typed :class:`~repro.errors.BulkheadReleaseError` surfaces the
+        bug at the call site.
+        """
         with self._lock:
             if self._in_use <= 0:
-                raise ResilienceError(
+                from repro.analysis.concurrency.sanitizer import (
+                    default_sanitizer,
+                    sanitize_enabled,
+                )
+                if sanitize_enabled():
+                    default_sanitizer().report(
+                        "bulkhead-overrelease",
+                        f"bulkhead {self.name or 'slot'} released "
+                        f"more than acquired; flooring at 0",
+                        bulkhead=self.name, capacity=self.capacity)
+                    self._in_use = 0
+                    return
+                raise BulkheadReleaseError(
                     f"bulkhead {self.name or 'slot'} released more "
                     f"than acquired")
             self._in_use -= 1
@@ -609,6 +655,10 @@ class HealthReport:
     # replicas) when the platform runs a shard supervisor; same
     # duck-typing rationale.
     supervision: Dict[str, Any] = field(default_factory=dict)
+    # Overload-control posture (AIMD limiter, admission queue depths,
+    # brownout level, per-tenant retry budgets) when the platform runs
+    # an OverloadController; same duck-typing rationale.
+    overload: Dict[str, Any] = field(default_factory=dict)
 
     def tenant(self, tenant_id: str) -> TenantHealth:
         if tenant_id not in self.tenants:
@@ -632,4 +682,5 @@ class HealthReport:
                        for shard_id, entry
                        in sorted(self.shards.items())},
             "supervision": dict(self.supervision),
+            "overload": dict(self.overload),
         }

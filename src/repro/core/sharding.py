@@ -797,6 +797,47 @@ class ShardMap:
         shard.check_epoch(handle.generation)
         return handle.database.query(sql, params)
 
+    def dispatch_read_hedged(self, handle: RouteHandle,
+                             backup: RouteHandle, sql: str,
+                             params: Tuple[Any, ...] = (),
+                             hedge_after: float = 0.05,
+                             budget: Any = None) \
+            -> Tuple[Any, Dict[str, Any]]:
+        """A replica read with a tail-latency hedge to the primary.
+
+        Runs the read on ``handle`` (normally a replica); if it has
+        not answered within ``hedge_after`` seconds — the caller
+        passes its observed p95 — a backup read fires on ``backup``
+        (normally the primary's epoch-pinned handle) and the first
+        completion wins, with the loser cancelled where possible.
+        The hedge spends a token from ``budget`` (a duck-typed
+        :class:`~repro.core.overload.RetryBudget`) before launching,
+        so speculative reads stay inside the tenant's retry budget
+        and can never become their own storm.
+
+        Both attempts are epoch-fenced exactly like
+        :meth:`dispatch_read`.  Returns ``(rows, route)`` where the
+        route records who actually served (``hedged`` / ``winner``
+        fields added).
+        """
+        from repro.core.overload import hedged_call
+
+        def read_primary_handle() -> Any:
+            return self.dispatch_read(handle, sql, params)
+
+        def read_backup_handle() -> Any:
+            return self.dispatch_read(backup, sql, params)
+
+        rows, info = hedged_call(read_primary_handle,
+                                 read_backup_handle,
+                                 hedge_after=hedge_after,
+                                 budget=budget)
+        winner = handle if info["winner"] == "primary" else backup
+        route = dict(winner.route)
+        route["hedged"] = info["hedged"]
+        route["winner"] = info["winner"]
+        return rows, route
+
     def dispatch_write(self, handle: RouteHandle, sql: str,
                        params: Tuple[Any, ...] = ()) -> Any:
         """Run a write on a resolved handle, re-checking its epoch.

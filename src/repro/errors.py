@@ -227,6 +227,15 @@ class BulkheadRejectedError(ResilienceError):
     """The bulkhead's concurrency cap is full; the call was shed."""
 
 
+class BulkheadReleaseError(ResilienceError):
+    """``release()`` was called without a matching ``try_acquire()``.
+
+    A caller bug, not load: an unmatched release would drive the
+    in-use counter negative and corrupt health reporting.  Under
+    ``REPRO_SANITIZE=1`` the bulkhead floors at zero and files a
+    sanitizer report instead of raising."""
+
+
 class InjectedFault(ResilienceError):
     """A deliberate failure raised by the :class:`FaultInjector`.
 

@@ -10,7 +10,7 @@ property benchmark E10 measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SchedulerError
 from repro.etl.jobs import EtlJob, JobResult, JobRunner
@@ -81,9 +81,12 @@ class ExecutionRecord:
     """One scheduler-triggered run (or the reported skip of one).
 
     ``status`` is ``"ok"`` (``result`` holds the statistics),
-    ``"failed"`` (``error`` holds the normalized failure message) or
+    ``"failed"`` (``error`` holds the normalized failure message),
     ``"quarantined"`` (the job was skipped-and-reported because it
-    crossed the consecutive-failure threshold).
+    crossed the consecutive-failure threshold) or ``"deferred"`` (the
+    platform's overload admission declined batch work this tick; the
+    job retries at its next scheduled occurrence, and the deferral is
+    neither a failure nor a dispatched run).
     """
 
     minute: int
@@ -119,12 +122,17 @@ class Scheduler:
     def __init__(self, runner: Optional[JobRunner] = None,
                  start_minute: int = 0,
                  quarantine_after: Optional[int] = None,
-                 journal=None):
+                 journal=None,
+                 admission: Optional[Callable[[str], bool]] = None):
         if quarantine_after is not None and quarantine_after < 1:
             raise SchedulerError("quarantine_after must be >= 1")
         self.runner = runner or JobRunner(error_policy="skip")
         self.now = start_minute
         self.quarantine_after = quarantine_after
+        # ETL ticks are batch-class work: when the platform's brownout
+        # ladder sheds batch, this hook (owner -> may-run?) defers due
+        # jobs instead of running them into an overload.
+        self.admission = admission
         self._entries: Dict[str, ScheduledJob] = {}
         self.log: List[ExecutionRecord] = []
         self._rotation: List[str] = []  # owner round-robin order
@@ -231,6 +239,15 @@ class Scheduler:
                 error=f"quarantined after "
                       f"{entry.consecutive_failures} consecutive "
                       f"failures")
+        if self.admission is not None and \
+                not self.admission(entry.owner):
+            # Overload deferral: not a failure (no quarantine
+            # pressure), not a run — the job waits for its next
+            # scheduled occurrence.
+            return ExecutionRecord(
+                minute=tick, owner=entry.owner, job=entry.job.name,
+                result=None, status="deferred",
+                error="deferred under overload (batch shed)")
         try:
             result = self.runner.run(
                 entry.job, retry_policy=entry.retry_policy)
@@ -279,9 +296,10 @@ class Scheduler:
         return ordered
 
     def runs_by_owner(self) -> Dict[str, int]:
-        """Dispatched runs per owner (quarantine skips don't count)."""
+        """Dispatched runs per owner (quarantine skips and overload
+        deferrals don't count — neither ever invoked the job)."""
         counts: Dict[str, int] = {}
         for record in self.log:
-            if record.status != "quarantined":
+            if record.status not in ("quarantined", "deferred"):
                 counts[record.owner] = counts.get(record.owner, 0) + 1
         return counts

@@ -15,6 +15,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.errors import (
     AccessDeniedError,
     AuthenticationError,
+    BulkheadRejectedError,
+    CircuitOpenError,
+    DeadlineExceededError,
     HttpError,
     ReproError,
     StaleEpochError,
@@ -126,6 +129,25 @@ class WebApplication:
                  "carried_generation": exc.carried_generation,
                  "current_generation": exc.current_generation},
                 status=503)
+        except CircuitOpenError as exc:
+            # A breaker tripped below a handler: overload, not a bad
+            # request.  503 with Retry-After = the remaining cooldown.
+            retry_after = max(0.0, exc.retry_after)
+            response = JsonResponse(
+                {"error": str(exc), "code": "circuit_open",
+                 "retry_after": round(retry_after, 3)},
+                status=503,
+                headers={"retry-after": f"{retry_after:.3f}"})
+        except BulkheadRejectedError as exc:
+            response = JsonResponse(
+                {"error": str(exc), "code": "bulkhead_rejected",
+                 "retry_after": 1.0}, status=429,
+                headers={"retry-after": "1.000"})
+        except DeadlineExceededError as exc:
+            response = JsonResponse(
+                {"error": str(exc), "code": "deadline_exceeded",
+                 "retry_after": 1.0}, status=504,
+                headers={"retry-after": "1.000"})
         except ReproError as exc:
             response = JsonResponse({"error": str(exc)}, status=400)
         self.access_log.append(
